@@ -1,0 +1,240 @@
+// Package repro's top-level benchmarks regenerate every table and figure of
+// the Risotto paper's evaluation (§7) as testing.B benchmarks, one target
+// per figure:
+//
+//	go test -bench BenchmarkFig12 .   # Figure 12 (PARSEC + Phoenix)
+//	go test -bench BenchmarkFig13 .   # Figure 13 (OpenSSL + sqlite linker)
+//	go test -bench BenchmarkFig14 .   # Figure 14 (libm linker)
+//	go test -bench BenchmarkFig15 .   # Figure 15 (CAS contention)
+//	go test -bench BenchmarkTheorem1 .# §5.4 mapping verification
+//	go test -bench BenchmarkAblation .# optimizer-pass ablations (§6.1)
+//
+// Each benchmark reports the simulated cycle count of one run as the
+// "simcycles/op" metric — the quantity the paper's figures plot — while
+// ns/op measures the simulator itself. For the formatted figures, use
+// cmd/risobench.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/litmus"
+	"repro/internal/mapping"
+	"repro/internal/models/armcats"
+	"repro/internal/models/x86tso"
+	"repro/internal/portasm"
+	"repro/internal/tcg"
+	"repro/internal/workloads"
+)
+
+var fig12Variants = []core.Variant{
+	core.VariantQemu, core.VariantNoFences, core.VariantTCGVer, core.VariantRisotto,
+}
+
+// benchGuest runs one prepared builder factory under a variant for b.N
+// iterations, reporting simulated cycles.
+func benchGuest(b *testing.B, build func() (*portasm.Builder, error), v core.Variant, idl string) {
+	b.Helper()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		pb, err := build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		cyc, _, _, err := bench.RunGuest(pb, v, idl)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = cyc
+	}
+	b.ReportMetric(float64(cycles), "simcycles/op")
+}
+
+func benchNative(b *testing.B, build func() (*portasm.Builder, error)) {
+	b.Helper()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		pb, err := build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		cyc, _, err := bench.RunNative(pb)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = cyc
+	}
+	b.ReportMetric(float64(cycles), "simcycles/op")
+}
+
+// BenchmarkFig12 regenerates Figure 12: every PARSEC/Phoenix kernel under
+// the four DBT variants plus native execution.
+func BenchmarkFig12(b *testing.B) {
+	const threads, scale = 4, 1
+	for _, k := range workloads.Registry() {
+		k := k
+		build := func() (*portasm.Builder, error) { return k.Build(threads, scale) }
+		for _, v := range fig12Variants {
+			v := v
+			b.Run(k.Name+"/"+v.String(), func(b *testing.B) {
+				benchGuest(b, build, v, "")
+			})
+		}
+		b.Run(k.Name+"/native", func(b *testing.B) {
+			benchNative(b, build)
+		})
+	}
+}
+
+// BenchmarkFig13 regenerates Figure 13: OpenSSL-like digests, RSA and the
+// sqlite workload, translated (qemu) vs host-linked (risotto).
+func BenchmarkFig13(b *testing.B) {
+	type entry struct {
+		name  string
+		build func() (*portasm.Builder, error)
+	}
+	entries := []entry{
+		{"md5-1024", func() (*portasm.Builder, error) { return workloads.DigestProgram("md5", 1024, 4) }},
+		{"md5-8192", func() (*portasm.Builder, error) { return workloads.DigestProgram("md5", 8192, 2) }},
+		{"rsa1024-sign", func() (*portasm.Builder, error) { return workloads.RSAProgram(1024, true, 2) }},
+		{"rsa1024-verify", func() (*portasm.Builder, error) { return workloads.RSAProgram(1024, false, 8) }},
+		{"rsa2048-sign", func() (*portasm.Builder, error) { return workloads.RSAProgram(2048, true, 1) }},
+		{"rsa2048-verify", func() (*portasm.Builder, error) { return workloads.RSAProgram(2048, false, 8) }},
+		{"sha1-1024", func() (*portasm.Builder, error) { return workloads.DigestProgram("sha1", 1024, 4) }},
+		{"sha1-8192", func() (*portasm.Builder, error) { return workloads.DigestProgram("sha1", 8192, 2) }},
+		{"sha256-1024", func() (*portasm.Builder, error) { return workloads.DigestProgram("sha256", 1024, 4) }},
+		{"sha256-8192", func() (*portasm.Builder, error) { return workloads.DigestProgram("sha256", 8192, 2) }},
+		{"sqlite", func() (*portasm.Builder, error) { return workloads.SqliteProgram(512, 2) }},
+	}
+	for _, e := range entries {
+		e := e
+		b.Run(e.name+"/qemu", func(b *testing.B) { benchGuest(b, e.build, core.VariantQemu, "") })
+		b.Run(e.name+"/risotto-linked", func(b *testing.B) {
+			benchGuest(b, e.build, core.VariantRisotto, workloads.IDLAll)
+		})
+	}
+}
+
+// BenchmarkFig14 regenerates Figure 14: the math library, translated
+// soft-float vs host-linked libm.
+func BenchmarkFig14(b *testing.B) {
+	for _, fn := range workloads.MathNames() {
+		fn := fn
+		build := func() (*portasm.Builder, error) { return workloads.MathProgram(fn, 16) }
+		b.Run(fn+"/qemu", func(b *testing.B) { benchGuest(b, build, core.VariantQemu, "") })
+		b.Run(fn+"/risotto-linked", func(b *testing.B) {
+			benchGuest(b, build, core.VariantRisotto, workloads.IDLAll)
+		})
+	}
+}
+
+// BenchmarkFig15 regenerates Figure 15: CAS throughput across contention
+// configurations.
+func BenchmarkFig15(b *testing.B) {
+	const ops = 400
+	for _, cfg := range workloads.Fig15Configs() {
+		threads, vars := cfg[0], cfg[1]
+		name := fmt.Sprintf("%dthreads-%dvars", threads, vars)
+		build := func() (*portasm.Builder, error) { return workloads.CASBench(threads, vars, ops) }
+		b.Run(name+"/qemu", func(b *testing.B) { benchGuest(b, build, core.VariantQemu, "") })
+		b.Run(name+"/risotto", func(b *testing.B) { benchGuest(b, build, core.VariantRisotto, "") })
+		b.Run(name+"/native", func(b *testing.B) { benchNative(b, build) })
+	}
+}
+
+// BenchmarkTheorem1 measures the mapping-verification sweep (§5.4): the
+// full corpus through the verified x86→IR→Arm pipeline.
+func BenchmarkTheorem1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, p := range litmus.X86Corpus() {
+			arm := mapping.X86ToArm(p, mapping.X86Verified, mapping.ArmVerified, mapping.RMWCasal)
+			v := mapping.VerifyTheorem1(p, x86tso.New(), arm, armcats.New())
+			if !v.Correct() {
+				b.Fatalf("%s: verified mapping broken", p.Name)
+			}
+		}
+	}
+}
+
+// BenchmarkChaining measures translation-block chaining (QEMU's goto_tb,
+// reproduced as an extension) on a memory-bound kernel.
+func BenchmarkChaining(b *testing.B) {
+	k, err := workloads.KernelByName("histogram")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, chain := range []bool{false, true} {
+		chain := chain
+		name := "off"
+		if chain {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				pb, err := k.Build(2, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				img, err := pb.BuildGuest("main")
+				if err != nil {
+					b.Fatal(err)
+				}
+				rt, err := core.New(core.Config{Variant: core.VariantRisotto, Chain: chain}, img)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := rt.Run(); err != nil {
+					b.Fatal(err)
+				}
+				cycles = rt.M.MaxCycles()
+			}
+			b.ReportMetric(float64(cycles), "simcycles/op")
+		})
+	}
+}
+
+// BenchmarkAblation isolates each optimizer pass's contribution (§6.1) on
+// a store-heavy kernel under the verified mapping.
+func BenchmarkAblation(b *testing.B) {
+	k, err := workloads.KernelByName("freqmine")
+	if err != nil {
+		b.Fatal(err)
+	}
+	configs := map[string]tcg.OptConfig{
+		"none":           {},
+		"constprop":      {ConstProp: true},
+		"+deadcode":      {ConstProp: true, DeadCode: true},
+		"+accesselim":    {ConstProp: true, DeadCode: true, AccessElim: true},
+		"+fencemerge":    tcg.DefaultOpt(),
+		"fencemergeonly": {FenceMerge: true},
+	}
+	for name, opt := range configs {
+		opt := opt
+		b.Run(name, func(b *testing.B) {
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				pb, err := k.Build(2, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				img, err := pb.BuildGuest("main")
+				if err != nil {
+					b.Fatal(err)
+				}
+				rt, err := core.New(core.Config{Variant: core.VariantRisotto, Opt: &opt}, img)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := rt.Run(); err != nil {
+					b.Fatal(err)
+				}
+				cycles = rt.M.MaxCycles()
+			}
+			b.ReportMetric(float64(cycles), "simcycles/op")
+		})
+	}
+}

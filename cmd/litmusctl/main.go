@@ -1,0 +1,161 @@
+// Command litmusctl explores the axiomatic side of Risotto-Go: it runs the
+// litmus corpus under the x86-TSO, TCG-IR and Armed-Cats models, verifies
+// the mapping schemes (Theorem 1), and reproduces the paper's §3
+// counterexamples.
+//
+// Usage:
+//
+//	litmusctl corpus           # outcome sets of every corpus test per model
+//	litmusctl outcomes <name>  # one test's outcomes under all models
+//	litmusctl verify           # Theorem-1 sweep (verified schemes)
+//	litmusctl errors           # QEMU's MPQ/SBQ errors + FMR
+//	litmusctl sbal             # the Armed-Cats casal error and its fix
+//	litmusctl run <file.lit>…  # run text-format tests' expectations
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/litmus"
+	"repro/internal/mapping"
+	"repro/internal/memmodel"
+	"repro/internal/models/armcats"
+	"repro/internal/models/tcgmm"
+	"repro/internal/models/x86tso"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "corpus":
+		corpus()
+	case "outcomes":
+		if len(os.Args) < 3 {
+			usage()
+		}
+		outcomes(os.Args[2])
+	case "verify":
+		fmt.Println(bench.VerifyReport())
+	case "errors":
+		fmt.Println(bench.MotivationReport())
+	case "sbal":
+		sbal()
+	case "run":
+		if len(os.Args) < 3 {
+			usage()
+		}
+		runFiles(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+// runFiles parses and checks text-format litmus tests under every model.
+func runFiles(paths []string) {
+	failed := false
+	for _, path := range paths {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "litmusctl: %v\n", err)
+			os.Exit(1)
+		}
+		pt, err := litmus.Parse(string(src))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "litmusctl: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		// A `model` directive scopes the expectations; otherwise check
+		// under every model (useful for coherence tests that hold
+		// everywhere).
+		checkModels := models()
+		switch pt.Model {
+		case "x86":
+			checkModels = []memmodel.Model{x86tso.New()}
+		case "tcg":
+			checkModels = []memmodel.Model{tcgmm.New()}
+		case "arm":
+			checkModels = []memmodel.Model{armcats.New()}
+		}
+		for _, m := range checkModels {
+			failures := litmus.CheckExpectations(pt, m)
+			status := "ok"
+			if len(failures) > 0 {
+				status = "FAIL"
+				failed = true
+			}
+			fmt.Printf("%-24s %-12s %s\n", pt.Program.Name, m.Name(), status)
+			for _, f := range failures {
+				fmt.Printf("    %s\n", f)
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func models() []memmodel.Model {
+	return []memmodel.Model{x86tso.New(), tcgmm.New(), armcats.New()}
+}
+
+func corpus() {
+	for _, p := range litmus.X86Corpus() {
+		fmt.Printf("%s:\n", p.Name)
+		for _, m := range models() {
+			out := litmus.Outcomes(p, m)
+			fmt.Printf("  %-12s %d outcomes\n", m.Name(), len(out))
+		}
+	}
+}
+
+func outcomes(name string) {
+	var prog *litmus.Program
+	for _, p := range litmus.X86Corpus() {
+		if p.Name == name {
+			prog = p
+			break
+		}
+	}
+	if prog == nil {
+		fmt.Fprintf(os.Stderr, "litmusctl: unknown test %q (see 'corpus')\n", name)
+		os.Exit(1)
+	}
+	for _, m := range models() {
+		fmt.Printf("%s under %s:\n", prog.Name, m.Name())
+		for _, o := range litmus.Outcomes(prog, m).Sorted() {
+			fmt.Printf("  %s\n", o)
+		}
+	}
+}
+
+func sbal() {
+	src := litmus.SBAL()
+	tgt := litmus.SBALArm()
+	fmt.Println("SBAL (§3.3): x86 source vs Figure-3 Arm mapping (casal + LDAPR)")
+	fmt.Printf("\nx86 outcomes:\n")
+	for _, o := range litmus.Outcomes(src, x86tso.New()).Sorted() {
+		fmt.Printf("  %s\n", o)
+	}
+	for _, v := range []armcats.Variant{armcats.Original, armcats.Corrected} {
+		m := armcats.NewVariant(v)
+		fmt.Printf("\nArm outcomes under %s:\n", m.Name())
+		for _, o := range litmus.Outcomes(tgt, m).Sorted() {
+			fmt.Printf("  %s\n", o)
+		}
+		ver := mapping.VerifyTheorem1(src, x86tso.New(), tgt, m)
+		if ver.Correct() {
+			fmt.Println("→ mapping correct under this model")
+		} else {
+			fmt.Printf("→ mapping ERRONEOUS: new behaviours %v\n", ver.NewBehaviours)
+		}
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: litmusctl {corpus|outcomes <name>|verify|errors|sbal}")
+	os.Exit(2)
+}

@@ -1,0 +1,154 @@
+// Command risotto runs a benchmark guest program under the Risotto-Go DBT
+// and prints execution statistics — the quickest way to see the translator
+// at work.
+//
+// Usage:
+//
+//	risotto -kernel histogram [-variant risotto] [-threads 4] [-scale 1]
+//	risotto -kernel histogram -emit histogram.riso   # save the guest image
+//	risotto -image histogram.riso                    # run a saved image
+//	risotto -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/guestimg"
+	"repro/internal/workloads"
+)
+
+func main() {
+	kernel := flag.String("kernel", "", "workload kernel to run (see -list)")
+	variant := flag.String("variant", "risotto", "DBT variant: qemu | no-fences | tcg-ver | risotto")
+	threads := flag.Int("threads", 4, "guest thread count")
+	scale := flag.Int("scale", 1, "problem-size multiplier")
+	native := flag.Bool("native", false, "also run the native build for comparison")
+	chain := flag.Bool("chain", false, "enable translation-block chaining")
+	dump := flag.Bool("dump", false, "disassemble the translated blocks after the run")
+	emit := flag.String("emit", "", "write the guest image to a file instead of running")
+	imagePath := flag.String("image", "", "run a saved guest image (.riso)")
+	list := flag.Bool("list", false, "list available kernels")
+	flag.Parse()
+
+	if *list {
+		for _, k := range workloads.Registry() {
+			fmt.Printf("%-18s (%s)\n", k.Name, k.Suite)
+		}
+		return
+	}
+
+	if *imagePath != "" {
+		data, err := os.ReadFile(*imagePath)
+		check(err)
+		img, err := guestimg.Decode(data)
+		check(err)
+		v, err := parseVariant(*variant)
+		check(err)
+		rt, err := core.New(core.Config{Variant: v, Chain: *chain}, img)
+		check(err)
+		code, err := rt.Run()
+		check(err)
+		fmt.Printf("image       %s (entry %#x)\n", *imagePath, img.Entry)
+		printStats(v, code, rt)
+		return
+	}
+
+	if *kernel == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	v, err := parseVariant(*variant)
+	check(err)
+
+	k, err := workloads.KernelByName(*kernel)
+	check(err)
+	b, err := k.Build(*threads, *scale)
+	check(err)
+
+	if *emit != "" {
+		img, err := b.BuildGuest("main")
+		check(err)
+		check(os.WriteFile(*emit, img.Encode(), 0o644))
+		fmt.Printf("wrote %s (%d bytes, entry %#x)\n", *emit, len(img.Encode()), img.Entry)
+		return
+	}
+
+	img, err := b.BuildGuest("main")
+	check(err)
+	rt, err := core.New(core.Config{Variant: v, Chain: *chain}, img)
+	check(err)
+	code, err := rt.Run()
+	check(err)
+
+	fmt.Printf("kernel      %s (%s), threads=%d scale=%d\n", k.Name, k.Suite, *threads, *scale)
+	printStats(v, code, rt)
+
+	if *dump {
+		pcs := rt.BlockPCs()
+		sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
+		for _, pc := range pcs {
+			text, err := rt.DisassembleBlock(pc)
+			check(err)
+			fmt.Println()
+			fmt.Print(text)
+		}
+	}
+
+	if *native {
+		b, err := k.Build(*threads, *scale)
+		check(err)
+		ncycles, ncode, err := bench.RunNative(b)
+		check(err)
+		fmt.Printf("\nnative      checksum %d, cycles %d (%.2fx faster)\n",
+			ncode, ncycles, float64(rt.M.MaxCycles())/float64(ncycles))
+		if ncode != code {
+			fmt.Fprintln(os.Stderr, "risotto: WARNING: native checksum differs!")
+			os.Exit(1)
+		}
+	}
+}
+
+func parseVariant(name string) (core.Variant, error) {
+	switch name {
+	case "qemu":
+		return core.VariantQemu, nil
+	case "no-fences":
+		return core.VariantNoFences, nil
+	case "tcg-ver":
+		return core.VariantTCGVer, nil
+	case "risotto":
+		return core.VariantRisotto, nil
+	}
+	return 0, fmt.Errorf("unknown variant %q", name)
+}
+
+func printStats(v core.Variant, code uint64, rt *core.Runtime) {
+	st := rt.Stats
+	cycles := rt.M.MaxCycles()
+	fmt.Printf("variant     %v\n", v)
+	fmt.Printf("checksum    %d\n", code)
+	fmt.Printf("cycles      %d (%.3f ms at 2 GHz)\n", cycles, float64(cycles)/bench.ClockHz*1e3)
+	fmt.Printf("blocks      %d translated (%d guest bytes, %d host insts)\n",
+		st.Blocks, st.GuestBytes, st.HostInsts)
+	fmt.Printf("fences      DMBFF=%d DMBLD=%d DMBST=%d (static, per translated code)\n",
+		st.DMBFull, st.DMBLoad, st.DMBStore)
+	fmt.Printf("            DMBFF=%d DMBLD=%d DMBST=%d executed (dynamic)\n",
+		rt.M.DMBExec[0], rt.M.DMBExec[1], rt.M.DMBExec[2])
+	fmt.Printf("atomics     casal=%d exclusive-loops=%d helper-calls=%d\n",
+		st.Casal, st.ExclLoop, st.HelperCalls)
+	fmt.Printf("syscalls    %d, host-linked calls %d, chain patches %d\n",
+		st.Syscalls, st.HostCalls, st.ChainPatches)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "risotto:", err)
+		os.Exit(1)
+	}
+}

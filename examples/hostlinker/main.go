@@ -1,0 +1,67 @@
+// Hostlinker: demonstrate §6.2's dynamic host library linker — the same
+// guest binary runs its own (slow, translated) sin and md5 when the IDL is
+// absent, and dispatches to the native host library when it is present.
+//
+//	go run ./examples/hostlinker
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+func main() {
+	fmt.Println("guest program: 16 calls to sin() through the PLT")
+	b, err := workloads.MathProgram("sin", 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cyclesGuest, _, stGuest, err := bench.RunGuest(b, core.VariantRisotto, "")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	b2, err := workloads.MathProgram("sin", 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cyclesLinked, _, stLinked, err := bench.RunGuest(b2, core.VariantRisotto, workloads.IDLAll)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("  without IDL: %8d cycles, host calls %d (guest soft-float runs)\n",
+		cyclesGuest, stGuest.HostCalls)
+	fmt.Printf("  with IDL:    %8d cycles, host calls %d (native libm runs)\n",
+		cyclesLinked, stLinked.HostCalls)
+	fmt.Printf("  speedup: %.1fx\n\n", float64(cyclesGuest)/float64(cyclesLinked))
+
+	fmt.Println("guest program: 4 md5 digests of a 1 KiB buffer through the PLT")
+	b3, err := workloads.DigestProgram("md5", 1024, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cg, _, _, err := bench.RunGuest(b3, core.VariantQemu, "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	b4, err := workloads.DigestProgram("md5", 1024, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cl, _, st, err := bench.RunGuest(b4, core.VariantRisotto, workloads.IDLAll)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  translated guest md5: %8d cycles\n", cg)
+	fmt.Printf("  host-linked md5:      %8d cycles (crypto/md5, %d host calls)\n", cl, st.HostCalls)
+	fmt.Printf("  speedup: %.1fx\n\n", float64(cg)/float64(cl))
+
+	fmt.Println("IDL declarations driving the linker (excerpt):")
+	fmt.Println("  f64 sin(f64 x);")
+	fmt.Println("  u64 md5(buf data, u64 len);")
+}

@@ -1,0 +1,184 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFig12SubsetShapes(t *testing.T) {
+	rows, err := Fig12(2, 1, []string{"freqmine", "swaptions"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Checksums {
+			t.Errorf("%s: checksums disagreed", r.Kernel)
+		}
+		for _, name := range []string{"no-fences", "tcg-ver", "risotto", "native"} {
+			if r.Relative[name] <= 0 {
+				t.Errorf("%s: missing %s", r.Kernel, name)
+			}
+		}
+		if r.Relative["native"] >= r.Relative["no-fences"] {
+			t.Errorf("%s: native (%v) should beat no-fences (%v)",
+				r.Kernel, r.Relative["native"], r.Relative["no-fences"])
+		}
+		if r.Relative["tcg-ver"] > 1.001 {
+			t.Errorf("%s: tcg-ver slower than qemu: %v", r.Kernel, r.Relative["tcg-ver"])
+		}
+	}
+	// freqmine is memory-bound: its fence share must exceed swaptions'.
+	var fm, sw Fig12Row
+	for _, r := range rows {
+		if r.Kernel == "freqmine" {
+			fm = r
+		} else {
+			sw = r
+		}
+	}
+	if fm.Relative["no-fences"] >= sw.Relative["no-fences"] {
+		t.Errorf("freqmine should be more fence-bound than swaptions: %v vs %v",
+			fm.Relative["no-fences"], sw.Relative["no-fences"])
+	}
+
+	out := RenderFig12(rows)
+	if !strings.Contains(out, "freqmine") || !strings.Contains(out, "fence share") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+	s := Summarize(rows)
+	if s.FenceShareAvg <= 0 || s.FenceShareMax < s.FenceShareAvg {
+		t.Fatalf("summary wrong: %+v", s)
+	}
+}
+
+func TestFig12UnknownKernel(t *testing.T) {
+	if _, err := Fig12(2, 1, []string{"nope"}); err == nil {
+		t.Fatal("unknown kernel must error")
+	}
+}
+
+func TestFig14Shapes(t *testing.T) {
+	rows, err := Fig14(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bySpeed := map[string]float64{}
+	for _, r := range rows {
+		if r.RisottoSpeedup <= 1 {
+			t.Errorf("%s: linked must beat translated (%.2fx)", r.Name, r.RisottoSpeedup)
+		}
+		if r.NativeSpeedup < r.RisottoSpeedup {
+			t.Errorf("%s: native (%.1fx) must be ≥ linked (%.1fx) — marshaling overhead",
+				r.Name, r.NativeSpeedup, r.RisottoSpeedup)
+		}
+		bySpeed[r.Name] = r.RisottoSpeedup
+	}
+	// §7.3: short functions (sqrt) benefit least.
+	if bySpeed["sqrt"] >= bySpeed["cos"] {
+		t.Errorf("sqrt (%.1fx) should gain less than cos (%.1fx)", bySpeed["sqrt"], bySpeed["cos"])
+	}
+	out := RenderLinkRows("Figure 14", rows, "ops/ms")
+	if !strings.Contains(out, "sqrt") {
+		t.Fatal("render missing sqrt")
+	}
+}
+
+func TestFig15Shapes(t *testing.T) {
+	rows, err := Fig15(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	var unconGain, conGain float64
+	var nUncon, nCon int
+	for _, r := range rows {
+		if r.Risotto <= 0 || r.Qemu <= 0 || r.Native <= 0 {
+			t.Fatalf("%d-%d: zero throughput", r.Threads, r.Vars)
+		}
+		gain := r.Risotto/r.Qemu - 1
+		if r.Threads == r.Vars {
+			unconGain += gain
+			nUncon++
+		} else {
+			conGain += gain
+			nCon++
+		}
+	}
+	unconGain /= float64(nUncon)
+	conGain /= float64(nCon)
+	// §7.4: the gain is concentrated in uncontended configurations.
+	if unconGain <= conGain {
+		t.Errorf("uncontended gain (%.1f%%) should exceed contended (%.1f%%)",
+			100*unconGain, 100*conGain)
+	}
+	if unconGain <= 0.10 {
+		t.Errorf("uncontended gain too small: %.1f%%", 100*unconGain)
+	}
+	out := RenderFig15(rows)
+	if !strings.Contains(out, "16-16") {
+		t.Fatal("render missing configs")
+	}
+}
+
+func TestMotivationReportMatchesPaper(t *testing.T) {
+	out := MotivationReport()
+	if strings.Contains(out, "DOES NOT match paper") {
+		t.Fatalf("motivation mismatch:\n%s", out)
+	}
+	if !strings.Contains(out, "MPQ") || !strings.Contains(out, "SBAL") {
+		t.Fatal("motivation report incomplete")
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	dir := t.TempDir()
+	rows, err := Fig12(2, 1, []string{"swaptions"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFig12CSV(dir, rows); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig12.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("fig12.csv lines: %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "benchmark,suite,qemu_secs") {
+		t.Fatalf("header: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "swaptions,parsec,") {
+		t.Fatalf("row: %q", lines[1])
+	}
+
+	link := []LinkRow{{Name: "md5-1024", QemuOps: 100, RisottoSpeedup: 2, NativeSpeedup: 3}}
+	if err := WriteLinkCSV(dir, "fig13.csv", link); err != nil {
+		t.Fatal(err)
+	}
+	f15 := []Fig15Row{{Threads: 4, Vars: 2, Qemu: 1, Risotto: 2, Native: 3}}
+	if err := WriteFig15CSV(dir, f15); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fig13.csv", "fig15.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestVerifyReportAllCorrect(t *testing.T) {
+	out := VerifyReport()
+	if !strings.Contains(out, "all correct: true") {
+		t.Fatalf("verification sweep failed:\n%s", out)
+	}
+}

@@ -1,0 +1,425 @@
+// Package core is Risotto-Go's DBT engine — the analogue of the paper's
+// modified QEMU (§6). It owns the translation-block cache and execution
+// loop, wires the x86 frontend, the TCG optimizer and the Arm backend
+// together under a selectable variant (the four setups of §7.1), installs
+// the runtime helpers (QEMU-style RMW emulation, guest syscalls), and
+// implements the dynamic host library linker (§6.2) and the fast CAS
+// translation (§6.3).
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/backend"
+	"repro/internal/frontend"
+	"repro/internal/guestimg"
+	"repro/internal/hostlib"
+	"repro/internal/idl"
+	"repro/internal/isa/arm"
+	"repro/internal/isa/x86"
+	"repro/internal/machine"
+	"repro/internal/mapping"
+	"repro/internal/tcg"
+)
+
+// Variant selects one of the evaluation's four DBT setups (§7.1).
+type Variant int
+
+const (
+	// VariantQemu is vanilla QEMU 6.1.0: leading-fence mapping (Figure 2)
+	// and helper-call RMWs.
+	VariantQemu Variant = iota
+	// VariantNoFences enforces no memory model at all — incorrect, but
+	// the oracle for the maximum possible gain from fence optimization.
+	VariantNoFences
+	// VariantTCGVer is QEMU with Risotto's verified mappings and fence
+	// merging (the paper's tcg-ver / tcg-tso).
+	VariantTCGVer
+	// VariantRisotto is the full system: verified mappings, fence
+	// merging, inline CAS translation, and the dynamic host linker.
+	VariantRisotto
+)
+
+var variantNames = []string{"qemu", "no-fences", "tcg-ver", "risotto"}
+
+func (v Variant) String() string {
+	if int(v) < len(variantNames) {
+		return variantNames[v]
+	}
+	return fmt.Sprintf("variant?%d", int(v))
+}
+
+// Config parameterizes a Runtime.
+type Config struct {
+	// Variant selects the DBT setup.
+	Variant Variant
+	// MemSize is the machine memory size (default 32 MiB).
+	MemSize int
+	// CodeCacheBase is where generated host code is placed (default:
+	// upper quarter of memory).
+	CodeCacheBase uint64
+	// StackSize per guest thread (default 256 KiB).
+	StackSize uint64
+	// IDL, when non-empty and the variant is Risotto, enables the host
+	// linker for the declared functions.
+	IDL string
+	// Lib is the host library used by the linker (hostlib.Default() if
+	// nil).
+	Lib *hostlib.Library
+	// Quantum is the round-robin scheduling quantum in instructions.
+	Quantum int
+	// MaxSteps bounds total executed host instructions (default 2e9).
+	MaxSteps uint64
+	// Opt, when non-nil, overrides the variant's optimizer configuration
+	// (used by the ablation benchmarks).
+	Opt *tcg.OptConfig
+	// Chain enables translation-block chaining: a block whose exit
+	// target is constant gets its dispatch trap patched into a direct
+	// branch to the target block once both are translated (QEMU's
+	// goto_tb). Off by default so the calibrated dispatch cost of the
+	// evaluation figures stays comparable across variants.
+	Chain bool
+	// WeakSeed, when non-nil, runs the simulated host in operational
+	// weak-memory mode (store buffers with out-of-order drain, seeded by
+	// the value) — the generated code's fences then actually constrain
+	// visible reorderings. Used by correctness demonstrations, not by the
+	// performance figures.
+	WeakSeed *int64
+}
+
+// Stats aggregates runtime counters.
+type Stats struct {
+	Blocks      int
+	GuestBytes  uint64
+	HostInsts   int
+	DMBFull     int
+	DMBLoad     int
+	DMBStore    int
+	Casal       int
+	ExclLoop    int
+	HelperCalls uint64
+	HostCalls   uint64
+	Syscalls    uint64
+	// ChainPatches counts block exits rewritten into direct branches.
+	ChainPatches int
+}
+
+// tb is one cached translation block.
+type tb struct {
+	guestPC  uint64
+	hostAddr uint64
+	codeLen  int
+}
+
+// pltEntry is a host-linked import.
+type pltEntry struct {
+	sig  idl.Signature
+	fn   hostlib.Func
+	name string
+}
+
+// Runtime is one emulated guest process.
+type Runtime struct {
+	// M is the underlying simulated host machine.
+	M *machine.Machine
+	// Stats accumulates translation/execution counters.
+	Stats Stats
+
+	cfg        Config
+	feCfg      frontend.Config
+	beCfg      backend.Config
+	optCfg     tcg.OptConfig
+	tbs        map[uint64]*tb
+	codeCursor uint64
+	plt        map[uint64]*pltEntry // guest PLT address → host function
+	stackCur   uint64
+	heapCur    uint64
+	img        *guestimg.Image
+	// chainSites maps the host address of a patchable exit SVC to its
+	// constant guest target (TB chaining).
+	chainSites map[uint64]uint64
+}
+
+// Costs charged by the runtime on top of the machine's table.
+const (
+	// helperBodyCost models the helper function's prologue/epilogue and
+	// the GCC-built-in wrapper around the atomic (§2.3's extra jumps).
+	helperBodyCost = 36
+	// marshalBase and marshalPerArg model argument marshaling between
+	// guest and host ABIs (§6.2, the math-library overhead of Figure 14).
+	marshalBase   = 24
+	marshalPerArg = 6
+	// translationCostPerByte amortizes translation work.
+	translationCostPerByte = 2
+)
+
+// guestReg maps a guest register to the host register carrying it.
+func guestReg(c *machine.CPU, r x86.Reg) *uint64 { return &c.Regs[int(r)] }
+
+// New creates a runtime for the given config and loads the image.
+func New(cfg Config, img *guestimg.Image) (*Runtime, error) {
+	if cfg.MemSize == 0 {
+		cfg.MemSize = 32 << 20
+	}
+	if cfg.CodeCacheBase == 0 {
+		cfg.CodeCacheBase = uint64(cfg.MemSize) * 3 / 4
+	}
+	if cfg.StackSize == 0 {
+		cfg.StackSize = 256 << 10
+	}
+	if cfg.Quantum == 0 {
+		cfg.Quantum = 64
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = 2_000_000_000
+	}
+
+	rt := &Runtime{
+		cfg:        cfg,
+		tbs:        make(map[uint64]*tb),
+		plt:        make(map[uint64]*pltEntry),
+		chainSites: make(map[uint64]uint64),
+	}
+
+	switch cfg.Variant {
+	case VariantQemu:
+		rt.feCfg = frontend.Config{Scheme: mapping.X86Qemu, CAS: frontend.CASHelper}
+		rt.optCfg = tcg.OptConfig{ConstProp: true, AccessElim: true, DeadCode: true}
+	case VariantNoFences:
+		rt.feCfg = frontend.Config{Scheme: mapping.X86NoFences, CAS: frontend.CASHelper}
+		rt.optCfg = tcg.OptConfig{ConstProp: true, AccessElim: true, DeadCode: true}
+	case VariantTCGVer:
+		rt.feCfg = frontend.Config{Scheme: mapping.X86Verified, CAS: frontend.CASHelper}
+		rt.optCfg = tcg.DefaultOpt()
+	case VariantRisotto:
+		rt.feCfg = frontend.Config{Scheme: mapping.X86Verified, CAS: frontend.CASInline}
+		rt.optCfg = tcg.DefaultOpt()
+	default:
+		return nil, fmt.Errorf("core: unknown variant %d", cfg.Variant)
+	}
+	if cfg.Opt != nil {
+		rt.optCfg = *cfg.Opt
+	}
+	rt.beCfg = backend.Config{CAS: backend.CASCasal}
+
+	rt.M = machine.New(cfg.MemSize)
+	rt.M.Syscall = rt.handleSvc
+	rt.M.OnBLR = rt.handleBLR
+	if cfg.WeakSeed != nil {
+		rt.M.EnableWeakMemory(*cfg.WeakSeed, 48)
+	}
+
+	if err := rt.load(img); err != nil {
+		return nil, err
+	}
+	return rt, nil
+}
+
+// load maps the image and prepares linker and allocator state.
+func (rt *Runtime) load(img *guestimg.Image) error {
+	if err := img.Load(rt.M.Mem); err != nil {
+		return err
+	}
+	rt.img = img
+	rt.codeCursor = rt.cfg.CodeCacheBase
+	top := img.MaxAddr()
+	rt.heapCur = (top + 0xFFF) &^ 0xFFF
+	// Stacks grow down from just below the code cache.
+	rt.stackCur = rt.cfg.CodeCacheBase &^ 0xF
+
+	// Host linker setup (§6.2, steps 1–2): parse the IDL, match .dynsym
+	// imports, index their PLT addresses.
+	if rt.cfg.Variant == VariantRisotto && rt.cfg.IDL != "" {
+		table, err := idl.ParseTable(rt.cfg.IDL)
+		if err != nil {
+			return err
+		}
+		lib := rt.cfg.Lib
+		if lib == nil {
+			lib = hostlib.Default()
+		}
+		for _, d := range img.DynSyms {
+			sig, ok := table[d.Name]
+			if !ok {
+				continue // not declared: translated like any guest code
+			}
+			fn, ok := lib.Lookup(d.Name)
+			if !ok {
+				return fmt.Errorf("core: IDL declares %q but host library lacks it", d.Name)
+			}
+			rt.plt[d.PLT] = &pltEntry{sig: sig, fn: fn, name: d.Name}
+		}
+	}
+	return nil
+}
+
+// newStack carves a stack and returns its top.
+func (rt *Runtime) newStack() uint64 {
+	rt.stackCur -= rt.cfg.StackSize
+	return rt.stackCur + rt.cfg.StackSize - 64
+}
+
+// StartThread prepares a vCPU to run guest code at entry.
+func (rt *Runtime) startThread(c *machine.CPU, entry uint64) error {
+	return rt.dispatch(c, entry)
+}
+
+// Run executes the guest from its entry point to completion and returns
+// the main thread's exit code.
+func (rt *Runtime) Run() (uint64, error) {
+	c := rt.M.CPUs[0]
+	*guestReg(c, x86.RSP) = rt.newStack()
+	if err := rt.startThread(c, rt.img.Entry); err != nil {
+		return 0, err
+	}
+	if err := rt.M.RunAll(rt.cfg.Quantum, rt.cfg.MaxSteps); err != nil {
+		return 0, err
+	}
+	return c.ExitCode, nil
+}
+
+// dispatch points the vCPU at the translation of guestPC, translating on
+// a cache miss, or performs a host-linked library call when guestPC is a
+// linked PLT entry.
+func (rt *Runtime) dispatch(c *machine.CPU, guestPC uint64) error {
+	if e, ok := rt.plt[guestPC]; ok {
+		return rt.hostCall(c, e)
+	}
+	t, ok := rt.tbs[guestPC]
+	if !ok {
+		var err error
+		t, err = rt.translate(c, guestPC)
+		if err != nil {
+			return err
+		}
+	}
+	c.PC = t.hostAddr
+	return nil
+}
+
+// translate builds, optimizes and emits one block.
+func (rt *Runtime) translate(c *machine.CPU, guestPC uint64) (*tb, error) {
+	block, err := frontend.Translate(rt.M.Mem, guestPC, rt.feCfg)
+	if err != nil {
+		return nil, err
+	}
+	tcg.Optimize(block, rt.optCfg)
+	code, st, err := backend.Generate(block, rt.codeCursor, rt.beCfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: generating %#x: %w", guestPC, err)
+	}
+	if rt.codeCursor+uint64(len(code)) > uint64(len(rt.M.Mem)) {
+		return nil, fmt.Errorf("core: code cache exhausted at %#x", rt.codeCursor)
+	}
+	copy(rt.M.Mem[rt.codeCursor:], code)
+	t := &tb{guestPC: guestPC, hostAddr: rt.codeCursor, codeLen: len(code)}
+	rt.codeCursor += uint64(len(code) + 15)
+	rt.codeCursor &^= 15
+	rt.tbs[guestPC] = t
+
+	rt.Stats.Blocks++
+	rt.Stats.GuestBytes += block.GuestEnd - block.GuestPC
+	rt.Stats.HostInsts += st.Insts
+	rt.Stats.DMBFull += st.DMBFull
+	rt.Stats.DMBLoad += st.DMBLoad
+	rt.Stats.DMBStore += st.DMBStore
+	rt.Stats.Casal += st.Casal
+	rt.Stats.ExclLoop += st.ExclLoop
+	if rt.cfg.Chain {
+		for _, slot := range st.ChainSlots {
+			// Host-linked PLT targets must keep trapping: the host call
+			// runs in the dispatcher.
+			if _, linked := rt.plt[slot.GuestTarget]; linked {
+				continue
+			}
+			rt.chainSites[t.hostAddr+uint64(slot.Off)] = slot.GuestTarget
+		}
+	}
+	c.Cycles += translationCostPerByte * (block.GuestEnd - block.GuestPC)
+	return t, nil
+}
+
+// chain patches the exit SVC at svcAddr into a direct branch to the target
+// block, so the dispatcher is skipped on subsequent executions (QEMU's
+// goto_tb / block chaining).
+func (rt *Runtime) chain(svcAddr uint64, target *tb) error {
+	off := (int64(target.hostAddr) - int64(svcAddr)) / arm.InstBytes
+	if off < -(1<<23) || off >= 1<<23 {
+		// Too far for a direct branch; keep trapping.
+		return nil
+	}
+	w, err := arm.Encode(arm.Inst{Op: arm.B, Off: int32(off)})
+	if err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(rt.M.Mem[svcAddr:], w)
+	rt.M.InvalidateDecodeAt(svcAddr)
+	delete(rt.chainSites, svcAddr)
+	rt.Stats.ChainPatches++
+	return nil
+}
+
+// DisassembleBlock returns the host-code disassembly of the translation
+// of guestPC (translating it on the calling CPU if not yet cached), for
+// inspection and tooling.
+func (rt *Runtime) DisassembleBlock(guestPC uint64) (string, error) {
+	t, ok := rt.tbs[guestPC]
+	if !ok {
+		var err error
+		t, err = rt.translate(rt.M.CPUs[0], guestPC)
+		if err != nil {
+			return "", err
+		}
+	}
+	var sb []byte
+	sb = append(sb, fmt.Sprintf("TB guest=%#x host=%#x (%d bytes)\n",
+		t.guestPC, t.hostAddr, t.codeLen)...)
+	for off := 0; off < t.codeLen; off += arm.InstBytes {
+		inst, err := arm.DecodeAt(rt.M.Mem, int(t.hostAddr)+off)
+		if err != nil {
+			return "", err
+		}
+		sb = append(sb, fmt.Sprintf("  %#08x: %v\n", t.hostAddr+uint64(off), inst)...)
+	}
+	return string(sb), nil
+}
+
+// BlockPCs returns every translated guest PC, sorted by translation order
+// is not guaranteed; callers sort as needed.
+func (rt *Runtime) BlockPCs() []uint64 {
+	out := make([]uint64, 0, len(rt.tbs))
+	for pc := range rt.tbs {
+		out = append(out, pc)
+	}
+	return out
+}
+
+// handleSvc serves translated-code traps: block exits and halts.
+func (rt *Runtime) handleSvc(m *machine.Machine, c *machine.CPU, imm uint16) error {
+	switch imm {
+	case backend.SvcTBExit:
+		if rt.cfg.Chain {
+			// c.PC was advanced past the SVC before the trap.
+			svcAddr := c.PC - arm.InstBytes
+			if guestTarget, ok := rt.chainSites[svcAddr]; ok {
+				if err := rt.dispatch(c, guestTarget); err != nil {
+					return err
+				}
+				// dispatch pointed the CPU at the target block (a host
+				// call would have redirected elsewhere; only patch when
+				// the target is a plain block).
+				if t, ok := rt.tbs[guestTarget]; ok && c.PC == t.hostAddr {
+					return rt.chain(svcAddr, t)
+				}
+				return nil
+			}
+		}
+		return rt.dispatch(c, c.Regs[18])
+	case backend.SvcHalt:
+		c.Halted = true
+		return nil
+	default:
+		return fmt.Errorf("core: unexpected svc #%d at cpu%d", imm, c.ID)
+	}
+}

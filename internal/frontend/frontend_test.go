@@ -1,0 +1,405 @@
+package frontend
+
+import (
+	"testing"
+
+	"repro/internal/isa/x86"
+	"repro/internal/mapping"
+	"repro/internal/memmodel"
+	"repro/internal/tcg"
+)
+
+// assemble builds guest code at 0x1000 inside a 64 KiB memory image.
+func assemble(t *testing.T, build func(a *x86.Assembler)) []byte {
+	t.Helper()
+	a := x86.NewAssembler()
+	build(a)
+	code, _, err := a.Assemble(0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := make([]byte, 1<<16)
+	copy(mem[0x1000:], code)
+	return mem
+}
+
+// run translates at 0x1000 and executes the block on the reference
+// interpreter with the given initial guest registers.
+func run(t *testing.T, mem []byte, cfg Config, init map[x86.Reg]uint64) *tcg.Interp {
+	t.Helper()
+	blk, err := Translate(mem, 0x1000, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := tcg.NewInterp(blk, len(mem))
+	copy(it.Mem, mem)
+	for r, v := range init {
+		it.Temps[r] = v
+	}
+	if err := it.Run(blk); err != nil {
+		t.Fatalf("%v\n%s", err, blk)
+	}
+	return it
+}
+
+func countFences(blk *tcg.Block, k memmodel.Fence) int {
+	n := 0
+	for _, in := range blk.Insts {
+		if in.Op == tcg.OpMb && in.Fence == k {
+			n++
+		}
+	}
+	return n
+}
+
+func TestALUAndMoves(t *testing.T) {
+	mem := assemble(t, func(a *x86.Assembler) {
+		a.MovRI(x86.RAX, 10).
+			MovRI(x86.RBX, 3).
+			AddRR(x86.RAX, x86.RBX). // 13
+			ShlRI(x86.RAX, 2).       // 52
+			SubRI(x86.RAX, 2).       // 50
+			MovRR(x86.RCX, x86.RAX).
+			Ret()
+	})
+	it := run(t, mem, Config{Scheme: mapping.X86Verified}, map[x86.Reg]uint64{x86.RSP: 0x8000})
+	if it.Temps[x86.RAX] != 50 || it.Temps[x86.RCX] != 50 {
+		t.Fatalf("rax=%d rcx=%d", it.Temps[x86.RAX], it.Temps[x86.RCX])
+	}
+}
+
+func TestLoadStoreAddressing(t *testing.T) {
+	mem := assemble(t, func(a *x86.Assembler) {
+		a.MovRI(x86.RSI, 0x4000).
+			MovRI(x86.RCX, 3).
+			MovRI(x86.RAX, 0xAB).
+			Store(x86.MemIdx(x86.RSI, x86.RCX, 8, 16), x86.RAX, 8).
+			Load(x86.RBX, x86.MemIdx(x86.RSI, x86.RCX, 8, 16), 8).
+			Lea(x86.RDX, x86.MemIdx(x86.RSI, x86.RCX, 4, -4)).
+			Ret()
+	})
+	it := run(t, mem, Config{}, map[x86.Reg]uint64{x86.RSP: 0x8000})
+	if it.Temps[x86.RBX] != 0xAB {
+		t.Fatalf("load-back = %#x", it.Temps[x86.RBX])
+	}
+	if it.Temps[x86.RDX] != 0x4000+3*4-4 {
+		t.Fatalf("lea = %#x", it.Temps[x86.RDX])
+	}
+	// The store landed at base+idx*scale+disp.
+	if v, _ := it.Temps[x86.RBX], 0; v != 0xAB {
+		_ = v
+	}
+}
+
+func TestSubByteAccesses(t *testing.T) {
+	mem := assemble(t, func(a *x86.Assembler) {
+		a.MovRI(x86.RSI, 0x4000).
+			MovRI(x86.RAX, 0x1122334455667788).
+			Store(x86.Mem0(x86.RSI), x86.RAX, 8).
+			Load(x86.RBX, x86.Mem0(x86.RSI), 1).
+			Load(x86.RCX, x86.Mem0(x86.RSI), 2).
+			Load(x86.RDX, x86.Mem0(x86.RSI), 4).
+			Ret()
+	})
+	it := run(t, mem, Config{}, map[x86.Reg]uint64{x86.RSP: 0x8000})
+	if it.Temps[x86.RBX] != 0x88 || it.Temps[x86.RCX] != 0x7788 || it.Temps[x86.RDX] != 0x55667788 {
+		t.Fatalf("got %#x %#x %#x", it.Temps[x86.RBX], it.Temps[x86.RCX], it.Temps[x86.RDX])
+	}
+}
+
+func TestConditionCodes(t *testing.T) {
+	// For (a, b) pairs, check each condition's branch outcome matches Go.
+	type tc struct {
+		a, b uint64
+		cond x86.Cond
+		want bool
+	}
+	cases := []tc{
+		{5, 5, x86.CondEQ, true},
+		{5, 6, x86.CondNE, true},
+		{^uint64(0), 1, x86.CondLT, true}, // -1 < 1 signed
+		{^uint64(0), 1, x86.CondA, true},  // max > 1 unsigned
+		{^uint64(0), 1, x86.CondB, false}, // not below unsigned
+		{2, 3, x86.CondLE, true},
+		{3, 3, x86.CondGE, true},
+		{4, 3, x86.CondGT, true},
+		{3, 4, x86.CondBE, true},
+		{4, 3, x86.CondAE, true},
+	}
+	for i, c := range cases {
+		mem := assemble(t, func(a *x86.Assembler) {
+			a.MovRI(x86.RDX, 0).
+				CmpRR(x86.RAX, x86.RBX).
+				Jcc(c.cond, "taken").
+				Jmp("out").
+				Label("taken").
+				MovRI(x86.RDX, 1).
+				Label("out").
+				Ret()
+		})
+		// Translation stops at the first branch; run block-by-block via
+		// the interpreter until the Ret's indirect exit.
+		blkMem := mem
+		it := runUntilRet(t, blkMem, Config{}, map[x86.Reg]uint64{
+			x86.RAX: c.a, x86.RBX: c.b, x86.RSP: 0x8000,
+		})
+		got := it.Temps[x86.RDX] == 1
+		if got != c.want {
+			t.Errorf("case %d (%v): got %v want %v", i, c.cond, got, c.want)
+		}
+	}
+}
+
+// runUntilRet chains translation blocks (the Translate API stops at each
+// branch) until the block exits through RET's indirect target 0 or a halt.
+func runUntilRet(t *testing.T, mem []byte, cfg Config, init map[x86.Reg]uint64) *tcg.Interp {
+	t.Helper()
+	pc := uint64(0x1000)
+	var it *tcg.Interp
+	regs := make([]uint64, tcg.NumGlobals)
+	for r, v := range init {
+		regs[r] = v
+	}
+	memory := append([]byte(nil), mem...)
+	for steps := 0; steps < 64; steps++ {
+		blk, err := Translate(memory, pc, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		it = tcg.NewInterp(blk, len(memory))
+		copy(it.Mem, memory)
+		copy(it.Temps[:tcg.NumGlobals], regs)
+		if err := it.Run(blk); err != nil {
+			t.Fatalf("%v\n%s", err, blk)
+		}
+		copy(regs, it.Temps[:tcg.NumGlobals])
+		copy(memory, it.Mem)
+		if it.Halted || it.NextPC == 0 || it.NextPC >= uint64(len(memory)) {
+			return it
+		}
+		pc = it.NextPC
+	}
+	t.Fatal("block chain did not terminate")
+	return nil
+}
+
+func TestFencePlacementPerScheme(t *testing.T) {
+	mem := assemble(t, func(a *x86.Assembler) {
+		a.MovRI(x86.RSI, 0x4000).
+			Load(x86.RAX, x86.Mem0(x86.RSI), 8).
+			Store(x86.MemD(x86.RSI, 8), x86.RAX, 8).
+			MFence().
+			Ret()
+	})
+
+	// Verified (Figure 7a): ld;Frm and Fww;st, MFENCE→Fsc. The trailing
+	// Frm must come after the ld; the Fww before the st.
+	blk, err := Translate(mem, 0x1000, Config{Scheme: mapping.X86Verified})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two Frm fences: one for the guest load, one for RET's stack load.
+	if countFences(blk, memmodel.FenceFrm) != 2 || countFences(blk, memmodel.FenceFww) != 1 ||
+		countFences(blk, memmodel.FenceFsc) != 1 {
+		t.Fatalf("verified fences wrong:\n%s", blk)
+	}
+	// Order check: first Frm after the first OpLd, Fww before the OpSt.
+	ldIdx, frmIdx, fwwIdx, stIdx := -1, -1, -1, -1
+	for i, in := range blk.Insts {
+		switch {
+		case in.Op == tcg.OpLd && ldIdx < 0:
+			ldIdx = i
+		case in.Op == tcg.OpMb && in.Fence == memmodel.FenceFrm && frmIdx < 0:
+			frmIdx = i
+		case in.Op == tcg.OpMb && in.Fence == memmodel.FenceFww && fwwIdx < 0:
+			fwwIdx = i
+		case in.Op == tcg.OpSt && stIdx < 0:
+			stIdx = i
+		}
+	}
+	if !(ldIdx < frmIdx && frmIdx < fwwIdx && fwwIdx < stIdx) {
+		t.Fatalf("fence order wrong: ld=%d frm=%d fww=%d st=%d\n%s",
+			ldIdx, frmIdx, fwwIdx, stIdx, blk)
+	}
+
+	// QEMU (Figure 2): Frr;ld and Fmw;st.
+	blk, err = Translate(mem, 0x1000, Config{Scheme: mapping.X86Qemu})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two Frr (guest load + RET's stack load), one Fmw for the store.
+	if countFences(blk, memmodel.FenceFrr) != 2 || countFences(blk, memmodel.FenceFmw) != 1 {
+		t.Fatalf("qemu fences wrong:\n%s", blk)
+	}
+
+	// No-fences: only the explicit MFENCE survives.
+	blk, err = Translate(mem, 0x1000, Config{Scheme: mapping.X86NoFences})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, k := range []memmodel.Fence{memmodel.FenceFrr, memmodel.FenceFrm,
+		memmodel.FenceFww, memmodel.FenceFmw} {
+		total += countFences(blk, k)
+	}
+	if total != 0 || countFences(blk, memmodel.FenceFsc) != 1 {
+		t.Fatalf("no-fences scheme emitted access fences:\n%s", blk)
+	}
+}
+
+func TestPushPopCallRet(t *testing.T) {
+	mem := assemble(t, func(a *x86.Assembler) {
+		a.MovRI(x86.RAX, 5).
+			Push(x86.RAX).
+			MovRI(x86.RAX, 9).
+			Pop(x86.RBX).
+			Ret()
+	})
+	it := runUntilRet(t, mem, Config{}, map[x86.Reg]uint64{x86.RSP: 0x8000})
+	if it.Temps[x86.RBX] != 5 {
+		t.Fatalf("pop = %d", it.Temps[x86.RBX])
+	}
+	if it.Temps[x86.RSP] != 0x8000+8 { // ret popped the (empty) frame
+		t.Fatalf("rsp = %#x", it.Temps[x86.RSP])
+	}
+}
+
+func TestPushRSPStoresPreDecrement(t *testing.T) {
+	mem := assemble(t, func(a *x86.Assembler) {
+		a.Push(x86.RSP).
+			Pop(x86.RBX).
+			Ret()
+	})
+	it := runUntilRet(t, mem, Config{}, map[x86.Reg]uint64{x86.RSP: 0x8000})
+	if it.Temps[x86.RBX] != 0x8000 {
+		t.Fatalf("push rsp stored %#x, want pre-decrement 0x8000", it.Temps[x86.RBX])
+	}
+}
+
+func TestCmpXchgSemantics(t *testing.T) {
+	for _, cas := range []CASStrategy{CASInline, CASHelper} {
+		mem := assemble(t, func(a *x86.Assembler) {
+			a.MovRI(x86.RSI, 0x4000).
+				MovRI(x86.RAX, 0). // expected (matches zeroed memory)
+				MovRI(x86.RBX, 7).
+				CmpXchg(x86.Mem0(x86.RSI), x86.RBX, 8).
+				Jcc(x86.CondNE, "fail").
+				MovRI(x86.RCX, 1).
+				Jmp("out").
+				Label("fail").
+				MovRI(x86.RCX, 2).
+				Label("out").
+				Ret()
+		})
+		it := runUntilRetWithHelpers(t, mem, Config{CAS: cas}, map[x86.Reg]uint64{x86.RSP: 0x8000})
+		if it.Temps[x86.RCX] != 1 {
+			t.Fatalf("cas=%v: ZF path = %d, want success", cas, it.Temps[x86.RCX])
+		}
+		if it.Temps[x86.RAX] != 0 {
+			t.Fatalf("cas=%v: rax = %d, want old value 0", cas, it.Temps[x86.RAX])
+		}
+	}
+}
+
+// runUntilRetWithHelpers is runUntilRet with a helper emulation for the
+// interpreter (the machine-level helpers live in internal/core; tests here
+// emulate them at the IR level).
+func runUntilRetWithHelpers(t *testing.T, mem []byte, cfg Config, init map[x86.Reg]uint64) *tcg.Interp {
+	t.Helper()
+	pc := uint64(0x1000)
+	regs := make([]uint64, tcg.NumGlobals)
+	for r, v := range init {
+		regs[r] = v
+	}
+	memory := append([]byte(nil), mem...)
+	var it *tcg.Interp
+	for steps := 0; steps < 64; steps++ {
+		blk, err := Translate(memory, pc, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		it = tcg.NewInterp(blk, len(memory))
+		copy(it.Mem, memory)
+		copy(it.Temps[:tcg.NumGlobals], regs)
+		interp := it
+		it.OnCall = func(h tcg.Helper, a, b uint64) uint64 {
+			switch h {
+			case tcg.HelperCmpXchg:
+				old := uint64(0)
+				for i := 0; i < 8; i++ {
+					old |= uint64(interp.Mem[a+uint64(i)]) << (8 * i)
+				}
+				if old == interp.Temps[0] { // guest RAX
+					for i := 0; i < 8; i++ {
+						interp.Mem[a+uint64(i)] = byte(b >> (8 * i))
+					}
+				}
+				return old
+			}
+			t.Fatalf("unexpected helper %d", h)
+			return 0
+		}
+		if err := it.Run(blk); err != nil {
+			t.Fatalf("%v\n%s", err, blk)
+		}
+		copy(regs, it.Temps[:tcg.NumGlobals])
+		copy(memory, it.Mem)
+		if it.Halted || it.NextPC == 0 {
+			return it
+		}
+		pc = it.NextPC
+	}
+	t.Fatal("did not terminate")
+	return nil
+}
+
+func TestXAddAndXchg(t *testing.T) {
+	mem := assemble(t, func(a *x86.Assembler) {
+		a.MovRI(x86.RSI, 0x4000).
+			MovRI(x86.RAX, 100).
+			Store(x86.Mem0(x86.RSI), x86.RAX, 8).
+			MovRI(x86.RBX, 5).
+			XAdd(x86.Mem0(x86.RSI), x86.RBX, 8). // mem=105, rbx=100
+			MovRI(x86.RCX, 42).
+			Xchg(x86.Mem0(x86.RSI), x86.RCX, 8). // mem=42, rcx=105
+			Load(x86.RDX, x86.Mem0(x86.RSI), 8).
+			Ret()
+	})
+	it := run(t, mem, Config{CAS: CASInline}, map[x86.Reg]uint64{x86.RSP: 0x8000})
+	if it.Temps[x86.RBX] != 100 || it.Temps[x86.RCX] != 105 || it.Temps[x86.RDX] != 42 {
+		t.Fatalf("rbx=%d rcx=%d rdx=%d", it.Temps[x86.RBX], it.Temps[x86.RCX], it.Temps[x86.RDX])
+	}
+}
+
+func TestBlockBoundaries(t *testing.T) {
+	// A block ends at the first branch; a long straight-line run ends at
+	// MaxInsts with a fall-through exit.
+	mem := assemble(t, func(a *x86.Assembler) {
+		for i := 0; i < 10; i++ {
+			a.AddRI(x86.RAX, 1)
+		}
+		a.Ret()
+	})
+	blk, err := Translate(mem, 0x1000, Config{MaxInsts: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blk.GuestEnd-blk.GuestPC != 4*uint64(x86.EncodedLen(x86.ADDri)) {
+		t.Fatalf("block spans %d bytes", blk.GuestEnd-blk.GuestPC)
+	}
+	last := blk.Insts[len(blk.Insts)-1]
+	if last.Op != tcg.OpExit || uint64(last.Imm) != blk.GuestEnd {
+		t.Fatalf("fall-through exit wrong: %v", last)
+	}
+}
+
+func TestDecodeErrorsSurface(t *testing.T) {
+	mem := make([]byte, 0x2000)
+	mem[0x1000] = 0xFF // invalid opcode
+	if _, err := Translate(mem, 0x1000, Config{}); err == nil {
+		t.Fatal("invalid guest opcode must error")
+	}
+	if _, err := Translate(mem, uint64(len(mem))+8, Config{}); err == nil {
+		t.Fatal("pc outside memory must error")
+	}
+}

@@ -1,0 +1,203 @@
+package guestimg
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// On-disk format for guest images (the reproduction's stand-in for ELF):
+//
+//	magic   "RISO"        4 bytes
+//	version u32           currently 1
+//	entry   u64
+//	#segments u32, then per segment: addr u64, len u64, bytes
+//	#symbols  u32, then per symbol:  nameLen u16, name, addr u64
+//	#dynsyms  u32, then per dynsym:  nameLen u16, name, plt u64, impl u64
+//
+// All integers little-endian. Symbols are sorted by name so encoding is
+// deterministic.
+
+var magic = [4]byte{'R', 'I', 'S', 'O'}
+
+// formatVersion is the current encoding version.
+const formatVersion = 1
+
+// Encode serializes the image.
+func (img *Image) Encode() []byte {
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	le := binary.LittleEndian
+	put32 := func(v uint32) {
+		var b [4]byte
+		le.PutUint32(b[:], v)
+		buf.Write(b[:])
+	}
+	put64 := func(v uint64) {
+		var b [8]byte
+		le.PutUint64(b[:], v)
+		buf.Write(b[:])
+	}
+	putStr := func(s string) {
+		var b [2]byte
+		le.PutUint16(b[:], uint16(len(s)))
+		buf.Write(b[:])
+		buf.WriteString(s)
+	}
+
+	put32(formatVersion)
+	put64(img.Entry)
+
+	put32(uint32(len(img.Segments)))
+	for _, s := range img.Segments {
+		put64(s.Addr)
+		put64(uint64(len(s.Data)))
+		buf.Write(s.Data)
+	}
+
+	names := make([]string, 0, len(img.Symbols))
+	for n := range img.Symbols {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	put32(uint32(len(names)))
+	for _, n := range names {
+		putStr(n)
+		put64(img.Symbols[n])
+	}
+
+	put32(uint32(len(img.DynSyms)))
+	for _, d := range img.DynSyms {
+		putStr(d.Name)
+		put64(d.PLT)
+		put64(d.GuestImpl)
+	}
+	return buf.Bytes()
+}
+
+// Decode parses a serialized image.
+func Decode(data []byte) (*Image, error) {
+	r := &reader{data: data}
+	var m [4]byte
+	if err := r.bytes(m[:]); err != nil || m != magic {
+		return nil, fmt.Errorf("guestimg: bad magic")
+	}
+	ver, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if ver != formatVersion {
+		return nil, fmt.Errorf("guestimg: unsupported version %d", ver)
+	}
+	img := &Image{Symbols: make(map[string]uint64)}
+	if img.Entry, err = r.u64(); err != nil {
+		return nil, err
+	}
+
+	nseg, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nseg; i++ {
+		addr, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		n, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(len(r.data)-r.off) {
+			return nil, fmt.Errorf("guestimg: segment %d truncated", i)
+		}
+		seg := Segment{Addr: addr, Data: make([]byte, n)}
+		if err := r.bytes(seg.Data); err != nil {
+			return nil, err
+		}
+		img.Segments = append(img.Segments, seg)
+	}
+
+	nsym, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nsym; i++ {
+		name, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		addr, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		img.Symbols[name] = addr
+	}
+
+	ndyn, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < ndyn; i++ {
+		name, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		plt, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		impl, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		img.DynSyms = append(img.DynSyms, DynSym{Name: name, PLT: plt, GuestImpl: impl})
+	}
+	if r.off != len(r.data) {
+		return nil, fmt.Errorf("guestimg: %d trailing bytes", len(r.data)-r.off)
+	}
+	return img, nil
+}
+
+type reader struct {
+	data []byte
+	off  int
+}
+
+func (r *reader) bytes(dst []byte) error {
+	if r.off+len(dst) > len(r.data) {
+		return fmt.Errorf("guestimg: truncated input at offset %d", r.off)
+	}
+	copy(dst, r.data[r.off:])
+	r.off += len(dst)
+	return nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	var b [4]byte
+	if err := r.bytes(b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	var b [8]byte
+	if err := r.bytes(b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+func (r *reader) str() (string, error) {
+	var b [2]byte
+	if err := r.bytes(b[:]); err != nil {
+		return "", err
+	}
+	n := int(binary.LittleEndian.Uint16(b[:]))
+	s := make([]byte, n)
+	if err := r.bytes(s); err != nil {
+		return "", err
+	}
+	return string(s), nil
+}

@@ -1,0 +1,96 @@
+package guestimg
+
+import (
+	"testing"
+
+	"repro/internal/isa/x86"
+)
+
+func buildSample(t *testing.T) *Image {
+	t.Helper()
+	b := NewBuilder(0x1000, 0x8000)
+	b.Import("sin")
+	b.Data([]byte{9, 8, 7})
+	a := b.Asm
+	a.Label("main").Call("sin@plt").Ret()
+	a.Label("sin").MovRI(x86.RAX, 1).Ret()
+	img, err := b.Build("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	img := buildSample(t)
+	data := img.Encode()
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Entry != img.Entry {
+		t.Fatalf("entry %#x != %#x", got.Entry, img.Entry)
+	}
+	if len(got.Segments) != len(img.Segments) {
+		t.Fatalf("segments %d != %d", len(got.Segments), len(img.Segments))
+	}
+	for i := range img.Segments {
+		if got.Segments[i].Addr != img.Segments[i].Addr ||
+			string(got.Segments[i].Data) != string(img.Segments[i].Data) {
+			t.Fatalf("segment %d mismatch", i)
+		}
+	}
+	if len(got.Symbols) != len(img.Symbols) {
+		t.Fatalf("symbols %d != %d", len(got.Symbols), len(img.Symbols))
+	}
+	for n, a := range img.Symbols {
+		if got.Symbols[n] != a {
+			t.Fatalf("symbol %q: %#x != %#x", n, got.Symbols[n], a)
+		}
+	}
+	if len(got.DynSyms) != 1 || got.DynSyms[0] != img.DynSyms[0] {
+		t.Fatalf("dynsyms: %+v vs %+v", got.DynSyms, img.DynSyms)
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	img := buildSample(t)
+	a := img.Encode()
+	b := img.Encode()
+	if string(a) != string(b) {
+		t.Fatal("encoding not deterministic")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	img := buildSample(t)
+	good := img.Encode()
+
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": append([]byte("ELF!"), good[4:]...),
+		"truncated": good[:len(good)/2],
+		"trailing":  append(append([]byte(nil), good...), 0),
+	}
+	for name, data := range cases {
+		if _, err := Decode(data); err == nil {
+			t.Errorf("%s: expected decode error", name)
+		}
+	}
+	// Bad version.
+	bad := append([]byte(nil), good...)
+	bad[4] = 0xFF
+	if _, err := Decode(bad); err == nil {
+		t.Error("bad version: expected decode error")
+	}
+	// Absurd segment length must not allocate/crash.
+	bad = append([]byte(nil), good...)
+	// Segment count field sits right after magic+version+entry = 16; the
+	// first segment length at 16+4+8 = 28.
+	for i := 28; i < 36 && i < len(bad); i++ {
+		bad[i] = 0xFF
+	}
+	if _, err := Decode(bad); err == nil {
+		t.Error("huge segment length: expected decode error")
+	}
+}

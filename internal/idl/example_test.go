@@ -1,0 +1,18 @@
+package idl_test
+
+import (
+	"fmt"
+
+	"repro/internal/idl"
+)
+
+// ExampleParse parses the paper's §6.2 signature example.
+func ExampleParse() {
+	sigs, err := idl.Parse("f64 sin(f64 v);")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(sigs[0])
+	// Output:
+	// f64 sin(f64);
+}

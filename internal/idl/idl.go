@@ -1,0 +1,168 @@
+// Package idl implements Risotto's Interface Definition Language (§6.2):
+// C-prototype-like declarations describing the signatures of shared-library
+// functions, so the dynamic host linker can marshal arguments and return
+// values between the guest and host ABIs.
+//
+// Grammar (one declaration per line; '#' starts a comment):
+//
+//	decl   := type ident '(' params? ')' ';'
+//	params := type (',' type)*
+//	type   := 'void' | 'i64' | 'u64' | 'i32' | 'u32' | 'f64' | 'ptr' | 'buf'
+//
+// 'f64' values travel as their IEEE-754 bit patterns in integer registers
+// (the guest ISA has no FP registers). 'ptr' is a guest address passed
+// through unchanged; 'buf' is a guest address that the host-side wrapper
+// receives as a byte-slice view of guest memory (its length comes from a
+// paired i64/u64 parameter by the host function's own convention).
+package idl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Type is an IDL parameter/return type.
+type Type int
+
+// IDL types.
+const (
+	Void Type = iota
+	I64
+	U64
+	I32
+	U32
+	F64
+	Ptr
+	Buf
+)
+
+var typeNames = map[string]Type{
+	"void": Void, "i64": I64, "u64": U64, "i32": I32, "u32": U32,
+	"f64": F64, "ptr": Ptr, "buf": Buf,
+}
+
+func (t Type) String() string {
+	for n, v := range typeNames {
+		if v == t {
+			return n
+		}
+	}
+	return fmt.Sprintf("type?%d", int(t))
+}
+
+// Signature describes one shared-library function.
+type Signature struct {
+	Name   string
+	Return Type
+	Params []Type
+}
+
+func (s Signature) String() string {
+	var ps []string
+	for _, p := range s.Params {
+		ps = append(ps, p.String())
+	}
+	return fmt.Sprintf("%s %s(%s);", s.Return, s.Name, strings.Join(ps, ", "))
+}
+
+// Parse reads an IDL document and returns its signatures in order.
+func Parse(src string) ([]Signature, error) {
+	var out []Signature
+	for lineNo, line := range strings.Split(src, "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		sig, err := parseDecl(line)
+		if err != nil {
+			return nil, fmt.Errorf("idl: line %d: %w", lineNo+1, err)
+		}
+		out = append(out, sig)
+	}
+	return out, nil
+}
+
+func parseDecl(line string) (Signature, error) {
+	if !strings.HasSuffix(line, ";") {
+		return Signature{}, fmt.Errorf("missing ';' in %q", line)
+	}
+	line = strings.TrimSpace(strings.TrimSuffix(line, ";"))
+	open := strings.IndexByte(line, '(')
+	closeP := strings.LastIndexByte(line, ')')
+	if open < 0 || closeP < open {
+		return Signature{}, fmt.Errorf("malformed declaration %q", line)
+	}
+	head := strings.Fields(strings.TrimSpace(line[:open]))
+	if len(head) != 2 {
+		return Signature{}, fmt.Errorf("expected 'type name' before '(' in %q", line)
+	}
+	ret, ok := typeNames[head[0]]
+	if !ok {
+		return Signature{}, fmt.Errorf("unknown return type %q", head[0])
+	}
+	name := head[1]
+	if name == "" || !isIdent(name) {
+		return Signature{}, fmt.Errorf("bad function name %q", name)
+	}
+	sig := Signature{Name: name, Return: ret}
+	paramSrc := strings.TrimSpace(line[open+1 : closeP])
+	if paramSrc == "" || paramSrc == "void" {
+		return sig, nil
+	}
+	for _, p := range strings.Split(paramSrc, ",") {
+		fields := strings.Fields(strings.TrimSpace(p))
+		if len(fields) == 0 {
+			return Signature{}, fmt.Errorf("empty parameter in %q", line)
+		}
+		// Parameter names are optional ("f64 v" or just "f64").
+		t, ok := typeNames[fields[0]]
+		if !ok || t == Void {
+			return Signature{}, fmt.Errorf("unknown parameter type %q", fields[0])
+		}
+		if len(fields) > 2 {
+			return Signature{}, fmt.Errorf("malformed parameter %q", p)
+		}
+		if len(fields) == 2 && !isIdent(fields[1]) {
+			return Signature{}, fmt.Errorf("bad parameter name %q", fields[1])
+		}
+		sig.Params = append(sig.Params, t)
+	}
+	return sig, nil
+}
+
+func isIdent(s string) bool {
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return s != ""
+}
+
+// Table indexes signatures by name.
+type Table map[string]Signature
+
+// ParseTable parses src into a lookup table, rejecting duplicates.
+func ParseTable(src string) (Table, error) {
+	sigs, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	t := make(Table, len(sigs))
+	for _, s := range sigs {
+		if _, dup := t[s.Name]; dup {
+			return nil, fmt.Errorf("idl: duplicate declaration of %q", s.Name)
+		}
+		t[s.Name] = s
+	}
+	return t, nil
+}

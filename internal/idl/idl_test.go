@@ -1,0 +1,104 @@
+package idl
+
+import "testing"
+
+func TestParseBasics(t *testing.T) {
+	sigs, err := Parse(`
+# math
+f64 sin(f64 v);
+u64 md5(buf data, u64 len);
+void notify();
+i64 mix(i32 a, u32 b, ptr p);
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sigs) != 4 {
+		t.Fatalf("got %d signatures", len(sigs))
+	}
+	if sigs[0].Name != "sin" || sigs[0].Return != F64 ||
+		len(sigs[0].Params) != 1 || sigs[0].Params[0] != F64 {
+		t.Fatalf("sin: %+v", sigs[0])
+	}
+	if sigs[1].Params[0] != Buf || sigs[1].Params[1] != U64 {
+		t.Fatalf("md5: %+v", sigs[1])
+	}
+	if sigs[2].Return != Void || len(sigs[2].Params) != 0 {
+		t.Fatalf("notify: %+v", sigs[2])
+	}
+	if sigs[3].Params[0] != I32 || sigs[3].Params[1] != U32 || sigs[3].Params[2] != Ptr {
+		t.Fatalf("mix: %+v", sigs[3])
+	}
+}
+
+func TestParamNamesOptional(t *testing.T) {
+	sigs, err := Parse("i64 f(i64, i64 second);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sigs[0].Params) != 2 {
+		t.Fatalf("params: %+v", sigs[0])
+	}
+}
+
+func TestVoidParams(t *testing.T) {
+	sigs, err := Parse("i64 f(void);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sigs[0].Params) != 0 {
+		t.Fatalf("f(void) should have no params: %+v", sigs[0])
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	sigs, err := Parse("\n  # just a comment\n\ni64 g(); # trailing\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sigs) != 1 || sigs[0].Name != "g" {
+		t.Fatalf("sigs: %+v", sigs)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"i64 f()",           // missing semicolon
+		"i64 f;",            // no parens
+		"mystery f();",      // unknown return type
+		"i64 f(mystery x);", // unknown param type
+		"i64 f(void x);",    // void param with name
+		"i64 2bad();",       // bad identifier
+		"i64 f(i64 a b);",   // malformed param
+		"i64 ();",           // missing name
+		"i64 f(i64,);",      // empty param
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestParseTable(t *testing.T) {
+	tbl, err := ParseTable("i64 a();\nu64 b(i64 x);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl) != 2 || tbl["b"].Return != U64 {
+		t.Fatalf("table: %+v", tbl)
+	}
+	if _, err := ParseTable("i64 a();\nu64 a();"); err == nil {
+		t.Fatal("duplicate declarations must error")
+	}
+}
+
+func TestSignatureString(t *testing.T) {
+	sigs, err := Parse("f64 sin(f64 v);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sigs[0].String(); got != "f64 sin(f64);" {
+		t.Fatalf("String() = %q", got)
+	}
+}

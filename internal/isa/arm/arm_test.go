@@ -1,0 +1,158 @@
+package arm
+
+import "testing"
+
+func sampleInsts() []Inst {
+	return []Inst{
+		{Op: NOP},
+		{Op: HLT},
+		{Op: RET},
+		{Op: MOVZ, Rd: X0, Imm: 0xBEEF, Shift: 1},
+		{Op: MOVK, Rd: X5, Imm: 0xFFFF, Shift: 3},
+		{Op: ADD, Rd: X1, Rn: X2, Rm: X3},
+		{Op: SUBS, Rd: XZR, Rn: X4, Rm: X5},
+		{Op: UREM, Rd: X9, Rn: X10, Rm: X11},
+		{Op: MVN, Rd: X6, Rn: X7},
+		{Op: NEG, Rd: X6, Rn: X7},
+		{Op: ADDI, Rd: X8, Rn: X9, Imm: 4095},
+		{Op: LSLI, Rd: X1, Rn: X1, Imm: 63},
+		{Op: SUBSI, Rd: XZR, Rn: X2, Imm: 100},
+		{Op: CSET, Rd: X3, Cond: HI},
+		{Op: LDR, Rd: X4, Rn: X5, Imm: 8, Size: 8},
+		{Op: LDR, Rd: X4, Rn: X5, Imm: 1, Size: 1},
+		{Op: STR, Rd: X6, Rn: X7, Imm: 4095, Size: 4},
+		{Op: LDAR, Rd: X1, Rn: X2, Size: 8},
+		{Op: LDAPR, Rd: X1, Rn: X2, Size: 8},
+		{Op: STLR, Rd: X1, Rn: X2, Size: 8},
+		{Op: LDXR, Rd: X3, Rn: X4, Size: 8},
+		{Op: STXR, Rd: X5, Rm: X6, Rn: X7, Size: 8},
+		{Op: LDAXR, Rd: X3, Rn: X4, Size: 4},
+		{Op: STLXR, Rd: X5, Rm: X6, Rn: X7, Size: 4},
+		{Op: CAS, Rd: X0, Rm: X1, Rn: X2, Size: 8},
+		{Op: CASAL, Rd: X0, Rm: X1, Rn: X2, Size: 8},
+		{Op: LDADDAL, Rd: X8, Rm: X9, Rn: X10, Size: 8},
+		{Op: SWPAL, Rd: X8, Rm: X9, Rn: X10, Size: 8},
+		{Op: DMB, Barrier: BarrierFull},
+		{Op: DMB, Barrier: BarrierLoad},
+		{Op: DMB, Barrier: BarrierStore},
+		{Op: B, Off: -(1 << 23)},
+		{Op: BL, Off: 1<<23 - 1},
+		{Op: BCOND, Cond: LE, Off: -(1 << 18)},
+		{Op: CBZ, Rd: X1, Off: 1<<18 - 1},
+		{Op: CBNZ, Rd: X2, Off: -5},
+		{Op: BR, Rn: X17},
+		{Op: BLR, Rn: X18},
+		{Op: SVC, Imm: 0xABCD},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, want := range sampleInsts() {
+		w, err := Encode(want)
+		if err != nil {
+			t.Fatalf("%v: encode: %v", want, err)
+		}
+		got, err := Decode(w)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", want, err)
+		}
+		if got != want {
+			t.Fatalf("round trip mismatch:\n want %+v\n got  %+v", want, got)
+		}
+	}
+}
+
+func TestEncodeRangeErrors(t *testing.T) {
+	cases := []Inst{
+		{Op: ADDI, Rd: X0, Rn: X1, Imm: 4096},
+		{Op: ADDI, Rd: X0, Rn: X1, Imm: -1},
+		{Op: MOVZ, Rd: X0, Imm: 1 << 16},
+		{Op: MOVZ, Rd: X0, Imm: 1, Shift: 4},
+		{Op: LDR, Rd: X0, Rn: X1, Imm: 5000, Size: 8},
+		{Op: B, Off: 1 << 23},
+		{Op: BCOND, Off: 1 << 18},
+		{Op: SVC, Imm: 1 << 16},
+	}
+	for _, c := range cases {
+		if _, err := Encode(c); err == nil {
+			t.Fatalf("expected range error for %+v", c)
+		}
+	}
+}
+
+func TestDecodeBadOpcode(t *testing.T) {
+	if _, err := Decode(uint32(numOps) << 24); err == nil {
+		t.Fatal("bad opcode must error")
+	}
+}
+
+func TestAssemblerBranches(t *testing.T) {
+	a := NewAssembler()
+	a.Label("entry").
+		MovImm(X0, 0).
+		Label("loop").
+		AddI(X0, X0, 1).
+		CmpI(X0, 10).
+		BCondLabel(NE, "loop").
+		Ret()
+	code, syms, err := a.Assemble(0x4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if syms["entry"] != 0x4000 {
+		t.Fatalf("entry = %#x", syms["entry"])
+	}
+	// MovImm(0) is a single MOVZ; loop should be at +4.
+	if syms["loop"] != 0x4004 {
+		t.Fatalf("loop = %#x", syms["loop"])
+	}
+	// The BCOND is the 4th instruction (index 3).
+	inst, err := DecodeAt(code, 3*InstBytes)
+	if err != nil || inst.Op != BCOND {
+		t.Fatalf("expected BCOND: %v %v", inst, err)
+	}
+	target := 0x4000 + int64(3*InstBytes) + int64(inst.Off)*InstBytes
+	if uint64(target) != syms["loop"] {
+		t.Fatalf("bcond target = %#x, want %#x", target, syms["loop"])
+	}
+}
+
+func TestMovImmChunks(t *testing.T) {
+	a := NewAssembler()
+	a.MovImm(X3, 0x1234_5678_9ABC_DEF0)
+	code, _, err := a.Assemble(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(code) != 4*InstBytes {
+		t.Fatalf("full 64-bit constant should need 4 instructions, got %d", len(code)/InstBytes)
+	}
+	a = NewAssembler()
+	a.MovImm(X3, 42)
+	code, _, err = a.Assemble(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(code) != InstBytes {
+		t.Fatalf("small constant should need 1 instruction, got %d", len(code)/InstBytes)
+	}
+}
+
+func TestAssemblerUndefinedLabel(t *testing.T) {
+	a := NewAssembler()
+	a.BLabel("nowhere")
+	if _, _, err := a.Assemble(0); err == nil {
+		t.Fatal("undefined label must error")
+	}
+}
+
+func TestDisassemblySmoke(t *testing.T) {
+	for _, i := range sampleInsts() {
+		if i.String() == "" {
+			t.Fatalf("empty disassembly for %+v", i)
+		}
+	}
+	if XZR.String() != "xzr" || X7.String() != "x7" {
+		t.Fatal("register names wrong")
+	}
+}

@@ -1,0 +1,221 @@
+package arm
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Every instruction encodes to exactly four bytes, little-endian:
+// the opcode in bits [31:24] and packed operand fields below, chosen per
+// opcode class (see pack/unpack).
+
+// InstBytes is the fixed encoded instruction size.
+const InstBytes = 4
+
+type class uint8
+
+const (
+	clNone   class = iota
+	clR3           // rd | rn<<5 | rm<<10
+	clR2           // rd | rn<<5 (MVN, NEG)
+	clImm          // rd | rn<<5 | imm12<<10
+	clMov16        // rd | shift<<5 | imm16<<7
+	clMem          // rt | rn<<5 | imm12<<10 | size2<<22
+	clAtomic       // rd | rn<<5 | rm<<10 | size2<<15
+	clCset         // rd | cond<<5
+	clDmb          // barrier
+	clB24          // simm24
+	clBcond        // simm19 | cond<<19
+	clCbz          // rt | simm19<<5
+	clBreg         // rn<<5
+	clSvc          // imm16
+)
+
+var classOf = [numOps]class{
+	NOP: clNone, HLT: clNone, RET: clNone,
+	MOVZ: clMov16, MOVK: clMov16,
+	ADD: clR3, SUB: clR3, MUL: clR3, UDIV: clR3, UREM: clR3,
+	AND: clR3, ORR: clR3, EOR: clR3, LSL: clR3, LSR: clR3, ASR: clR3,
+	SUBS: clR3,
+	MVN:  clR2, NEG: clR2,
+	ADDI: clImm, SUBI: clImm, ANDI: clImm, ORRI: clImm, EORI: clImm,
+	LSLI: clImm, LSRI: clImm, ASRI: clImm, SUBSI: clImm,
+	CSET: clCset,
+	LDR:  clMem, STR: clMem,
+	LDAR: clAtomic, LDAPR: clAtomic, STLR: clAtomic,
+	LDXR: clAtomic, STXR: clAtomic, LDAXR: clAtomic, STLXR: clAtomic,
+	CAS: clAtomic, CASAL: clAtomic, LDADDAL: clAtomic, SWPAL: clAtomic,
+	DMB: clDmb,
+	B:   clB24, BL: clB24,
+	BCOND: clBcond,
+	CBZ:   clCbz, CBNZ: clCbz,
+	BR: clBreg, BLR: clBreg,
+	SVC: clSvc,
+}
+
+func sizeCode(size uint8) uint32 {
+	switch size {
+	case 1:
+		return 0
+	case 2:
+		return 1
+	case 4:
+		return 2
+	default:
+		return 3
+	}
+}
+
+func codeSize(code uint32) uint8 {
+	switch code {
+	case 0:
+		return 1
+	case 1:
+		return 2
+	case 2:
+		return 4
+	default:
+		return 8
+	}
+}
+
+// Encode packs inst into its 32-bit word.
+func Encode(inst Inst) (uint32, error) {
+	if inst.Op >= numOps {
+		return 0, fmt.Errorf("arm: bad opcode %d", inst.Op)
+	}
+	w := uint32(inst.Op) << 24
+	switch classOf[inst.Op] {
+	case clNone:
+	case clR3:
+		w |= uint32(inst.Rd) | uint32(inst.Rn)<<5 | uint32(inst.Rm)<<10
+	case clR2:
+		w |= uint32(inst.Rd) | uint32(inst.Rn)<<5
+	case clImm:
+		if inst.Imm < 0 || inst.Imm > 0xFFF {
+			return 0, fmt.Errorf("arm: %v immediate %d out of imm12 range", inst.Op, inst.Imm)
+		}
+		w |= uint32(inst.Rd) | uint32(inst.Rn)<<5 | uint32(inst.Imm)<<10
+	case clMov16:
+		if inst.Imm < 0 || inst.Imm > 0xFFFF {
+			return 0, fmt.Errorf("arm: %v immediate %d out of imm16 range", inst.Op, inst.Imm)
+		}
+		if inst.Shift > 3 {
+			return 0, fmt.Errorf("arm: %v shift %d out of range", inst.Op, inst.Shift)
+		}
+		w |= uint32(inst.Rd) | uint32(inst.Shift)<<5 | uint32(inst.Imm)<<7
+	case clMem:
+		if inst.Imm < 0 || inst.Imm > 0xFFF {
+			return 0, fmt.Errorf("arm: %v offset %d out of imm12 range", inst.Op, inst.Imm)
+		}
+		w |= uint32(inst.Rd) | uint32(inst.Rn)<<5 | uint32(inst.Imm)<<10 |
+			sizeCode(inst.Size)<<22
+	case clAtomic:
+		w |= uint32(inst.Rd) | uint32(inst.Rn)<<5 | uint32(inst.Rm)<<10 |
+			sizeCode(inst.Size)<<15
+	case clCset:
+		w |= uint32(inst.Rd) | uint32(inst.Cond)<<5
+	case clDmb:
+		w |= uint32(inst.Barrier)
+	case clB24:
+		if inst.Off < -(1<<23) || inst.Off >= 1<<23 {
+			return 0, fmt.Errorf("arm: branch offset %d out of simm24 range", inst.Off)
+		}
+		w |= uint32(inst.Off) & 0xFFFFFF
+	case clBcond:
+		if inst.Off < -(1<<18) || inst.Off >= 1<<18 {
+			return 0, fmt.Errorf("arm: b.cond offset %d out of simm19 range", inst.Off)
+		}
+		w |= uint32(inst.Off)&0x7FFFF | uint32(inst.Cond)<<19
+	case clCbz:
+		if inst.Off < -(1<<18) || inst.Off >= 1<<18 {
+			return 0, fmt.Errorf("arm: cbz offset %d out of simm19 range", inst.Off)
+		}
+		w |= uint32(inst.Rd) | (uint32(inst.Off)&0x7FFFF)<<5
+	case clBreg:
+		w |= uint32(inst.Rn) << 5
+	case clSvc:
+		if inst.Imm < 0 || inst.Imm > 0xFFFF {
+			return 0, fmt.Errorf("arm: svc immediate %d out of imm16 range", inst.Imm)
+		}
+		w |= uint32(inst.Imm)
+	}
+	return w, nil
+}
+
+func signExtend(v uint32, bits uint) int32 {
+	shift := 32 - bits
+	return int32(v<<shift) >> shift
+}
+
+// Decode unpacks a 32-bit word into an instruction.
+func Decode(w uint32) (Inst, error) {
+	op := Op(w >> 24)
+	if op >= numOps {
+		return Inst{}, fmt.Errorf("arm: bad opcode %#x", w>>24)
+	}
+	inst := Inst{Op: op}
+	switch classOf[op] {
+	case clNone:
+	case clR3:
+		inst.Rd = Reg(w & 31)
+		inst.Rn = Reg(w >> 5 & 31)
+		inst.Rm = Reg(w >> 10 & 31)
+	case clR2:
+		inst.Rd = Reg(w & 31)
+		inst.Rn = Reg(w >> 5 & 31)
+	case clImm:
+		inst.Rd = Reg(w & 31)
+		inst.Rn = Reg(w >> 5 & 31)
+		inst.Imm = int64(w >> 10 & 0xFFF)
+	case clMov16:
+		inst.Rd = Reg(w & 31)
+		inst.Shift = uint8(w >> 5 & 3)
+		inst.Imm = int64(w >> 7 & 0xFFFF)
+	case clMem:
+		inst.Rd = Reg(w & 31)
+		inst.Rn = Reg(w >> 5 & 31)
+		inst.Imm = int64(w >> 10 & 0xFFF)
+		inst.Size = codeSize(w >> 22 & 3)
+	case clAtomic:
+		inst.Rd = Reg(w & 31)
+		inst.Rn = Reg(w >> 5 & 31)
+		inst.Rm = Reg(w >> 10 & 31)
+		inst.Size = codeSize(w >> 15 & 3)
+	case clCset:
+		inst.Rd = Reg(w & 31)
+		inst.Cond = Cond(w >> 5 & 15)
+	case clDmb:
+		inst.Barrier = Barrier(w & 3)
+	case clB24:
+		inst.Off = signExtend(w&0xFFFFFF, 24)
+	case clBcond:
+		inst.Off = signExtend(w&0x7FFFF, 19)
+		inst.Cond = Cond(w >> 19 & 15)
+	case clCbz:
+		inst.Rd = Reg(w & 31)
+		inst.Off = signExtend(w>>5&0x7FFFF, 19)
+	case clBreg:
+		inst.Rn = Reg(w >> 5 & 31)
+	case clSvc:
+		inst.Imm = int64(w & 0xFFFF)
+	}
+	return inst, nil
+}
+
+// EncodeTo appends the encoding of inst to code.
+func EncodeTo(code []byte, inst Inst) ([]byte, error) {
+	w, err := Encode(inst)
+	if err != nil {
+		return code, err
+	}
+	return binary.LittleEndian.AppendUint32(code, w), nil
+}
+
+// DecodeAt decodes the instruction at offset off in code.
+func DecodeAt(code []byte, off int) (Inst, error) {
+	if off+InstBytes > len(code) {
+		return Inst{}, fmt.Errorf("arm: decode past end (off=%d len=%d)", off, len(code))
+	}
+	return Decode(binary.LittleEndian.Uint32(code[off:]))
+}

@@ -1,0 +1,99 @@
+package arm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randInst generates a random well-formed instruction.
+func randInst(rng *rand.Rand) Inst {
+	ops := []Op{
+		NOP, HLT, RET, MOVZ, MOVK,
+		ADD, SUB, MUL, UDIV, UREM, AND, ORR, EOR, LSL, LSR, ASR, SUBS,
+		MVN, NEG,
+		ADDI, SUBI, ANDI, ORRI, EORI, LSLI, LSRI, ASRI, SUBSI,
+		CSET, LDR, STR, LDAR, LDAPR, STLR,
+		LDXR, STXR, LDAXR, STLXR, CAS, CASAL, LDADDAL, SWPAL,
+		DMB, B, BL, BCOND, CBZ, CBNZ, BR, BLR, SVC,
+	}
+	op := ops[rng.Intn(len(ops))]
+	reg := func() Reg { return Reg(rng.Intn(32)) }
+	sizes := []uint8{1, 2, 4, 8}
+	inst := Inst{Op: op}
+	switch op {
+	case NOP, HLT, RET:
+	case MOVZ, MOVK:
+		inst.Rd, inst.Imm, inst.Shift = reg(), int64(rng.Intn(1<<16)), uint8(rng.Intn(4))
+	case ADD, SUB, MUL, UDIV, UREM, AND, ORR, EOR, LSL, LSR, ASR, SUBS:
+		inst.Rd, inst.Rn, inst.Rm = reg(), reg(), reg()
+	case MVN, NEG:
+		inst.Rd, inst.Rn = reg(), reg()
+	case ADDI, SUBI, ANDI, ORRI, EORI, LSLI, LSRI, ASRI, SUBSI:
+		inst.Rd, inst.Rn, inst.Imm = reg(), reg(), int64(rng.Intn(1<<12))
+	case CSET:
+		inst.Rd, inst.Cond = reg(), Cond(rng.Intn(10))
+	case LDR, STR:
+		inst.Rd, inst.Rn = reg(), reg()
+		inst.Imm = int64(rng.Intn(1 << 12))
+		inst.Size = sizes[rng.Intn(4)]
+	case LDAR, LDAPR, STLR, LDXR, LDAXR:
+		inst.Rd, inst.Rn, inst.Size = reg(), reg(), sizes[rng.Intn(4)]
+	case STXR, STLXR, CAS, CASAL, LDADDAL, SWPAL:
+		inst.Rd, inst.Rn, inst.Rm, inst.Size = reg(), reg(), reg(), sizes[rng.Intn(4)]
+	case DMB:
+		inst.Barrier = Barrier(rng.Intn(3))
+	case B, BL:
+		inst.Off = int32(rng.Intn(1<<24)) - 1<<23
+	case BCOND:
+		inst.Off = int32(rng.Intn(1<<19)) - 1<<18
+		inst.Cond = Cond(rng.Intn(10))
+	case CBZ, CBNZ:
+		inst.Rd = reg()
+		inst.Off = int32(rng.Intn(1<<19)) - 1<<18
+	case BR, BLR:
+		inst.Rn = reg()
+	case SVC:
+		inst.Imm = int64(rng.Intn(1 << 16))
+	}
+	return inst
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		want := randInst(rng)
+		w, err := Encode(want)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(w)
+		return err == nil && got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDecodeTotality(t *testing.T) {
+	// Decode of arbitrary words either errors (bad opcode) or returns an
+	// instruction that re-encodes into a word decoding to the same
+	// instruction (encode∘decode is idempotent on valid opcodes).
+	f := func(w uint32) bool {
+		inst, err := Decode(w)
+		if err != nil {
+			return Op(w>>24) >= numOps
+		}
+		w2, err := Encode(inst)
+		if err != nil {
+			// Decoded fields can exceed encodable ranges only if spare
+			// bits were set; re-encoding must not be attempted then.
+			return true
+		}
+		inst2, err := Decode(w2)
+		return err == nil && inst2 == inst
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}

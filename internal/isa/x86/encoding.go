@@ -1,0 +1,147 @@
+package x86
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Operand-layout classes. Every opcode belongs to exactly one class, which
+// fixes its encoded length and field order.
+type layout uint8
+
+const (
+	layNone layout = iota // [op]
+	layR                  // [op][reg]
+	layRR                 // [op][dst<<4|src]
+	layRI64               // [op][reg][imm64]
+	layRI32               // [op][reg][imm32]
+	layMem                // [op][reg][base][index][scale][size][disp32]
+	layMemI               // [op][base][index][scale][size][disp32][imm32]
+	layRel                // [op][rel32]
+	layCC                 // [op][cond][rel32]
+)
+
+var layoutOf = [numOps]layout{
+	NOP: layNone, RET: layNone, MFENCE: layNone, SYSCALL: layNone,
+	NEGr: layR, NOTr: layR, PUSH: layR, POP: layR, CALLr: layR,
+	MOVrr: layRR, ADDrr: layRR, SUBrr: layRR, IMULrr: layRR, ANDrr: layRR,
+	ORrr: layRR, XORrr: layRR, CMPrr: layRR, TESTrr: layRR,
+	UDIVrr: layRR, UREMrr: layRR, SHLrr: layRR, SHRrr: layRR,
+	MOVri: layRI64,
+	ADDri: layRI32, SUBri: layRI32, IMULri: layRI32, ANDri: layRI32,
+	ORri: layRI32, XORri: layRI32, SHLri: layRI32, SHRri: layRI32,
+	SARri: layRI32, CMPri: layRI32, TESTri: layRI32,
+	LOAD: layMem, STORE: layMem, LEA: layMem, CMPXCHG: layMem,
+	XADD: layMem, XCHGmr: layMem,
+	STOREi: layMemI,
+	JMP:    layRel, CALL: layRel,
+	JCC: layCC,
+}
+
+var layoutLen = map[layout]int{
+	layNone: 1, layR: 2, layRR: 2, layRI64: 10, layRI32: 6,
+	layMem: 10, layMemI: 13, layRel: 5, layCC: 6,
+}
+
+// EncodedLen returns the encoded byte length of instructions with opcode op.
+func EncodedLen(op Op) int {
+	return layoutLen[layoutOf[op]]
+}
+
+// Encode appends the binary encoding of inst to buf and returns the result.
+func Encode(buf []byte, inst Inst) []byte {
+	buf = append(buf, byte(inst.Op))
+	switch layoutOf[inst.Op] {
+	case layNone:
+	case layR:
+		buf = append(buf, byte(inst.Dst))
+	case layRR:
+		buf = append(buf, byte(inst.Dst)<<4|byte(inst.Src)&0x0F)
+	case layRI64:
+		buf = append(buf, byte(inst.Dst))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(inst.Imm))
+	case layRI32:
+		buf = append(buf, byte(inst.Dst))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(inst.Imm)))
+	case layMem:
+		reg := inst.Dst
+		if inst.Op == STORE || inst.Op == CMPXCHG || inst.Op == XADD || inst.Op == XCHGmr {
+			reg = inst.Src
+		}
+		buf = append(buf, byte(reg), byte(inst.Mem.Base), byte(inst.Mem.Index),
+			inst.Mem.Scale, inst.Size)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(inst.Mem.Disp))
+	case layMemI:
+		buf = append(buf, byte(inst.Mem.Base), byte(inst.Mem.Index),
+			inst.Mem.Scale, inst.Size)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(inst.Mem.Disp))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(inst.Imm)))
+	case layRel:
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(inst.Rel))
+	case layCC:
+		buf = append(buf, byte(inst.Cond))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(inst.Rel))
+	}
+	return buf
+}
+
+// Decode reads one instruction from the front of buf, returning it and its
+// encoded length.
+func Decode(buf []byte) (Inst, int, error) {
+	if len(buf) == 0 {
+		return Inst{}, 0, fmt.Errorf("x86: empty buffer")
+	}
+	op := Op(buf[0])
+	if op >= numOps {
+		return Inst{}, 0, fmt.Errorf("x86: bad opcode %#x", buf[0])
+	}
+	lay := layoutOf[op]
+	n := layoutLen[lay]
+	if len(buf) < n {
+		return Inst{}, 0, fmt.Errorf("x86: truncated %v: have %d bytes, need %d", op, len(buf), n)
+	}
+	inst := Inst{Op: op}
+	switch lay {
+	case layNone:
+	case layR:
+		inst.Dst = Reg(buf[1])
+	case layRR:
+		inst.Dst = Reg(buf[1] >> 4)
+		inst.Src = Reg(buf[1] & 0x0F)
+	case layRI64:
+		inst.Dst = Reg(buf[1])
+		inst.Imm = int64(binary.LittleEndian.Uint64(buf[2:]))
+	case layRI32:
+		inst.Dst = Reg(buf[1])
+		inst.Imm = int64(int32(binary.LittleEndian.Uint32(buf[2:])))
+	case layMem:
+		reg := Reg(buf[1])
+		if op == STORE || op == CMPXCHG || op == XADD || op == XCHGmr {
+			inst.Src = reg
+		} else {
+			inst.Dst = reg
+		}
+		inst.Mem = Mem{
+			Base:  Reg(buf[2]),
+			Index: Reg(buf[3]),
+			Scale: buf[4],
+			Disp:  int32(binary.LittleEndian.Uint32(buf[6:])),
+		}
+		inst.Size = buf[5]
+	case layMemI:
+		inst.Mem = Mem{
+			Base:  Reg(buf[1]),
+			Index: Reg(buf[2]),
+			Scale: buf[3],
+			Disp:  int32(binary.LittleEndian.Uint32(buf[5:])),
+		}
+		inst.Size = buf[4]
+		inst.Imm = int64(int32(binary.LittleEndian.Uint32(buf[9:])))
+	case layRel:
+		inst.Rel = int32(binary.LittleEndian.Uint32(buf[1:]))
+	case layCC:
+		inst.Cond = Cond(buf[1])
+		inst.Rel = int32(binary.LittleEndian.Uint32(buf[2:]))
+	}
+	return inst, n, nil
+}

@@ -1,0 +1,325 @@
+package x86
+
+import "fmt"
+
+// Interp is a reference interpreter for the guest ISA — an independent,
+// direct implementation of the instruction semantics, used to
+// differential-test the whole DBT pipeline (frontend → optimizer →
+// backend → machine). Where real x86 has undefined or quirky corners the
+// guest ISA spec pins them down; the interpreter and the translator must
+// agree on every one:
+//
+//   - sub-8-byte loads zero-extend; stores truncate;
+//   - shift counts ≥ 64 yield 0 (SAR: the sign fill);
+//   - UDIV by zero yields 0; UREM by zero leaves the dividend;
+//   - flags are the (dst, src) operand pair of the last CMP/TEST,
+//     evaluated by each Jcc (CMPXCHG sets them to (old, expected)).
+type Interp struct {
+	// Regs is the guest register file.
+	Regs [NumRegs]uint64
+	// PC is the guest instruction pointer.
+	PC uint64
+	// Mem is the flat guest memory.
+	Mem []byte
+	// Halted is set by the exit syscall.
+	Halted bool
+	// ExitCode is the exit syscall's argument.
+	ExitCode uint64
+	// Syscall handles SYSCALL instructions; nil means only exit(93) is
+	// provided (RAX=93, RDI=code).
+	Syscall func(it *Interp) error
+
+	ccDst, ccSrc uint64
+}
+
+// NewInterp returns an interpreter over memSize bytes.
+func NewInterp(memSize int) *Interp {
+	return &Interp{Mem: make([]byte, memSize)}
+}
+
+func (it *Interp) load(addr uint64, size uint8) (uint64, error) {
+	if addr+uint64(size) > uint64(len(it.Mem)) || addr+uint64(size) < addr {
+		return 0, fmt.Errorf("x86 interp: load [%#x,+%d) out of bounds", addr, size)
+	}
+	var v uint64
+	for i := uint8(0); i < size; i++ {
+		v |= uint64(it.Mem[addr+uint64(i)]) << (8 * i)
+	}
+	return v, nil
+}
+
+func (it *Interp) store(addr uint64, size uint8, v uint64) error {
+	if addr+uint64(size) > uint64(len(it.Mem)) || addr+uint64(size) < addr {
+		return fmt.Errorf("x86 interp: store [%#x,+%d) out of bounds", addr, size)
+	}
+	for i := uint8(0); i < size; i++ {
+		it.Mem[addr+uint64(i)] = byte(v >> (8 * i))
+	}
+	return nil
+}
+
+// ea computes a memory operand's effective address.
+func (it *Interp) ea(m Mem) uint64 {
+	addr := it.Regs[m.Base]
+	if m.Index != RegNone {
+		addr += it.Regs[m.Index] * uint64(m.Scale)
+	}
+	return addr + uint64(int64(m.Disp))
+}
+
+func (it *Interp) cond(c Cond) bool {
+	a, b := it.ccDst, it.ccSrc
+	switch c {
+	case CondEQ:
+		return a == b
+	case CondNE:
+		return a != b
+	case CondLT:
+		return int64(a) < int64(b)
+	case CondLE:
+		return int64(a) <= int64(b)
+	case CondGT:
+		return int64(a) > int64(b)
+	case CondGE:
+		return int64(a) >= int64(b)
+	case CondB:
+		return a < b
+	case CondBE:
+		return a <= b
+	case CondA:
+		return a > b
+	case CondAE:
+		return a >= b
+	}
+	return false
+}
+
+func shl(v, by uint64) uint64 {
+	if by >= 64 {
+		return 0
+	}
+	return v << by
+}
+
+func shr(v, by uint64) uint64 {
+	if by >= 64 {
+		return 0
+	}
+	return v >> by
+}
+
+func sar(v uint64, by uint64) uint64 {
+	if by >= 64 {
+		return uint64(int64(v) >> 63)
+	}
+	return uint64(int64(v) >> by)
+}
+
+// Step decodes and executes one instruction at PC.
+func (it *Interp) Step() error {
+	if it.Halted {
+		return nil
+	}
+	if it.PC >= uint64(len(it.Mem)) {
+		return fmt.Errorf("x86 interp: pc %#x out of bounds", it.PC)
+	}
+	inst, size, err := Decode(it.Mem[it.PC:])
+	if err != nil {
+		return fmt.Errorf("x86 interp at %#x: %w", it.PC, err)
+	}
+	next := it.PC + uint64(size)
+	r := &it.Regs
+
+	switch inst.Op {
+	case NOP, MFENCE:
+		// MFENCE orders memory; the sequential interpreter is already
+		// sequentially consistent.
+
+	case MOVri:
+		r[inst.Dst] = uint64(inst.Imm)
+	case MOVrr:
+		r[inst.Dst] = r[inst.Src]
+	case LOAD:
+		v, err := it.load(it.ea(inst.Mem), inst.Size)
+		if err != nil {
+			return err
+		}
+		r[inst.Dst] = v
+	case STORE:
+		if err := it.store(it.ea(inst.Mem), inst.Size, r[inst.Src]); err != nil {
+			return err
+		}
+	case STOREi:
+		if err := it.store(it.ea(inst.Mem), inst.Size, uint64(inst.Imm)); err != nil {
+			return err
+		}
+	case LEA:
+		r[inst.Dst] = it.ea(inst.Mem)
+
+	case ADDrr:
+		r[inst.Dst] += r[inst.Src]
+	case ADDri:
+		r[inst.Dst] += uint64(inst.Imm)
+	case SUBrr:
+		r[inst.Dst] -= r[inst.Src]
+	case SUBri:
+		r[inst.Dst] -= uint64(inst.Imm)
+	case IMULrr:
+		r[inst.Dst] *= r[inst.Src]
+	case IMULri:
+		r[inst.Dst] *= uint64(inst.Imm)
+	case ANDrr:
+		r[inst.Dst] &= r[inst.Src]
+	case ANDri:
+		r[inst.Dst] &= uint64(inst.Imm)
+	case ORrr:
+		r[inst.Dst] |= r[inst.Src]
+	case ORri:
+		r[inst.Dst] |= uint64(inst.Imm)
+	case XORrr:
+		r[inst.Dst] ^= r[inst.Src]
+	case XORri:
+		r[inst.Dst] ^= uint64(inst.Imm)
+	case SHLri:
+		r[inst.Dst] = shl(r[inst.Dst], uint64(inst.Imm))
+	case SHLrr:
+		r[inst.Dst] = shl(r[inst.Dst], r[inst.Src])
+	case SHRri:
+		r[inst.Dst] = shr(r[inst.Dst], uint64(inst.Imm))
+	case SHRrr:
+		r[inst.Dst] = shr(r[inst.Dst], r[inst.Src])
+	case SARri:
+		r[inst.Dst] = sar(r[inst.Dst], uint64(inst.Imm))
+	case UDIVrr:
+		if d := r[inst.Src]; d != 0 {
+			r[inst.Dst] /= d
+		} else {
+			r[inst.Dst] = 0
+		}
+	case UREMrr:
+		if d := r[inst.Src]; d != 0 {
+			r[inst.Dst] %= d
+		}
+	case NEGr:
+		r[inst.Dst] = -r[inst.Dst]
+	case NOTr:
+		r[inst.Dst] = ^r[inst.Dst]
+
+	case CMPrr:
+		it.ccDst, it.ccSrc = r[inst.Dst], r[inst.Src]
+	case CMPri:
+		it.ccDst, it.ccSrc = r[inst.Dst], uint64(inst.Imm)
+	case TESTrr:
+		it.ccDst, it.ccSrc = r[inst.Dst]&r[inst.Src], 0
+	case TESTri:
+		it.ccDst, it.ccSrc = r[inst.Dst]&uint64(inst.Imm), 0
+
+	case JMP:
+		next = uint64(int64(next) + int64(inst.Rel))
+	case JCC:
+		if it.cond(inst.Cond) {
+			next = uint64(int64(next) + int64(inst.Rel))
+		}
+	case CALL:
+		r[RSP] -= 8
+		if err := it.store(r[RSP], 8, next); err != nil {
+			return err
+		}
+		next = uint64(int64(next) + int64(inst.Rel))
+	case CALLr:
+		target := r[inst.Dst]
+		r[RSP] -= 8
+		if err := it.store(r[RSP], 8, next); err != nil {
+			return err
+		}
+		next = target
+	case RET:
+		ret, err := it.load(r[RSP], 8)
+		if err != nil {
+			return err
+		}
+		r[RSP] += 8
+		next = ret
+	case PUSH:
+		v := r[inst.Dst] // pre-decrement value, incl. PUSH RSP
+		r[RSP] -= 8
+		if err := it.store(r[RSP], 8, v); err != nil {
+			return err
+		}
+	case POP:
+		v, err := it.load(r[RSP], 8)
+		if err != nil {
+			return err
+		}
+		r[RSP] += 8
+		r[inst.Dst] = v
+
+	case CMPXCHG:
+		addr := it.ea(inst.Mem)
+		old, err := it.load(addr, inst.Size)
+		if err != nil {
+			return err
+		}
+		expected := r[RAX]
+		if inst.Size < 8 {
+			expected &= 1<<(8*inst.Size) - 1
+		}
+		if old == expected {
+			if err := it.store(addr, inst.Size, r[inst.Src]); err != nil {
+				return err
+			}
+		}
+		it.ccDst, it.ccSrc = old, expected
+		r[RAX] = old
+	case XADD:
+		addr := it.ea(inst.Mem)
+		old, err := it.load(addr, inst.Size)
+		if err != nil {
+			return err
+		}
+		if err := it.store(addr, inst.Size, old+r[inst.Src]); err != nil {
+			return err
+		}
+		r[inst.Src] = old
+	case XCHGmr:
+		addr := it.ea(inst.Mem)
+		old, err := it.load(addr, inst.Size)
+		if err != nil {
+			return err
+		}
+		if err := it.store(addr, inst.Size, r[inst.Src]); err != nil {
+			return err
+		}
+		r[inst.Src] = old
+
+	case SYSCALL:
+		it.PC = next
+		if it.Syscall != nil {
+			return it.Syscall(it)
+		}
+		if r[RAX] == 93 {
+			it.ExitCode = r[RDI]
+			it.Halted = true
+			return nil
+		}
+		return fmt.Errorf("x86 interp: unhandled syscall %d", r[RAX])
+
+	default:
+		return fmt.Errorf("x86 interp: unimplemented op %v", inst.Op)
+	}
+	it.PC = next
+	return nil
+}
+
+// Run executes until halt or maxSteps.
+func (it *Interp) Run(maxSteps uint64) error {
+	for i := uint64(0); i < maxSteps; i++ {
+		if it.Halted {
+			return nil
+		}
+		if err := it.Step(); err != nil {
+			return err
+		}
+	}
+	return fmt.Errorf("x86 interp: step budget %d exhausted at pc=%#x", maxSteps, it.PC)
+}

@@ -1,0 +1,239 @@
+package x86
+
+import "testing"
+
+// runProgram assembles and runs a program on the reference interpreter.
+func runProgram(t *testing.T, build func(a *Assembler)) *Interp {
+	t.Helper()
+	a := NewAssembler()
+	build(a)
+	code, _, err := a.Assemble(0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := NewInterp(1 << 17)
+	copy(it.Mem[0x1000:], code)
+	it.PC = 0x1000
+	it.Regs[RSP] = 0x10000
+	if err := it.Run(100000); err != nil {
+		t.Fatal(err)
+	}
+	return it
+}
+
+func exit(a *Assembler) {
+	a.MovRI(RAX, 93).Syscall()
+}
+
+func TestInterpALUChain(t *testing.T) {
+	it := runProgram(t, func(a *Assembler) {
+		a.MovRI(RBX, 100).
+			AddRI(RBX, 20). // 120
+			SubRI(RBX, 5).  // 115
+			MulRI(RBX, 3).  // 345
+			MovRI(RCX, 345).
+			CmpRR(RBX, RCX).
+			MovRR(RDI, RBX)
+		exit(a)
+	})
+	if !it.Halted || it.ExitCode != 345 {
+		t.Fatalf("exit = %d halted=%v", it.ExitCode, it.Halted)
+	}
+}
+
+func TestInterpShiftSpecCorners(t *testing.T) {
+	// Shift counts ≥ 64 yield 0 (SAR: sign fill) — the guest ISA spec.
+	it := runProgram(t, func(a *Assembler) {
+		a.MovRI(RBX, 0x1234).
+			ShlRI(RBX, 70). // → 0
+			MovRI(RCX, -8).
+			SarRI(RCX, 100). // → -1
+			MovRI(RDX, 0x99).
+			ShrRI(RDX, 64). // → 0
+			MovRI(RDI, 0)
+		exit(a)
+	})
+	if it.Regs[RBX] != 0 {
+		t.Fatalf("shl≥64 = %#x", it.Regs[RBX])
+	}
+	if it.Regs[RCX] != ^uint64(0) {
+		t.Fatalf("sar≥64 of negative = %#x", it.Regs[RCX])
+	}
+	if it.Regs[RDX] != 0 {
+		t.Fatalf("shr≥64 = %#x", it.Regs[RDX])
+	}
+}
+
+func TestInterpDivisionByZeroSpec(t *testing.T) {
+	it := runProgram(t, func(a *Assembler) {
+		a.MovRI(RBX, 77).
+			MovRI(RCX, 0).
+			UDivRR(RBX, RCX). // → 0
+			MovRI(RDX, 55).
+			URemRR(RDX, RCX). // → 55 (unchanged)
+			MovRI(RDI, 0)
+		exit(a)
+	})
+	if it.Regs[RBX] != 0 || it.Regs[RDX] != 55 {
+		t.Fatalf("div-by-zero: udiv=%d urem=%d", it.Regs[RBX], it.Regs[RDX])
+	}
+}
+
+func TestInterpCallRetStack(t *testing.T) {
+	it := runProgram(t, func(a *Assembler) {
+		a.MovRI(RBX, 5).
+			Call("double").
+			Call("double"). // 20
+			MovRR(RDI, RBX)
+		exit(a)
+		a.Label("double").
+			AddRR(RBX, RBX).
+			Ret()
+	})
+	if it.ExitCode != 20 {
+		t.Fatalf("exit = %d", it.ExitCode)
+	}
+	if it.Regs[RSP] != 0x10000 {
+		t.Fatalf("stack not balanced: rsp = %#x", it.Regs[RSP])
+	}
+}
+
+func TestInterpIndirectCall(t *testing.T) {
+	it := runProgram(t, func(a *Assembler) {
+		a.MovSym(R10, "fn").
+			CallR(R10).
+			MovRR(RDI, RBX)
+		exit(a)
+		a.Label("fn").
+			MovRI(RBX, 11).
+			Ret()
+	})
+	if it.ExitCode != 11 {
+		t.Fatalf("exit = %d", it.ExitCode)
+	}
+}
+
+func TestInterpCmpXchgWidths(t *testing.T) {
+	// 4-byte CMPXCHG compares at access width: RAX's high bits must not
+	// defeat a match.
+	it := runProgram(t, func(a *Assembler) {
+		a.MovRI(RSI, 0x8000).
+			MovRI(RBX, 5).
+			Store(Mem0(RSI), RBX, 4).
+			MovRI(RAX, int64(-4294967291)). // 0xFFFFFFFF00000005: low 32 bits match
+			MovRI(RCX, 9).
+			CmpXchg(Mem0(RSI), RCX, 4).
+			Jcc(CondNE, "fail").
+			Load(RDI, Mem0(RSI), 4)
+		exit(a)
+		a.Label("fail").
+			MovRI(RDI, 111)
+		exit(a)
+	})
+	if it.ExitCode != 9 {
+		t.Fatalf("width-truncated cmpxchg: exit = %d", it.ExitCode)
+	}
+}
+
+func TestInterpXaddXchg(t *testing.T) {
+	it := runProgram(t, func(a *Assembler) {
+		a.MovRI(RSI, 0x8000).
+			MovRI(RBX, 10).
+			Store(Mem0(RSI), RBX, 8).
+			MovRI(RCX, 7).
+			XAdd(Mem0(RSI), RCX, 8). // mem 17, rcx 10
+			MovRI(RDX, 100).
+			Xchg(Mem0(RSI), RDX, 8). // mem 100, rdx 17
+			Load(RDI, Mem0(RSI), 8). // 100
+			AddRR(RDI, RCX).         // 110
+			AddRR(RDI, RDX)          // 127
+		exit(a)
+	})
+	if it.ExitCode != 127 {
+		t.Fatalf("exit = %d", it.ExitCode)
+	}
+}
+
+func TestInterpPushPopAndLEA(t *testing.T) {
+	it := runProgram(t, func(a *Assembler) {
+		a.MovRI(RBX, 42).
+			Push(RBX).
+			MovRI(RBX, 0).
+			Pop(RCX).
+			MovRI(RSI, 0x2000).
+			MovRI(RDX, 3).
+			Lea(RDI, MemIdx(RSI, RDX, 8, 8)). // 0x2000 + 24 + 8
+			SubRI(RDI, 0x2020).
+			AddRR(RDI, RCX) // 8 - 0x20 + 42 … compute directly below
+		exit(a)
+	})
+	// lea = 0x2000+3*8+8 = 0x2020; minus 0x2020 = 0; +42 = 42… wait:
+	// 0x2020-0x2020 = 0, +42 = 42? The SubRI used 0x2020 so result 42? No:
+	// 0x2000+24+8 = 0x2020 exactly, so RDI = 0 + 42 = 42.
+	if it.ExitCode != 42 {
+		t.Fatalf("exit = %d", it.ExitCode)
+	}
+}
+
+func TestInterpErrors(t *testing.T) {
+	a := NewAssembler()
+	a.MovRI(RSI, 1<<40).Load(RAX, Mem0(RSI), 8)
+	code, _, err := a.Assemble(0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := NewInterp(1 << 16)
+	copy(it.Mem[0x1000:], code)
+	it.PC = 0x1000
+	if err := it.Run(100); err == nil {
+		t.Fatal("out-of-bounds load must error")
+	}
+
+	// Unknown syscall.
+	it2 := runnable(t, func(a *Assembler) { a.MovRI(RAX, 12345).Syscall() })
+	if err := it2.Run(100); err == nil {
+		t.Fatal("unknown syscall must error")
+	}
+
+	// Step budget.
+	it3 := runnable(t, func(a *Assembler) { a.Label("spin").Jmp("spin") })
+	if err := it3.Run(50); err == nil {
+		t.Fatal("infinite loop must exhaust budget")
+	}
+}
+
+func runnable(t *testing.T, build func(a *Assembler)) *Interp {
+	t.Helper()
+	a := NewAssembler()
+	build(a)
+	code, _, err := a.Assemble(0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := NewInterp(1 << 16)
+	copy(it.Mem[0x1000:], code)
+	it.PC = 0x1000
+	it.Regs[RSP] = 0x8000
+	return it
+}
+
+func TestInterpCustomSyscallHook(t *testing.T) {
+	it := runnable(t, func(a *Assembler) {
+		a.MovRI(RAX, 777).Syscall().MovRI(RDI, 1).MovRI(RAX, 93).Syscall()
+	})
+	var sawNr uint64
+	it.Syscall = func(i *Interp) error {
+		sawNr = i.Regs[RAX]
+		if sawNr == 93 {
+			i.Halted = true
+			i.ExitCode = i.Regs[RDI]
+		}
+		return nil
+	}
+	if err := it.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if it.ExitCode != 1 {
+		t.Fatalf("exit = %d", it.ExitCode)
+	}
+}

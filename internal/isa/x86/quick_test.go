@@ -1,0 +1,104 @@
+package x86
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randInst generates a random well-formed instruction (fields populated
+// per the opcode's layout class).
+func randInst(rng *rand.Rand) Inst {
+	ops := []Op{
+		NOP, MOVri, MOVrr, LOAD, STORE, STOREi, LEA,
+		ADDrr, ADDri, SUBrr, SUBri, IMULrr, IMULri, ANDrr, ANDri,
+		ORrr, ORri, XORrr, XORri, SHLri, SHRri, SARri, SHLrr, SHRrr,
+		UDIVrr, UREMrr, NEGr, NOTr,
+		CMPrr, CMPri, TESTrr, TESTri,
+		JMP, JCC, CALL, CALLr, RET, PUSH, POP,
+		MFENCE, CMPXCHG, XADD, XCHGmr, SYSCALL,
+	}
+	op := ops[rng.Intn(len(ops))]
+	inst := Inst{Op: op}
+	reg := func() Reg { return Reg(rng.Intn(16)) }
+	sizes := []uint8{1, 2, 4, 8}
+	mem := func() Mem {
+		m := Mem{Base: reg(), Index: RegNone, Scale: 1, Disp: int32(rng.Uint32())}
+		if rng.Intn(2) == 0 {
+			m.Index = reg()
+			m.Scale = []uint8{1, 2, 4, 8}[rng.Intn(4)]
+		}
+		return m
+	}
+	switch op {
+	case NOP, RET, MFENCE, SYSCALL:
+	case NEGr, NOTr, PUSH, POP, CALLr:
+		inst.Dst = reg()
+	case MOVrr, ADDrr, SUBrr, IMULrr, ANDrr, ORrr, XORrr, CMPrr, TESTrr,
+		UDIVrr, UREMrr, SHLrr, SHRrr:
+		inst.Dst, inst.Src = reg(), reg()
+	case MOVri:
+		inst.Dst, inst.Imm = reg(), int64(rng.Uint64())
+	case ADDri, SUBri, IMULri, ANDri, ORri, XORri, SHLri, SHRri, SARri,
+		CMPri, TESTri:
+		inst.Dst, inst.Imm = reg(), int64(int32(rng.Uint32()))
+	case LOAD, LEA:
+		inst.Dst, inst.Mem, inst.Size = reg(), mem(), sizes[rng.Intn(4)]
+	case STORE, CMPXCHG, XADD, XCHGmr:
+		inst.Src, inst.Mem, inst.Size = reg(), mem(), sizes[rng.Intn(4)]
+	case STOREi:
+		inst.Mem, inst.Imm, inst.Size = mem(), int64(int32(rng.Uint32())), sizes[rng.Intn(4)]
+	case JMP, CALL:
+		inst.Rel = int32(rng.Uint32())
+	case JCC:
+		inst.Cond, inst.Rel = Cond(rng.Intn(10)), int32(rng.Uint32())
+	}
+	if op == LEA {
+		inst.Size = 0 // LEA carries no access size
+	}
+	return inst
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		want := randInst(rng)
+		buf := Encode(nil, want)
+		got, n, err := Decode(buf)
+		if err != nil || n != len(buf) {
+			return false
+		}
+		// LEA encodes a size byte of 0; normalize.
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickStreamDecode(t *testing.T) {
+	// Any concatenation of valid instructions decodes back 1:1.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		var insts []Inst
+		var buf []byte
+		for i := 0; i < n; i++ {
+			in := randInst(rng)
+			insts = append(insts, in)
+			buf = Encode(buf, in)
+		}
+		off := 0
+		for _, want := range insts {
+			got, sz, err := Decode(buf[off:])
+			if err != nil || got != want {
+				return false
+			}
+			off += sz
+		}
+		return off == len(buf)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,253 @@
+// Package x86 defines Risotto-Go's guest instruction set: an x86-64-like
+// register machine with the same concurrency primitives as real x86 (plain
+// MOV loads/stores that are TSO-ordered, MFENCE, and LOCK-prefixed RMWs),
+// a binary encoding, an assembler with labels and symbols, a decoder and a
+// disassembler.
+//
+// The encoding is a compact custom format rather than real x86 machine
+// code (see DESIGN.md §1 for the substitution rationale): each instruction
+// is an opcode byte followed by a fixed, per-opcode operand layout. What
+// matters for the paper's claims — the memory-access/fence/RMW structure
+// observed by the translator — is preserved exactly.
+package x86
+
+import "fmt"
+
+// Reg names a general-purpose 64-bit register.
+type Reg uint8
+
+// General-purpose registers. RSP is the stack pointer by convention (PUSH,
+// POP, CALL and RET use it); the rest carry no special meaning to the ISA.
+const (
+	RAX Reg = iota
+	RBX
+	RCX
+	RDX
+	RSI
+	RDI
+	RBP
+	RSP
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14
+	R15
+	// NumRegs is the register-file size.
+	NumRegs = 16
+	// RegNone marks an absent index register in a memory operand.
+	RegNone Reg = 0xFF
+)
+
+var regNames = [NumRegs]string{
+	"rax", "rbx", "rcx", "rdx", "rsi", "rdi", "rbp", "rsp",
+	"r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+}
+
+func (r Reg) String() string {
+	if int(r) < len(regNames) {
+		return regNames[r]
+	}
+	if r == RegNone {
+		return "-"
+	}
+	return fmt.Sprintf("r?%d", uint8(r))
+}
+
+// Cond is a branch condition evaluated against the flags set by the most
+// recent CMP/TEST.
+type Cond uint8
+
+// Branch conditions; L/LE/G/GE are signed, B/BE/A/AE unsigned.
+const (
+	CondEQ Cond = iota
+	CondNE
+	CondLT
+	CondLE
+	CondGT
+	CondGE
+	CondB  // below (unsigned <)
+	CondBE // below or equal
+	CondA  // above (unsigned >)
+	CondAE // above or equal
+)
+
+var condNames = []string{"e", "ne", "l", "le", "g", "ge", "b", "be", "a", "ae"}
+
+func (c Cond) String() string {
+	if int(c) < len(condNames) {
+		return condNames[c]
+	}
+	return fmt.Sprintf("cc?%d", uint8(c))
+}
+
+// Mem is a memory operand: [Base + Index*Scale + Disp].
+type Mem struct {
+	Base  Reg
+	Index Reg // RegNone when absent
+	Scale uint8
+	Disp  int32
+}
+
+func (m Mem) String() string {
+	s := fmt.Sprintf("[%s", m.Base)
+	if m.Index != RegNone {
+		s += fmt.Sprintf("+%s*%d", m.Index, m.Scale)
+	}
+	if m.Disp != 0 {
+		s += fmt.Sprintf("%+d", m.Disp)
+	}
+	return s + "]"
+}
+
+// Op is an instruction opcode.
+type Op uint8
+
+// Instruction opcodes. Memory-access sizes are carried in Inst.Size
+// (1, 2, 4 or 8 bytes); sub-8-byte loads zero-extend.
+const (
+	NOP Op = iota
+	// MOVri: dst = imm64.
+	MOVri
+	// MOVrr: dst = src.
+	MOVrr
+	// LOAD: dst = mem (the paper's RMOV).
+	LOAD
+	// STORE: mem = src (the paper's WMOV).
+	STORE
+	// STOREi: mem = imm32 (sign-extended to the access size).
+	STOREi
+	// LEA: dst = effective address of mem.
+	LEA
+
+	// Register/immediate ALU. *rr forms: dst ∘= src; *ri: dst ∘= imm.
+	ADDrr
+	ADDri
+	SUBrr
+	SUBri
+	IMULrr
+	IMULri
+	ANDrr
+	ANDri
+	ORrr
+	ORri
+	XORrr
+	XORri
+	SHLri
+	SHRri
+	SARri
+	SHLrr
+	SHRrr
+	// UDIVrr: dst /= src (unsigned); UREMrr: dst %= src. These replace
+	// x86's RDX:RAX division idiom with a two-operand form.
+	UDIVrr
+	UREMrr
+	NEGr
+	NOTr
+
+	// Flag-setting comparisons.
+	CMPrr
+	CMPri
+	TESTrr
+	TESTri
+
+	// Control flow. Branch displacements are relative to the end of the
+	// instruction.
+	JMP
+	JCC
+	CALL
+	// CALLr: indirect call through a register.
+	CALLr
+	RET
+
+	PUSH
+	POP
+
+	// MFENCE is x86's full fence.
+	MFENCE
+	// CMPXCHG is LOCK CMPXCHG mem, src: if RAX == [mem] then [mem] = src,
+	// flags=EQ; else RAX = [mem], flags=NE. Always atomic (LOCK implied).
+	CMPXCHG
+	// XADD is LOCK XADD mem, src: tmp=[mem]; [mem]+=src; src=tmp.
+	XADD
+	// XCHGmr atomically swaps [mem] and src.
+	XCHGmr
+
+	// SYSCALL traps to the runtime; call number in RAX, args in
+	// RDI, RSI, RDX (System-V-like).
+	SYSCALL
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	"nop", "mov", "mov", "mov", "mov", "mov", "lea",
+	"add", "add", "sub", "sub", "imul", "imul", "and", "and",
+	"or", "or", "xor", "xor", "shl", "shr", "sar", "shl", "shr",
+	"udiv", "urem", "neg", "not",
+	"cmp", "cmp", "test", "test",
+	"jmp", "j", "call", "call", "ret",
+	"push", "pop",
+	"mfence", "lock cmpxchg", "lock xadd", "xchg",
+	"syscall",
+}
+
+// Inst is one decoded instruction.
+type Inst struct {
+	Op   Op
+	Dst  Reg
+	Src  Reg
+	Imm  int64
+	Mem  Mem
+	Size uint8 // memory access size: 1, 2, 4, 8
+	Cond Cond
+	// Rel is the branch displacement from the end of this instruction.
+	Rel int32
+}
+
+// String disassembles the instruction (branch targets shown as relative
+// displacements).
+func (i Inst) String() string {
+	name := "?"
+	if int(i.Op) < len(opNames) {
+		name = opNames[i.Op]
+	}
+	switch i.Op {
+	case NOP, RET, MFENCE, SYSCALL:
+		return name
+	case MOVri:
+		return fmt.Sprintf("%s %s, %d", name, i.Dst, i.Imm)
+	case MOVrr, ADDrr, SUBrr, IMULrr, ANDrr, ORrr, XORrr, CMPrr, TESTrr,
+		UDIVrr, UREMrr, SHLrr, SHRrr:
+		return fmt.Sprintf("%s %s, %s", name, i.Dst, i.Src)
+	case ADDri, SUBri, IMULri, ANDri, ORri, XORri, SHLri, SHRri, SARri,
+		CMPri, TESTri:
+		return fmt.Sprintf("%s %s, %d", name, i.Dst, i.Imm)
+	case NEGr, NOTr, PUSH, POP, CALLr:
+		return fmt.Sprintf("%s %s", name, i.Dst)
+	case LOAD:
+		return fmt.Sprintf("%s %s, %s ; size=%d", name, i.Dst, i.Mem, i.Size)
+	case LEA:
+		return fmt.Sprintf("%s %s, %s", name, i.Dst, i.Mem)
+	case STORE, CMPXCHG, XADD, XCHGmr:
+		return fmt.Sprintf("%s %s, %s ; size=%d", name, i.Mem, i.Src, i.Size)
+	case STOREi:
+		return fmt.Sprintf("%s %s, %d ; size=%d", name, i.Mem, i.Imm, i.Size)
+	case JMP, CALL:
+		return fmt.Sprintf("%s %+d", name, i.Rel)
+	case JCC:
+		return fmt.Sprintf("%s%s %+d", name, i.Cond, i.Rel)
+	}
+	return name
+}
+
+// IsBranch reports whether the instruction ends a basic block.
+func (i Inst) IsBranch() bool {
+	switch i.Op {
+	case JMP, JCC, CALL, CALLr, RET, SYSCALL:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,164 @@
+package x86
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func sampleInsts() []Inst {
+	return []Inst{
+		{Op: NOP},
+		{Op: RET},
+		{Op: MFENCE},
+		{Op: SYSCALL},
+		{Op: MOVri, Dst: RAX, Imm: -12345678901234},
+		{Op: MOVrr, Dst: RBX, Src: RCX},
+		{Op: ADDrr, Dst: R8, Src: R15},
+		{Op: ADDri, Dst: RDX, Imm: -42},
+		{Op: SHLri, Dst: RSI, Imm: 63},
+		{Op: UDIVrr, Dst: RAX, Src: RBX},
+		{Op: NEGr, Dst: R9},
+		{Op: PUSH, Dst: RBP},
+		{Op: POP, Dst: RBP},
+		{Op: CALLr, Dst: R10},
+		{Op: CMPri, Dst: RCX, Imm: 100},
+		{Op: TESTrr, Dst: RAX, Src: RAX},
+		{Op: LOAD, Dst: RAX, Mem: Mem{Base: RBX, Index: RCX, Scale: 8, Disp: -16}, Size: 8},
+		{Op: LOAD, Dst: RDX, Mem: Mem{Base: RSI, Index: RegNone, Scale: 1, Disp: 4}, Size: 1},
+		{Op: STORE, Src: RDI, Mem: Mem{Base: RSP, Index: RegNone, Scale: 1, Disp: 8}, Size: 4},
+		{Op: STOREi, Mem: Mem{Base: R11, Index: R12, Scale: 4, Disp: 0}, Imm: -7, Size: 8},
+		{Op: LEA, Dst: R13, Mem: Mem{Base: R14, Index: R15, Scale: 2, Disp: 1024}},
+		{Op: JMP, Rel: -1000},
+		{Op: JCC, Cond: CondNE, Rel: 2048},
+		{Op: CALL, Rel: 500},
+		{Op: CMPXCHG, Src: RBX, Mem: Mem{Base: RDI, Index: RegNone, Scale: 1}, Size: 8},
+		{Op: XADD, Src: RCX, Mem: Mem{Base: RSI, Index: RegNone, Scale: 1}, Size: 4},
+		{Op: XCHGmr, Src: RDX, Mem: Mem{Base: RBP, Index: RegNone, Scale: 1, Disp: -8}, Size: 8},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, want := range sampleInsts() {
+		buf := Encode(nil, want)
+		if len(buf) != EncodedLen(want.Op) {
+			t.Fatalf("%v: encoded %d bytes, EncodedLen says %d", want, len(buf), EncodedLen(want.Op))
+		}
+		got, n, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", want, err)
+		}
+		if n != len(buf) {
+			t.Fatalf("%v: decode consumed %d of %d", want, n, len(buf))
+		}
+		if got != want {
+			t.Fatalf("round trip mismatch:\n want %+v\n got  %+v", want, got)
+		}
+	}
+}
+
+func TestDecodeStream(t *testing.T) {
+	insts := sampleInsts()
+	var buf []byte
+	for _, i := range insts {
+		buf = Encode(buf, i)
+	}
+	off := 0
+	for k, want := range insts {
+		got, n, err := Decode(buf[off:])
+		if err != nil {
+			t.Fatalf("inst %d: %v", k, err)
+		}
+		if got != want {
+			t.Fatalf("inst %d mismatch: want %+v got %+v", k, want, got)
+		}
+		off += n
+	}
+	if off != len(buf) {
+		t.Fatalf("stream not fully consumed: %d of %d", off, len(buf))
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := Decode(nil); err == nil {
+		t.Fatal("empty buffer must error")
+	}
+	if _, _, err := Decode([]byte{0xFE}); err == nil {
+		t.Fatal("bad opcode must error")
+	}
+	if _, _, err := Decode([]byte{byte(MOVri), 0}); err == nil {
+		t.Fatal("truncated instruction must error")
+	}
+}
+
+func TestAssemblerLabels(t *testing.T) {
+	a := NewAssembler()
+	a.Label("start").
+		MovRI(RAX, 0).
+		Label("loop").
+		AddRI(RAX, 1).
+		CmpRI(RAX, 10).
+		Jcc(CondNE, "loop").
+		Ret()
+	code, syms, err := a.Assemble(0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if syms["start"] != 0x1000 {
+		t.Fatalf("start = %#x", syms["start"])
+	}
+	wantLoop := uint64(0x1000 + EncodedLen(MOVri))
+	if syms["loop"] != wantLoop {
+		t.Fatalf("loop = %#x, want %#x", syms["loop"], wantLoop)
+	}
+	// Decode the Jcc and verify the displacement lands on "loop".
+	off := EncodedLen(MOVri) + EncodedLen(ADDri) + EncodedLen(CMPri)
+	inst, n, err := Decode(code[off:])
+	if err != nil || inst.Op != JCC {
+		t.Fatalf("expected JCC at %d: %v %v", off, inst, err)
+	}
+	end := uint64(0x1000 + off + n)
+	if end+uint64(inst.Rel) != wantLoop { // Rel is negative here
+		t.Fatalf("jcc target = %#x, want %#x", end+uint64(inst.Rel), wantLoop)
+	}
+}
+
+func TestAssemblerErrors(t *testing.T) {
+	a := NewAssembler()
+	a.Jmp("nowhere")
+	if _, _, err := a.Assemble(0); err == nil {
+		t.Fatal("undefined label must error")
+	}
+	a = NewAssembler()
+	a.Label("x").Label("x")
+	if _, _, err := a.Assemble(0); err == nil {
+		t.Fatal("duplicate label must error")
+	}
+}
+
+func TestEncodedLenConsistency(t *testing.T) {
+	// Every opcode's declared length matches its encoding.
+	rng := rand.New(rand.NewSource(1))
+	for op := Op(0); op < numOps; op++ {
+		inst := Inst{Op: op, Dst: Reg(rng.Intn(16)), Src: Reg(rng.Intn(16)),
+			Mem: Mem{Base: RAX, Index: RegNone, Scale: 1}, Size: 8}
+		buf := Encode(nil, inst)
+		if len(buf) != EncodedLen(op) {
+			t.Fatalf("op %d: len %d vs declared %d", op, len(buf), EncodedLen(op))
+		}
+	}
+}
+
+func TestStrings(t *testing.T) {
+	// Smoke-test the disassembler renders every sample without panicking.
+	for _, i := range sampleInsts() {
+		if s := i.String(); s == "" {
+			t.Fatalf("empty disassembly for %+v", i)
+		}
+	}
+	if RAX.String() != "rax" || RegNone.String() != "-" {
+		t.Fatal("register names wrong")
+	}
+	if CondEQ.String() != "e" {
+		t.Fatal("cond names wrong")
+	}
+}

@@ -1,0 +1,55 @@
+package litmus_test
+
+import (
+	"fmt"
+
+	"repro/internal/litmus"
+	"repro/internal/models/armcats"
+	"repro/internal/models/x86tso"
+)
+
+// ExampleOutcomes computes MP's outcome sets under the strong and weak
+// models — the paper's §2.1 example, executable.
+func ExampleOutcomes() {
+	mp := litmus.MP()
+	x86 := litmus.Outcomes(mp, x86tso.New())
+	arm := litmus.Outcomes(mp, armcats.New())
+	fmt.Println("x86 allows a=1,b=0:", x86.Contains("1:a=1", "1:b=0"))
+	fmt.Println("Arm allows a=1,b=0:", arm.Contains("1:a=1", "1:b=0"))
+	// Output:
+	// x86 allows a=1,b=0: false
+	// Arm allows a=1,b=0: true
+}
+
+// ExampleParse runs a text-format litmus test against a model.
+func ExampleParse() {
+	pt, err := litmus.Parse(`
+test SB
+thread 0
+  store X 1
+  load a Y
+thread 1
+  store Y 1
+  load b X
+allow a@0=0 b@1=0
+`)
+	if err != nil {
+		panic(err)
+	}
+	failures := litmus.CheckExpectations(pt, x86tso.New())
+	fmt.Println("expectation failures:", len(failures))
+	// Output:
+	// expectation failures: 0
+}
+
+// ExampleEnumerate counts MP's candidate executions.
+func ExampleEnumerate() {
+	n := 0
+	litmus.Enumerate(litmus.MP(), func(c *litmus.Candidate) bool {
+		n++
+		return true
+	})
+	fmt.Println("candidates:", n)
+	// Output:
+	// candidates: 4
+}

@@ -1,0 +1,334 @@
+// Package machine simulates the multi-core Arm host that Risotto-Go's
+// generated code runs on. It interprets the internal/isa/arm instruction
+// set over a flat little-endian memory, with:
+//
+//   - a per-instruction cycle cost model (see cost.go) standing in for the
+//     ThunderX2 of the paper's testbed — fence and atomic costs follow the
+//     relative magnitudes reported by Liu et al. [51];
+//   - per-CPU exclusive monitors for LDXR/STXR;
+//   - a cache-line ownership model that charges a transfer penalty to
+//     atomics contending on a line another CPU touched last (Figure 15's
+//     contention behaviour);
+//   - a deterministic round-robin scheduler interleaving the CPUs, so
+//     guest threads genuinely race;
+//   - SVC and BLR hooks through which the DBT runtime (internal/core)
+//     implements guest syscalls and helper calls.
+//
+// The interpreter executes sequentially consistently; weak-memory
+// *ordering* effects are studied axiomatically (internal/models) and
+// operationally via the store-buffer mode in weak.go, while this fast mode
+// is used for all performance experiments.
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/isa/arm"
+)
+
+// Machine is one simulated host: memory plus a set of CPUs.
+type Machine struct {
+	// Mem is the flat physical memory, shared by all CPUs.
+	Mem []byte
+	// CPUs holds every CPU ever started; halted ones stay in place.
+	CPUs []*CPU
+	// Cost is the cycle cost table.
+	Cost CostTable
+
+	// Syscall handles SVC instructions. The PC has already been advanced
+	// past the SVC; the handler may rewind it to block.
+	Syscall func(m *Machine, c *CPU, imm uint16) error
+	// OnBLR, when non-nil, may intercept BLR targets (the DBT uses this
+	// for helper calls and host-library dispatch). If it reports handled,
+	// the branch is suppressed and execution continues at the link
+	// address.
+	OnBLR func(m *Machine, c *CPU, target uint64) (handled bool, err error)
+
+	// Output accumulates bytes written via the write syscall.
+	Output []byte
+
+	// DMBExec counts executed barriers by flavour (indexed by
+	// arm.Barrier) — the *dynamic* fence counts behind the fence-share
+	// numbers, complementing the DBT's static per-block statistics.
+	DMBExec [3]uint64
+	// AtomicExec counts executed single-copy atomics.
+	AtomicExec uint64
+
+	// lineOwner tracks which CPU last performed an atomic on each
+	// 64-byte line, for the contention penalty.
+	lineOwner map[uint64]int
+
+	decodeCache map[uint64]arm.Inst
+
+	// weak, when non-nil, enables the operational weak-memory mode
+	// (store buffers with out-of-order drain; see weak.go).
+	weak *weakState
+}
+
+// CPU is one simulated hardware thread.
+type CPU struct {
+	// ID indexes the CPU in Machine.CPUs.
+	ID int
+	// Regs are X0..X30; index 31 is XZR and must be read as 0 via reg().
+	Regs [arm.NumRegs]uint64
+	// PC is the program counter.
+	PC uint64
+	// NZCV condition flags.
+	N, Z, C, V bool
+	// Cycles accumulates the cost of executed instructions.
+	Cycles uint64
+	// Insts counts executed instructions.
+	Insts uint64
+	// Halted is set by HLT or an exit syscall.
+	Halted bool
+	// ExitCode is the value passed to the exit syscall.
+	ExitCode uint64
+
+	// Exclusive monitor state.
+	monAddr  uint64
+	monSize  uint8
+	monValid bool
+}
+
+// New creates a machine with memSize bytes of memory and one CPU.
+func New(memSize int) *Machine {
+	m := &Machine{
+		Mem:         make([]byte, memSize),
+		Cost:        DefaultCost(),
+		lineOwner:   make(map[uint64]int),
+		decodeCache: make(map[uint64]arm.Inst),
+	}
+	m.AddCPU()
+	return m
+}
+
+// AddCPU starts a new (halted=false, PC=0) CPU and returns it.
+func (m *Machine) AddCPU() *CPU {
+	c := &CPU{ID: len(m.CPUs)}
+	m.CPUs = append(m.CPUs, c)
+	return c
+}
+
+// InvalidateDecodeCache drops cached decodes; callers that rewrite already-
+// executed code must invoke it. (The DBT only ever appends fresh code, so
+// translation never needs it; TB chaining patches single instructions and
+// uses InvalidateDecodeAt.)
+func (m *Machine) InvalidateDecodeCache() {
+	m.decodeCache = make(map[uint64]arm.Inst)
+}
+
+// InvalidateDecodeAt drops one address's cached decode after a code patch.
+func (m *Machine) InvalidateDecodeAt(addr uint64) {
+	delete(m.decodeCache, addr)
+}
+
+// reg reads a register, honouring XZR.
+func (c *CPU) reg(r arm.Reg) uint64 {
+	if r == arm.XZR {
+		return 0
+	}
+	return c.Regs[r]
+}
+
+// setReg writes a register, honouring XZR.
+func (c *CPU) setReg(r arm.Reg, v uint64) {
+	if r != arm.XZR {
+		c.Regs[r] = v
+	}
+}
+
+// --- Memory access ---------------------------------------------------------
+
+func (m *Machine) check(addr uint64, size uint8) error {
+	if addr+uint64(size) > uint64(len(m.Mem)) || addr+uint64(size) < addr {
+		return fmt.Errorf("machine: access [%#x,+%d) out of bounds (mem %#x)", addr, size, len(m.Mem))
+	}
+	return nil
+}
+
+// ReadMem loads size bytes (1/2/4/8) at addr, zero-extended.
+func (m *Machine) ReadMem(addr uint64, size uint8) (uint64, error) {
+	if err := m.check(addr, size); err != nil {
+		return 0, err
+	}
+	var v uint64
+	for i := uint8(0); i < size; i++ {
+		v |= uint64(m.Mem[addr+uint64(i)]) << (8 * i)
+	}
+	return v, nil
+}
+
+// WriteMem stores the low size bytes of v at addr.
+func (m *Machine) WriteMem(addr uint64, size uint8, v uint64) error {
+	if err := m.check(addr, size); err != nil {
+		return err
+	}
+	for i := uint8(0); i < size; i++ {
+		m.Mem[addr+uint64(i)] = byte(v >> (8 * i))
+	}
+	m.clearMonitors(addr, size)
+	return nil
+}
+
+// clearMonitors invalidates any exclusive monitor overlapping [addr, +size).
+func (m *Machine) clearMonitors(addr uint64, size uint8) {
+	for _, c := range m.CPUs {
+		if c.monValid && overlap(addr, uint64(size), c.monAddr, uint64(c.monSize)) {
+			c.monValid = false
+		}
+	}
+}
+
+func overlap(a, alen, b, blen uint64) bool {
+	return a < b+blen && b < a+alen
+}
+
+// ChargeAtomic charges the base atomic cost plus any contention transfer
+// penalty, for runtime helpers that perform atomics outside generated code.
+func (m *Machine) ChargeAtomic(c *CPU, addr uint64) {
+	c.Cycles += m.Cost.Atomic + m.atomicTouch(c, addr)
+}
+
+// atomicTouch charges the contention penalty for an atomic on addr and
+// records the new line owner. Returns extra cycles.
+func (m *Machine) atomicTouch(c *CPU, addr uint64) uint64 {
+	m.AtomicExec++
+	line := addr >> 6
+	owner, seen := m.lineOwner[line]
+	m.lineOwner[line] = c.ID
+	if seen && owner != c.ID {
+		return m.Cost.AtomicTransfer
+	}
+	return 0
+}
+
+// --- Flags -------------------------------------------------------------------
+
+func (c *CPU) setFlagsSub(a, b uint64) uint64 {
+	res := a - b
+	c.N = int64(res) < 0
+	c.Z = res == 0
+	c.C = a >= b
+	c.V = (int64(a) < 0) != (int64(b) < 0) && (int64(res) < 0) != (int64(a) < 0)
+	return res
+}
+
+func (c *CPU) cond(cc arm.Cond) bool {
+	switch cc {
+	case arm.EQ:
+		return c.Z
+	case arm.NE:
+		return !c.Z
+	case arm.LT:
+		return c.N != c.V
+	case arm.LE:
+		return c.Z || c.N != c.V
+	case arm.GT:
+		return !c.Z && c.N == c.V
+	case arm.GE:
+		return c.N == c.V
+	case arm.LO:
+		return !c.C
+	case arm.LS:
+		return !c.C || c.Z
+	case arm.HI:
+		return c.C && !c.Z
+	case arm.HS:
+		return c.C
+	}
+	return false
+}
+
+// --- Scheduling ---------------------------------------------------------------
+
+// Step executes one instruction on c. Halted CPUs are a no-op.
+func (m *Machine) Step(c *CPU) error {
+	if c.Halted {
+		return nil
+	}
+	inst, ok := m.decodeCache[c.PC]
+	if !ok {
+		if err := m.check(c.PC, arm.InstBytes); err != nil {
+			return fmt.Errorf("cpu%d: fetch: %w", c.ID, err)
+		}
+		var err error
+		inst, err = arm.DecodeAt(m.Mem, int(c.PC))
+		if err != nil {
+			return fmt.Errorf("cpu%d at %#x: %w", c.ID, c.PC, err)
+		}
+		m.decodeCache[c.PC] = inst
+	}
+	if err := m.exec(c, inst); err != nil {
+		return err
+	}
+	if m.weak != nil {
+		return m.weakMaybeDrain(c)
+	}
+	return nil
+}
+
+// Run executes a single CPU until it halts or maxSteps elapse.
+func (m *Machine) Run(c *CPU, maxSteps uint64) error {
+	for i := uint64(0); i < maxSteps; i++ {
+		if c.Halted {
+			return nil
+		}
+		if err := m.Step(c); err != nil {
+			return err
+		}
+	}
+	return fmt.Errorf("cpu%d: step budget %d exhausted at pc=%#x", c.ID, maxSteps, c.PC)
+}
+
+// RunAll interleaves every live CPU round-robin, quantum instructions at a
+// time, until all halt or the per-machine step budget is exhausted.
+// CPUs added during execution (spawn) join the rotation.
+func (m *Machine) RunAll(quantum int, maxSteps uint64) error {
+	if quantum <= 0 {
+		quantum = 64
+	}
+	var total uint64
+	for {
+		alive := false
+		for i := 0; i < len(m.CPUs); i++ {
+			c := m.CPUs[i]
+			if c.Halted {
+				continue
+			}
+			alive = true
+			for q := 0; q < quantum && !c.Halted; q++ {
+				if err := m.Step(c); err != nil {
+					return err
+				}
+				total++
+				if total > maxSteps {
+					return fmt.Errorf("machine: step budget %d exhausted", maxSteps)
+				}
+			}
+		}
+		if !alive {
+			return nil
+		}
+	}
+}
+
+// MaxCycles returns the largest per-CPU cycle count — the simulated elapsed
+// time of a parallel phase.
+func (m *Machine) MaxCycles() uint64 {
+	var max uint64
+	for _, c := range m.CPUs {
+		if c.Cycles > max {
+			max = c.Cycles
+		}
+	}
+	return max
+}
+
+// TotalInsts returns the instruction count summed over CPUs.
+func (m *Machine) TotalInsts() uint64 {
+	var n uint64
+	for _, c := range m.CPUs {
+		n += c.Insts
+	}
+	return n
+}

@@ -1,0 +1,161 @@
+package machine
+
+import (
+	"math/rand"
+
+	"repro/internal/isa/arm"
+)
+
+// Weak-memory mode: an operational approximation of Arm's store-side
+// relaxations, complementing the axiomatic models in internal/models.
+//
+// Each CPU gets a store buffer; plain STRs enter the buffer and drain to
+// memory later — possibly out of program order (store-store reordering)
+// and after subsequent loads execute (store-load reordering). Loads
+// forward from the CPU's own buffer (reading own writes early, like real
+// store buffers). Barriers restore order:
+//
+//   - DMB ISH and DMB ISHST flush the buffer (no store may pass them);
+//   - STLR (release) flushes before writing;
+//   - exclusives and single-copy atomics flush before operating
+//     (Arm atomics are never satisfied from a local buffer).
+//
+// Load-side relaxations (load-load reordering, speculation past an
+// acquire) are NOT modelled operationally; those behaviours are covered
+// by the axiomatic checker. The mode exists to demonstrate that the weak
+// outcomes predicted by the models actually manifest in execution and
+// that the verified mappings' fences suppress them.
+//
+// The drain schedule is driven by a seeded RNG, so runs are reproducible;
+// exploring seeds explores interleavings.
+type weakState struct {
+	rng *rand.Rand
+	// drainProb is the per-step probability (in 1/256ths) that one
+	// buffered store drains.
+	drainProb int
+	buffers   map[int][]pendingStore
+}
+
+type pendingStore struct {
+	addr uint64
+	size uint8
+	val  uint64
+}
+
+// EnableWeakMemory switches the machine into weak mode with the given
+// seed. drainProb256 is the per-step drain probability in 1/256ths
+// (64 ≈ drain every 4 steps).
+func (m *Machine) EnableWeakMemory(seed int64, drainProb256 int) {
+	if drainProb256 <= 0 {
+		drainProb256 = 64
+	}
+	m.weak = &weakState{
+		rng:       rand.New(rand.NewSource(seed)),
+		drainProb: drainProb256,
+		buffers:   make(map[int][]pendingStore),
+	}
+}
+
+// WeakEnabled reports whether weak mode is on.
+func (m *Machine) WeakEnabled() bool { return m.weak != nil }
+
+// weakStore buffers a plain store.
+func (m *Machine) weakStore(c *CPU, addr uint64, size uint8, v uint64) error {
+	if err := m.check(addr, size); err != nil {
+		return err
+	}
+	w := m.weak
+	w.buffers[c.ID] = append(w.buffers[c.ID], pendingStore{addr, size, v})
+	return nil
+}
+
+// weakLoad reads with store-buffer forwarding: the newest exactly-matching
+// buffered store wins; a partially-overlapping buffered store forces a
+// flush (real hardware merges; flushing is the simple sound choice).
+func (m *Machine) weakLoad(c *CPU, addr uint64, size uint8) (uint64, error) {
+	buf := m.weak.buffers[c.ID]
+	for i := len(buf) - 1; i >= 0; i-- {
+		p := buf[i]
+		if p.addr == addr && p.size == size {
+			return p.val, nil
+		}
+		if overlap(addr, uint64(size), p.addr, uint64(p.size)) {
+			if err := m.weakFlush(c); err != nil {
+				return 0, err
+			}
+			return m.ReadMem(addr, size)
+		}
+	}
+	return m.ReadMem(addr, size)
+}
+
+// weakFlush drains the CPU's entire buffer in order.
+func (m *Machine) weakFlush(c *CPU) error {
+	buf := m.weak.buffers[c.ID]
+	m.weak.buffers[c.ID] = nil
+	for _, p := range buf {
+		if err := m.WriteMem(p.addr, p.size, p.val); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// weakMaybeDrain possibly retires one buffered store — picked at random,
+// giving store-store reordering — after an executed instruction.
+func (m *Machine) weakMaybeDrain(c *CPU) error {
+	w := m.weak
+	buf := w.buffers[c.ID]
+	if len(buf) == 0 {
+		return nil
+	}
+	// Bound buffers like hardware does.
+	if len(buf) < 8 && w.rng.Intn(256) >= w.drainProb {
+		return nil
+	}
+	i := w.rng.Intn(len(buf))
+	// Coherence: a store may not drain before an older buffered store to
+	// an overlapping address.
+	for j := 0; j < i; j++ {
+		if overlap(buf[j].addr, uint64(buf[j].size), buf[i].addr, uint64(buf[i].size)) {
+			i = j
+			break
+		}
+	}
+	p := buf[i]
+	w.buffers[c.ID] = append(append([]pendingStore(nil), buf[:i]...), buf[i+1:]...)
+	return m.WriteMem(p.addr, p.size, p.val)
+}
+
+// weakBarrier implements DMB in weak mode. DMB ISH and DMB ISHST order
+// buffered stores with later accesses: flush. DMB ISHLD constrains only
+// the load side, which this model executes in order anyway.
+func (m *Machine) weakBarrier(c *CPU, b arm.Barrier) error {
+	if b == arm.BarrierLoad {
+		return nil
+	}
+	return m.weakFlush(c)
+}
+
+// FlushWeak drains one CPU's buffer; runtimes call it at thread-exit
+// points (thread exit synchronizes with join).
+func (m *Machine) FlushWeak(c *CPU) error {
+	if m.weak == nil {
+		return nil
+	}
+	return m.weakFlush(c)
+}
+
+// FlushAllWeak drains every CPU's buffer (used at join/halt points and by
+// tests before inspecting memory).
+func (m *Machine) FlushAllWeak() error {
+	if m.weak == nil {
+		return nil
+	}
+	for _, c := range m.CPUs {
+		if err := m.weakFlush(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}

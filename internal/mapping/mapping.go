@@ -1,0 +1,274 @@
+// Package mapping implements the translation (mapping) schemes between the
+// three instruction levels of the Risotto paper — x86, TCG IR and Arm — as
+// transformations over litmus programs, together with the executable form
+// of Theorem 1 (behaviour containment).
+//
+// Three x86→TCG schemes are provided:
+//
+//   - QEMU (Figure 2): Fmr;ld (demoted to Frr;ld for x86 guests) and
+//     Fmw;st — leading fences, RMWs via helper calls.
+//   - Verified (Figure 7a): ld;Frm and Fww;st — Risotto's minimal verified
+//     scheme with trailing load fences and leading store fences.
+//   - NoFences: no ordering enforcement (the paper's incorrect-but-fast
+//     oracle).
+//
+// And the TCG→Arm schemes:
+//
+//   - QEMU (Figure 2): Frr→DMBLD, Fmw→DMBFF, Fsc→DMBFF; RMWs become a
+//     helper call whose body is either RMW2^AL (GCC 9) or RMW1^AL (GCC 10),
+//     with no surrounding fences — the source of the MPQ/SBQ errors.
+//   - Verified (Figure 7b): Frr/Frw/Frm→DMBLD, Fww→DMBST,
+//     Fwr/Fwm/Fmr/Fmw/Fmm/Fsc→DMBFF, Facq/Frel→nothing; RMW becomes either
+//     DMBFF;RMW2;DMBFF or RMW1^AL.
+package mapping
+
+import (
+	"repro/internal/litmus"
+	"repro/internal/memmodel"
+)
+
+// X86Scheme selects the x86→TCG IR mapping.
+type X86Scheme int
+
+const (
+	// X86Qemu is QEMU's original scheme (leading Fmr/Fmw fences, with the
+	// documented Frr demotion for x86 guests).
+	X86Qemu X86Scheme = iota
+	// X86Verified is Risotto's verified scheme (Figure 7a).
+	X86Verified
+	// X86NoFences emits no fences at all (incorrect; performance oracle).
+	X86NoFences
+)
+
+// RMWStyle selects how a TCG RMW is lowered to Arm.
+type RMWStyle int
+
+const (
+	// RMWCasal lowers to the single casal instruction (RMW1^AL).
+	RMWCasal RMWStyle = iota
+	// RMWExclusiveFenced lowers to DMBFF; RMW2; DMBFF (verified scheme's
+	// exclusive-pair option).
+	RMWExclusiveFenced
+	// RMWHelperCasal models QEMU's helper call compiled by GCC ≥ 10:
+	// a bare RMW1^AL with no surrounding fences.
+	RMWHelperCasal
+	// RMWHelperExclusiveAL models QEMU's helper call compiled by GCC 9:
+	// a bare RMW2^AL (ldaxr/stlxr) with no surrounding fences.
+	RMWHelperExclusiveAL
+)
+
+// ArmScheme selects the TCG IR→Arm mapping.
+type ArmScheme int
+
+const (
+	// ArmQemu is QEMU's fence lowering.
+	ArmQemu ArmScheme = iota
+	// ArmVerified is Risotto's verified lowering (Figure 7b).
+	ArmVerified
+)
+
+// mapOps rewrites each op through f, recursing into conditionals.
+func mapOps(ops []litmus.Op, f func(litmus.Op) []litmus.Op) []litmus.Op {
+	var out []litmus.Op
+	for _, op := range ops {
+		if ifOp, ok := op.(litmus.If); ok {
+			out = append(out, litmus.If{
+				Reg: ifOp.Reg, Eq: ifOp.Eq, Val: ifOp.Val,
+				Body: mapOps(ifOp.Body, f),
+			})
+			continue
+		}
+		out = append(out, f(op)...)
+	}
+	return out
+}
+
+func mapProgram(p *litmus.Program, suffix string, f func(litmus.Op) []litmus.Op) *litmus.Program {
+	out := &litmus.Program{Name: p.Name + suffix}
+	for _, t := range p.Threads {
+		out.Threads = append(out.Threads, mapOps(t, f))
+	}
+	return out
+}
+
+// X86ToTCG translates an x86-level litmus program to the TCG IR level.
+func X86ToTCG(p *litmus.Program, scheme X86Scheme) *litmus.Program {
+	return mapProgram(p, "→tcg", func(op litmus.Op) []litmus.Op {
+		switch o := op.(type) {
+		case litmus.Load:
+			switch scheme {
+			case X86Qemu:
+				// Fmr demoted to Frr for x86 guests (§3.1).
+				return []litmus.Op{litmus.Fence{K: memmodel.FenceFrr}, plainLoad(o)}
+			case X86Verified:
+				return []litmus.Op{plainLoad(o), litmus.Fence{K: memmodel.FenceFrm}}
+			default:
+				return []litmus.Op{plainLoad(o)}
+			}
+		case litmus.Store:
+			switch scheme {
+			case X86Qemu:
+				return []litmus.Op{litmus.Fence{K: memmodel.FenceFmw}, plainStore(o)}
+			case X86Verified:
+				return []litmus.Op{litmus.Fence{K: memmodel.FenceFww}, plainStore(o)}
+			default:
+				return []litmus.Op{plainStore(o)}
+			}
+		case litmus.StoreReg:
+			s := litmus.StoreReg{Loc: o.Loc, Src: o.Src}
+			switch scheme {
+			case X86Qemu:
+				return []litmus.Op{litmus.Fence{K: memmodel.FenceFmw}, s}
+			case X86Verified:
+				return []litmus.Op{litmus.Fence{K: memmodel.FenceFww}, s}
+			default:
+				return []litmus.Op{s}
+			}
+		case litmus.LoadIdx:
+			l := litmus.LoadIdx{Dst: o.Dst, Idx: o.Idx, Loc0: o.Loc0, Loc1: o.Loc1}
+			switch scheme {
+			case X86Qemu:
+				return []litmus.Op{litmus.Fence{K: memmodel.FenceFrr}, l}
+			case X86Verified:
+				return []litmus.Op{l, litmus.Fence{K: memmodel.FenceFrm}}
+			default:
+				return []litmus.Op{l}
+			}
+		case litmus.StoreIdx:
+			s := litmus.StoreIdx{Idx: o.Idx, Loc0: o.Loc0, Loc1: o.Loc1, Val: o.Val}
+			switch scheme {
+			case X86Qemu:
+				return []litmus.Op{litmus.Fence{K: memmodel.FenceFmw}, s}
+			case X86Verified:
+				return []litmus.Op{litmus.Fence{K: memmodel.FenceFww}, s}
+			default:
+				return []litmus.Op{s}
+			}
+		case litmus.CAS:
+			// All schemes keep the RMW an IR-level RMW with SC semantics
+			// (QEMU routes it through a helper, but at the IR level the
+			// helper is an opaque SC atomic; the divergence appears in the
+			// Arm lowering).
+			return []litmus.Op{litmus.CAS{
+				Loc: o.Loc, Expect: o.Expect, New: o.New, Dst: o.Dst,
+				Attr: litmus.Attr{SC: true, Class: o.Class},
+			}}
+		case litmus.Fence:
+			if o.K == memmodel.FenceMFENCE {
+				return []litmus.Op{litmus.Fence{K: memmodel.FenceFsc}}
+			}
+			return []litmus.Op{o}
+		default:
+			return []litmus.Op{op}
+		}
+	})
+}
+
+func plainLoad(o litmus.Load) litmus.Load {
+	return litmus.Load{Dst: o.Dst, Loc: o.Loc}
+}
+
+func plainStore(o litmus.Store) litmus.Store {
+	return litmus.Store{Loc: o.Loc, Val: o.Val}
+}
+
+// lowerFence maps a TCG fence to its Arm fence (FenceNone = emit nothing).
+func lowerFence(k memmodel.Fence, scheme ArmScheme) memmodel.Fence {
+	switch k {
+	case memmodel.FenceFrr, memmodel.FenceFrw, memmodel.FenceFrm:
+		return memmodel.FenceDMBLD
+	case memmodel.FenceFww:
+		if scheme == ArmVerified {
+			return memmodel.FenceDMBST
+		}
+		return memmodel.FenceDMBFF
+	case memmodel.FenceFwr, memmodel.FenceFwm, memmodel.FenceFmr,
+		memmodel.FenceFmw, memmodel.FenceFmm, memmodel.FenceFsc:
+		return memmodel.FenceDMBFF
+	case memmodel.FenceFacq, memmodel.FenceFrel:
+		return memmodel.FenceNone
+	default:
+		return k
+	}
+}
+
+// TCGToArm translates a TCG-level litmus program to the Arm level.
+func TCGToArm(p *litmus.Program, scheme ArmScheme, rmw RMWStyle) *litmus.Program {
+	return mapProgram(p, "→arm", func(op litmus.Op) []litmus.Op {
+		switch o := op.(type) {
+		case litmus.Load:
+			return []litmus.Op{litmus.Load{Dst: o.Dst, Loc: o.Loc}}
+		case litmus.Store:
+			return []litmus.Op{litmus.Store{Loc: o.Loc, Val: o.Val}}
+		case litmus.StoreReg:
+			return []litmus.Op{litmus.StoreReg{Loc: o.Loc, Src: o.Src}}
+		case litmus.LoadIdx:
+			return []litmus.Op{litmus.LoadIdx{Dst: o.Dst, Idx: o.Idx, Loc0: o.Loc0, Loc1: o.Loc1}}
+		case litmus.StoreIdx:
+			return []litmus.Op{litmus.StoreIdx{Idx: o.Idx, Loc0: o.Loc0, Loc1: o.Loc1, Val: o.Val}}
+		case litmus.Fence:
+			lk := lowerFence(o.K, scheme)
+			if lk == memmodel.FenceNone {
+				return nil
+			}
+			return []litmus.Op{litmus.Fence{K: lk}}
+		case litmus.CAS:
+			switch rmw {
+			case RMWCasal, RMWHelperCasal:
+				return []litmus.Op{litmus.CAS{
+					Loc: o.Loc, Expect: o.Expect, New: o.New, Dst: o.Dst,
+					Attr: litmus.Attr{Acq: true, Rel: true, Class: memmodel.RMWAmo},
+				}}
+			case RMWHelperExclusiveAL:
+				return []litmus.Op{litmus.CAS{
+					Loc: o.Loc, Expect: o.Expect, New: o.New, Dst: o.Dst,
+					Attr: litmus.Attr{Acq: true, Rel: true, Class: memmodel.RMWLxSx},
+				}}
+			default: // RMWExclusiveFenced
+				return []litmus.Op{
+					litmus.Fence{K: memmodel.FenceDMBFF},
+					litmus.CAS{
+						Loc: o.Loc, Expect: o.Expect, New: o.New, Dst: o.Dst,
+						Attr: litmus.Attr{Class: memmodel.RMWLxSx},
+					},
+					litmus.Fence{K: memmodel.FenceDMBFF},
+				}
+			}
+		default:
+			return []litmus.Op{op}
+		}
+	})
+}
+
+// X86ToArm composes the two mapping steps.
+func X86ToArm(p *litmus.Program, xs X86Scheme, as ArmScheme, rmw RMWStyle) *litmus.Program {
+	return TCGToArm(X86ToTCG(p, xs), as, rmw)
+}
+
+// Verification is the result of one Theorem-1 check.
+type Verification struct {
+	// Source and Target name the programs compared.
+	Source, Target string
+	// SourceModel and TargetModel name the models used.
+	SourceModel, TargetModel string
+	// NewBehaviours lists target outcomes absent from the source — empty
+	// iff the mapping is correct for this program.
+	NewBehaviours []litmus.Outcome
+}
+
+// Correct reports whether the translation introduced no new behaviour.
+func (v Verification) Correct() bool { return len(v.NewBehaviours) == 0 }
+
+// VerifyTheorem1 checks behaviour containment: every outcome of tgt under
+// mt must be an outcome of src under ms.
+func VerifyTheorem1(src *litmus.Program, ms memmodel.Model, tgt *litmus.Program, mt memmodel.Model) Verification {
+	srcOut := litmus.Outcomes(src, ms)
+	tgtOut := litmus.Outcomes(tgt, mt)
+	return Verification{
+		Source:        src.Name,
+		Target:        tgt.Name,
+		SourceModel:   ms.Name(),
+		TargetModel:   mt.Name(),
+		NewBehaviours: tgtOut.Minus(srcOut),
+	}
+}

@@ -1,0 +1,100 @@
+package armcats
+
+import (
+	"testing"
+
+	"repro/internal/litmus"
+	"repro/internal/models/tcgmm"
+	"repro/internal/models/x86tso"
+)
+
+// Address-dependency (dob addr) coverage.
+
+func TestMPAddrForbiddenOnArm(t *testing.T) {
+	out := litmus.Outcomes(litmus.MPAddr(), New())
+	if out.Contains("1:a=1", "1:b=0") {
+		t.Fatal("Arm must forbid MP+addr's weak outcome (dob addr)")
+	}
+	if !out.Contains("1:a=1", "1:b=1") {
+		t.Fatal("the strong outcome must exist")
+	}
+}
+
+func TestMPWithoutDepStaysWeakOnArm(t *testing.T) {
+	// Control: the same shape with a plain (non-dependent) second load is
+	// weak — the dependency is what forbids it above.
+	p := &litmus.Program{
+		Name: "MP+noaddr",
+		Threads: [][]litmus.Op{
+			litmus.MPAddr().Threads[0],
+			{
+				litmus.Load{Dst: "a", Loc: "Y"},
+				litmus.Load{Dst: "b", Loc: "X0"},
+			},
+		},
+	}
+	out := litmus.Outcomes(p, New())
+	if !out.Contains("1:a=1", "1:b=0") {
+		t.Fatal("without the dependency the weak outcome must be allowed")
+	}
+}
+
+func TestLBAddrForbiddenOnArmAllowedInIR(t *testing.T) {
+	// Arm: dob addr into the stores forbids a=b=1.
+	out := litmus.Outcomes(litmus.LBAddr(), New())
+	if out.Contains("0:a=1", "1:b=1") {
+		t.Fatal("Arm must forbid LB+addrs a=b=1")
+	}
+	// The TCG IR model ignores dependencies (§5.3): a=b=1 is admitted.
+	out = litmus.Outcomes(litmus.LBAddr(), tcgmm.New())
+	if !out.Contains("0:a=1", "1:b=1") {
+		t.Fatal("TCG IR must allow LB+addrs a=b=1 (no dependency ordering)")
+	}
+}
+
+func TestAddrDependencySelectsLocation(t *testing.T) {
+	// A genuine two-location indexed load: reads Z0 when the index is
+	// even, Z1 when odd; the enumerator must bind the location to the
+	// index value.
+	p := &litmus.Program{
+		Name: "idx-select",
+		Threads: [][]litmus.Op{
+			{litmus.Store{Loc: "Z0", Val: 10}, litmus.Store{Loc: "Z1", Val: 20}},
+			{
+				litmus.Load{Dst: "i", Loc: "SEL"},
+				litmus.LoadIdx{Dst: "v", Idx: "i", Loc0: "Z0", Loc1: "Z1"},
+			},
+			{litmus.Store{Loc: "SEL", Val: 1}},
+		},
+	}
+	out := litmus.Outcomes(p, New())
+	// i=1 must read Z1 (20 or its init 0), never Z0's values.
+	if out.Contains("1:i=1", "1:v=10") {
+		t.Fatal("odd index must not read Z0")
+	}
+	if !out.Contains("1:i=1", "1:v=20") {
+		t.Fatal("odd index reading Z1=20 must be possible")
+	}
+	if !out.Contains("1:i=0", "1:v=10") {
+		t.Fatal("even index reading Z0=10 must be possible")
+	}
+}
+
+func TestX86OrdersIndexedLoads(t *testing.T) {
+	// At the x86 level indexed loads are ordered like any load pair (ppo
+	// covers R×R), dependency or not.
+	src := &litmus.Program{
+		Name: "MP+addr-x86",
+		Threads: [][]litmus.Op{
+			{litmus.Store{Loc: "X0", Val: 1}, litmus.Store{Loc: "Y", Val: 1}},
+			{
+				litmus.Load{Dst: "a", Loc: "Y"},
+				litmus.LoadIdx{Dst: "b", Idx: "a", Loc0: "X0", Loc1: "X0"},
+			},
+		},
+	}
+	out := litmus.Outcomes(src, x86tso.New())
+	if out.Contains("1:a=1", "1:b=0") {
+		t.Fatal("x86 forbids MP+addr weak outcome (ppo covers all load pairs)")
+	}
+}

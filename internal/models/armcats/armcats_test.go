@@ -1,0 +1,284 @@
+package armcats
+
+import (
+	"testing"
+
+	"repro/internal/litmus"
+	"repro/internal/memmodel"
+)
+
+func TestMPWeakAllowedPlain(t *testing.T) {
+	out := litmus.Outcomes(litmus.MPArm(), New())
+	if !out.Contains("1:a=1", "1:b=0") {
+		t.Fatal("plain Arm MP must allow a=1,b=0 (§2.1)")
+	}
+}
+
+func TestMPForbiddenWithDMB(t *testing.T) {
+	out := litmus.Outcomes(litmus.MPArmDMB(), New())
+	if out.Contains("1:a=1", "1:b=0") {
+		t.Fatal("DMBFF-fenced MP must forbid a=1,b=0")
+	}
+}
+
+func TestMPForbiddenWithRelAcq(t *testing.T) {
+	// STLR / LDAR also restore MP ordering.
+	p := &litmus.Program{
+		Name: "MP+relacq",
+		Threads: [][]litmus.Op{
+			{
+				litmus.Store{Loc: "X", Val: 1},
+				litmus.Store{Loc: "Y", Val: 1, Attr: litmus.Attr{Rel: true}},
+			},
+			{
+				litmus.Load{Dst: "a", Loc: "Y", Attr: litmus.Attr{Acq: true}},
+				litmus.Load{Dst: "b", Loc: "X"},
+			},
+		},
+	}
+	out := litmus.Outcomes(p, New())
+	if out.Contains("1:a=1", "1:b=0") {
+		t.Fatal("release/acquire MP must forbid a=1,b=0")
+	}
+}
+
+func TestMPAddressDependencyOrders(t *testing.T) {
+	// Data dependency via dob: a=Y; X2=a ordering the store after the load.
+	p := &litmus.Program{
+		Name: "MP+dep",
+		Threads: [][]litmus.Op{
+			{
+				litmus.Store{Loc: "X", Val: 1},
+				litmus.Fence{K: memmodel.FenceDMBFF},
+				litmus.Store{Loc: "Y", Val: 1},
+			},
+			{
+				litmus.Load{Dst: "a", Loc: "Y"},
+				litmus.StoreReg{Loc: "Z", Src: "a"},
+				litmus.Load{Dst: "b", Loc: "X"},
+			},
+		},
+	}
+	// The plain load b=X is still unordered w.r.t. a=Y, so the weak
+	// outcome survives a data dependency to an unrelated store.
+	out := litmus.Outcomes(p, New())
+	if !out.Contains("1:a=1", "1:b=0") {
+		t.Fatal("data dep to Z does not order the independent load of X")
+	}
+}
+
+func TestCtrlDependencyOrdersStoresOnly(t *testing.T) {
+	// MP with a control dependency into a *store*: ctrl;[W] orders it.
+	p := &litmus.Program{
+		Name: "MP+ctrl-store",
+		Threads: [][]litmus.Op{
+			{
+				litmus.Store{Loc: "X", Val: 1},
+				litmus.Fence{K: memmodel.FenceDMBFF},
+				litmus.Store{Loc: "Y", Val: 1},
+			},
+			{
+				litmus.Load{Dst: "a", Loc: "Y"},
+				litmus.If{Reg: "a", Eq: true, Val: 1, Body: []litmus.Op{
+					litmus.Store{Loc: "Z", Val: 1},
+				}},
+			},
+		},
+	}
+	// a=1 with Z=1 is the only way Z gets written; the dependency means
+	// the Z write cannot be seen before a=Y reads 1 — an observer thread
+	// would be needed to test visibility, so here just check consistency
+	// machinery doesn't blow up and both outcomes exist.
+	out := litmus.Outcomes(p, New())
+	if !out.Contains("1:a=1", "Z=1") || !out.Contains("1:a=0", "Z=0") {
+		t.Fatalf("expected both branch outcomes, got %v", out.Sorted())
+	}
+	// Ctrl-dep to a *load* does not order it: LB+ctrl on one side only
+	// still forbids... actually LB needs deps on both sides; skip.
+}
+
+func TestLBDataDepsForbidden(t *testing.T) {
+	// LB with data dependencies on both sides is forbidden in Arm (dob).
+	p := &litmus.Program{
+		Name: "LB+datas",
+		Threads: [][]litmus.Op{
+			{
+				litmus.Load{Dst: "a", Loc: "X"},
+				litmus.StoreReg{Loc: "Y", Src: "a"},
+			},
+			{
+				litmus.Load{Dst: "b", Loc: "Y"},
+				litmus.StoreReg{Loc: "X", Src: "b"},
+			},
+		},
+	}
+	out := litmus.Outcomes(p, New())
+	if out.Contains("0:a=1", "1:b=1") {
+		t.Fatal("LB+data+data must be forbidden in Arm")
+	}
+	// The plain-store variant is allowed.
+	out = litmus.Outcomes(litmus.LB(), New())
+	if !out.Contains("0:a=1", "1:b=1") {
+		t.Fatal("plain LB must be allowed in Arm")
+	}
+}
+
+func TestSBALOriginalVsCorrected(t *testing.T) {
+	p := litmus.SBALArm()
+	orig := litmus.Outcomes(p, NewVariant(Original))
+	if !orig.Contains("0:a=0", "1:b=0") {
+		t.Fatal("original Armed-Cats must allow SBAL a=b=0 (§3.3 error)")
+	}
+	fixed := litmus.Outcomes(p, New())
+	if fixed.Contains("0:a=0", "1:b=0") {
+		t.Fatal("corrected Armed-Cats must forbid SBAL a=b=0 (§5.2 fix)")
+	}
+	// The fix strictly strengthens: corrected ⊆ original.
+	if !fixed.SubsetOf(orig) {
+		t.Fatal("corrected model admitted an outcome the original forbids")
+	}
+}
+
+func TestSBPlainAllowed(t *testing.T) {
+	out := litmus.Outcomes(litmus.SB(), New())
+	if !out.Contains("0:a=0", "1:b=0") {
+		t.Fatal("Arm allows SB a=b=0")
+	}
+}
+
+func TestSBWithDMBForbidden(t *testing.T) {
+	p := &litmus.Program{
+		Name: "SB+dmbs",
+		Threads: [][]litmus.Op{
+			{
+				litmus.Store{Loc: "X", Val: 1},
+				litmus.Fence{K: memmodel.FenceDMBFF},
+				litmus.Load{Dst: "a", Loc: "Y"},
+			},
+			{
+				litmus.Store{Loc: "Y", Val: 1},
+				litmus.Fence{K: memmodel.FenceDMBFF},
+				litmus.Load{Dst: "b", Loc: "X"},
+			},
+		},
+	}
+	out := litmus.Outcomes(p, New())
+	if out.Contains("0:a=0", "1:b=0") {
+		t.Fatal("DMBFF must forbid SB a=b=0 on Arm")
+	}
+}
+
+func TestDMBLDOrdersLoadDown(t *testing.T) {
+	// MP with DMBST between stores and DMBLD after first load:
+	// the verified Risotto mapping shape. Weak outcome forbidden.
+	p := &litmus.Program{
+		Name: "MP+st+ld",
+		Threads: [][]litmus.Op{
+			{
+				litmus.Store{Loc: "X", Val: 1},
+				litmus.Fence{K: memmodel.FenceDMBST},
+				litmus.Store{Loc: "Y", Val: 1},
+			},
+			{
+				litmus.Load{Dst: "a", Loc: "Y"},
+				litmus.Fence{K: memmodel.FenceDMBLD},
+				litmus.Load{Dst: "b", Loc: "X"},
+			},
+		},
+	}
+	out := litmus.Outcomes(p, New())
+	if out.Contains("1:a=1", "1:b=0") {
+		t.Fatal("DMBST/DMBLD mapping must forbid MP weak outcome")
+	}
+}
+
+func TestDMBSTDoesNotOrderLoads(t *testing.T) {
+	// DMBST only orders W-W: using it in the reader thread leaves MP weak.
+	p := &litmus.Program{
+		Name: "MP+st-wrong",
+		Threads: [][]litmus.Op{
+			{
+				litmus.Store{Loc: "X", Val: 1},
+				litmus.Fence{K: memmodel.FenceDMBST},
+				litmus.Store{Loc: "Y", Val: 1},
+			},
+			{
+				litmus.Load{Dst: "a", Loc: "Y"},
+				litmus.Fence{K: memmodel.FenceDMBST},
+				litmus.Load{Dst: "b", Loc: "X"},
+			},
+		},
+	}
+	out := litmus.Outcomes(p, New())
+	if !out.Contains("1:a=1", "1:b=0") {
+		t.Fatal("DMBST between loads orders nothing; weak outcome must remain")
+	}
+}
+
+func TestExclusivePairAtomicity(t *testing.T) {
+	// Two lxsx CASes on one location: both cannot succeed reading 0.
+	attr := litmus.Attr{Class: memmodel.RMWLxSx}
+	p := &litmus.Program{
+		Name: "2LXSX",
+		Threads: [][]litmus.Op{
+			{litmus.CAS{Loc: "X", Expect: 0, New: 1, Dst: "a", Attr: attr}},
+			{litmus.CAS{Loc: "X", Expect: 0, New: 2, Dst: "b", Attr: attr}},
+		},
+	}
+	out := litmus.Outcomes(p, New())
+	if out.Contains("0:a=0", "1:b=0") {
+		t.Fatal("atomicity: both exclusive CASes succeeded")
+	}
+}
+
+func TestMPQArmShapeAllowedWithoutTrailingFence(t *testing.T) {
+	// The Arm-level shape of QEMU-translated MPQ (§3.2): DMBFF-ordered
+	// stores, DMBLD *before* the load (QEMU's placement), then casal.
+	// The plain load and the casal acquire-read may still reorder, so
+	// a=1 ∧ X=1 (failed RMW) must be allowed — the QEMU bug.
+	amoAL := litmus.Attr{Acq: true, Rel: true, Class: memmodel.RMWAmo}
+	p := &litmus.Program{
+		Name: "MPQ-arm-qemu",
+		Threads: [][]litmus.Op{
+			{
+				litmus.Fence{K: memmodel.FenceDMBFF},
+				litmus.Store{Loc: "X", Val: 1},
+				litmus.Fence{K: memmodel.FenceDMBFF},
+				litmus.Store{Loc: "Y", Val: 1},
+			},
+			{
+				litmus.Fence{K: memmodel.FenceDMBLD},
+				litmus.Load{Dst: "a", Loc: "Y"},
+				litmus.If{Reg: "a", Eq: true, Val: 1, Body: []litmus.Op{
+					litmus.CAS{Loc: "X", Expect: 1, New: 2, Attr: amoAL},
+				}},
+			},
+		},
+	}
+	out := litmus.Outcomes(p, New())
+	if !out.Contains("1:a=1", "X=1") {
+		t.Fatal("QEMU-shaped MPQ must exhibit the erroneous outcome a=1,X=1 on Arm")
+	}
+	// Risotto's placement (trailing DMBLD after the load) forbids it.
+	p2 := &litmus.Program{
+		Name: "MPQ-arm-risotto",
+		Threads: [][]litmus.Op{
+			{
+				litmus.Store{Loc: "X", Val: 1},
+				litmus.Fence{K: memmodel.FenceDMBST},
+				litmus.Store{Loc: "Y", Val: 1},
+			},
+			{
+				litmus.Load{Dst: "a", Loc: "Y"},
+				litmus.Fence{K: memmodel.FenceDMBLD},
+				litmus.If{Reg: "a", Eq: true, Val: 1, Body: []litmus.Op{
+					litmus.CAS{Loc: "X", Expect: 1, New: 2, Attr: amoAL},
+				}},
+			},
+		},
+	}
+	out2 := litmus.Outcomes(p2, New())
+	if out2.Contains("1:a=1", "X=1") {
+		t.Fatal("Risotto-shaped MPQ must forbid a=1,X=1 on Arm")
+	}
+}

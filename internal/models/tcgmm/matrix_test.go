@@ -1,0 +1,122 @@
+package tcgmm
+
+import (
+	"testing"
+
+	"repro/internal/litmus"
+	"repro/internal/memmodel"
+)
+
+// TestFenceDirectionMatrix systematically validates Figure 6's ord table:
+// for every fence kind and every access-pair direction (RR, RW, WR, WW),
+// the fence forbids the corresponding weak outcome iff its rule covers
+// that direction.
+
+// pairProgram builds the canonical two-thread test for a direction with
+// fence f between the first thread's accesses:
+//
+//	RR: MP-reader side weak outcome needs the ld-ld order
+//	RW: LB needs ld-st order on both sides (we fence both)
+//	WR: SB needs st-ld order on both sides
+//	WW: MP-writer side weak outcome needs the st-st order
+func pairProgram(dir string, f memmodel.Fence) *litmus.Program {
+	fence := litmus.Fence{K: f}
+	switch dir {
+	case "RR":
+		// Writer is fully ordered via RMW-sc stores? Use SC RMWs to pin
+		// the writer; the fence under test sits between the reader's
+		// loads.
+		return &litmus.Program{
+			Name: "matrix-RR",
+			Threads: [][]litmus.Op{
+				{
+					litmus.Store{Loc: "X", Val: 1},
+					litmus.Fence{K: memmodel.FenceFsc},
+					litmus.Store{Loc: "Y", Val: 1},
+				},
+				{
+					litmus.Load{Dst: "a", Loc: "Y"},
+					fence,
+					litmus.Load{Dst: "b", Loc: "X"},
+				},
+			},
+		}
+	case "RW":
+		return &litmus.Program{
+			Name: "matrix-RW",
+			Threads: [][]litmus.Op{
+				{litmus.Load{Dst: "a", Loc: "X"}, fence, litmus.Store{Loc: "Y", Val: 1}},
+				{litmus.Load{Dst: "b", Loc: "Y"}, fence, litmus.Store{Loc: "X", Val: 1}},
+			},
+		}
+	case "WR":
+		return &litmus.Program{
+			Name: "matrix-WR",
+			Threads: [][]litmus.Op{
+				{litmus.Store{Loc: "X", Val: 1}, fence, litmus.Load{Dst: "a", Loc: "Y"}},
+				{litmus.Store{Loc: "Y", Val: 1}, fence, litmus.Load{Dst: "b", Loc: "X"}},
+			},
+		}
+	default: // WW
+		return &litmus.Program{
+			Name: "matrix-WW",
+			Threads: [][]litmus.Op{
+				{
+					litmus.Store{Loc: "X", Val: 1},
+					fence,
+					litmus.Store{Loc: "Y", Val: 1},
+				},
+				{
+					litmus.Load{Dst: "a", Loc: "Y"},
+					litmus.Fence{K: memmodel.FenceFsc},
+					litmus.Load{Dst: "b", Loc: "X"},
+				},
+			},
+		}
+	}
+}
+
+// weakOutcome returns the fragments identifying the direction's weak
+// outcome.
+func weakOutcome(dir string) []string {
+	switch dir {
+	case "RR", "WW":
+		return []string{"1:a=1", "1:b=0"}
+	case "RW":
+		return []string{"0:a=1", "1:b=1"}
+	default: // WR
+		return []string{"0:a=0", "1:b=0"}
+	}
+}
+
+// covers reports whether fence f's ord rule orders direction dir.
+var covers = map[memmodel.Fence]map[string]bool{
+	memmodel.FenceFrr: {"RR": true},
+	memmodel.FenceFrw: {"RW": true},
+	memmodel.FenceFrm: {"RR": true, "RW": true},
+	memmodel.FenceFwr: {"WR": true},
+	memmodel.FenceFww: {"WW": true},
+	memmodel.FenceFwm: {"WR": true, "WW": true},
+	memmodel.FenceFmr: {"RR": true, "WR": true},
+	memmodel.FenceFmw: {"RW": true, "WW": true},
+	memmodel.FenceFmm: {"RR": true, "RW": true, "WR": true, "WW": true},
+	memmodel.FenceFsc: {"RR": true, "RW": true, "WR": true, "WW": true},
+}
+
+func TestFenceDirectionMatrix(t *testing.T) {
+	m := New()
+	for f, dirs := range covers {
+		for _, dir := range []string{"RR", "RW", "WR", "WW"} {
+			p := pairProgram(dir, f)
+			out := litmus.Outcomes(p, m)
+			weak := out.Contains(weakOutcome(dir)...)
+			shouldForbid := dirs[dir]
+			if shouldForbid && weak {
+				t.Errorf("%v must forbid the %s weak outcome but allows it", f, dir)
+			}
+			if !shouldForbid && !weak {
+				t.Errorf("%v must NOT order %s pairs but the weak outcome vanished", f, dir)
+			}
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package tcgmm
+
+import (
+	"testing"
+
+	"repro/internal/litmus"
+	"repro/internal/memmodel"
+)
+
+func TestPlainAccessesUnordered(t *testing.T) {
+	// Without fences the IR model is very weak: MP, SB and LB weak
+	// outcomes are all allowed.
+	if out := litmus.Outcomes(litmus.MP(), New()); !out.Contains("1:a=1", "1:b=0") {
+		t.Fatal("IR model must allow MP weak outcome without fences")
+	}
+	if out := litmus.Outcomes(litmus.SB(), New()); !out.Contains("0:a=0", "1:b=0") {
+		t.Fatal("IR model must allow SB weak outcome without fences")
+	}
+	if out := litmus.Outcomes(litmus.LB(), New()); !out.Contains("0:a=1", "1:b=1") {
+		t.Fatal("IR model must allow LB weak outcome without fences")
+	}
+}
+
+func TestLBIRForbidden(t *testing.T) {
+	// Figure 8: trailing Frw after loads forbids a=b=1.
+	out := litmus.Outcomes(litmus.LBIR(), New())
+	if out.Contains("0:a=1", "1:b=1") {
+		t.Fatal("LB-IR must forbid a=b=1 (Frw orders ld-st)")
+	}
+}
+
+func TestMPIRForbidden(t *testing.T) {
+	// Figure 8: Fww before store + Frr after load forbids a=1,b=0.
+	out := litmus.Outcomes(litmus.MPIR(), New())
+	if out.Contains("1:a=1", "1:b=0") {
+		t.Fatal("MP-IR must forbid a=1,b=0 (Fww + Frr)")
+	}
+}
+
+func TestDependenciesOrderNothing(t *testing.T) {
+	// Unlike Arm, the IR model has no dependency ordering (§5.3):
+	// MP stays weak even with a data dependency chain.
+	p := &litmus.Program{
+		Name: "MP+dep-ir",
+		Threads: [][]litmus.Op{
+			{
+				litmus.Store{Loc: "X", Val: 1},
+				litmus.Fence{K: memmodel.FenceFww},
+				litmus.Store{Loc: "Y", Val: 1},
+			},
+			{
+				litmus.Load{Dst: "a", Loc: "Y"},
+				litmus.StoreReg{Loc: "Z", Src: "a"}, // data dep — orders nothing in IR
+				litmus.Load{Dst: "b", Loc: "X"},
+			},
+		},
+	}
+	out := litmus.Outcomes(p, New())
+	if !out.Contains("1:a=1", "1:b=0") {
+		t.Fatal("IR model must ignore dependencies: MP weak outcome allowed")
+	}
+}
+
+func TestFMRSourceForbidsTargetAllows(t *testing.T) {
+	// §3.2: the RAW transformation is incorrect in the presence of Fmr.
+	src := litmus.Outcomes(litmus.FMRSource(), New())
+	if src.Contains("0:a=2", "1:c=3") {
+		t.Fatal("FMR source must forbid a=2,c=3")
+	}
+	tgt := litmus.Outcomes(litmus.FMRTarget(), New())
+	if !tgt.Contains("0:a=2", "1:c=3") {
+		t.Fatal("FMR target (after RAW elimination) must allow a=2,c=3")
+	}
+	if tgt.SubsetOf(src) {
+		t.Fatal("the RAW transformation under Fmr must introduce new behaviour")
+	}
+}
+
+func TestRMWActsAsFullFence(t *testing.T) {
+	// Figure 9 right: RMW; load vs RMW; load — a=b=0 forbidden because IR
+	// RMWs follow SC semantics.
+	out := litmus.Outcomes(litmus.Fig9b(), New())
+	if out.Contains("0:a=0", "1:b=0") {
+		t.Fatal("Fig9b: IR model must forbid a=b=0")
+	}
+	// Figure 9 left: store; RMW vs store; RMW — X=Y=1 final forbidden.
+	out = litmus.Outcomes(litmus.Fig9a(), New())
+	if out.Contains("X=1", "Y=1") {
+		t.Fatal("Fig9a: IR model must forbid final X=1,Y=1")
+	}
+}
+
+func TestFscOrdersEverything(t *testing.T) {
+	p := &litmus.Program{
+		Name: "SB+fsc",
+		Threads: [][]litmus.Op{
+			{
+				litmus.Store{Loc: "X", Val: 1},
+				litmus.Fence{K: memmodel.FenceFsc},
+				litmus.Load{Dst: "a", Loc: "Y"},
+			},
+			{
+				litmus.Store{Loc: "Y", Val: 1},
+				litmus.Fence{K: memmodel.FenceFsc},
+				litmus.Load{Dst: "b", Loc: "X"},
+			},
+		},
+	}
+	out := litmus.Outcomes(p, New())
+	if out.Contains("0:a=0", "1:b=0") {
+		t.Fatal("Fsc must forbid SB weak outcome")
+	}
+}
+
+func TestDirectionalFences(t *testing.T) {
+	// Fww in the reader thread of MP orders nothing (wrong direction).
+	p := &litmus.Program{
+		Name: "MP+wrongdir",
+		Threads: [][]litmus.Op{
+			{
+				litmus.Store{Loc: "X", Val: 1},
+				litmus.Fence{K: memmodel.FenceFww},
+				litmus.Store{Loc: "Y", Val: 1},
+			},
+			{
+				litmus.Load{Dst: "a", Loc: "Y"},
+				litmus.Fence{K: memmodel.FenceFww},
+				litmus.Load{Dst: "b", Loc: "X"},
+			},
+		},
+	}
+	out := litmus.Outcomes(p, New())
+	if !out.Contains("1:a=1", "1:b=0") {
+		t.Fatal("Fww between loads orders nothing; MP weak outcome must remain")
+	}
+	// Frm after the load orders it with both successor kinds.
+	p2 := &litmus.Program{
+		Name: "MP+frm",
+		Threads: [][]litmus.Op{
+			{
+				litmus.Store{Loc: "X", Val: 1},
+				litmus.Fence{K: memmodel.FenceFww},
+				litmus.Store{Loc: "Y", Val: 1},
+			},
+			{
+				litmus.Load{Dst: "a", Loc: "Y"},
+				litmus.Fence{K: memmodel.FenceFrm},
+				litmus.Load{Dst: "b", Loc: "X"},
+			},
+		},
+	}
+	out2 := litmus.Outcomes(p2, New())
+	if out2.Contains("1:a=1", "1:b=0") {
+		t.Fatal("Fww+Frm (the verified mapping shape) must forbid MP weak outcome")
+	}
+}
+
+func TestSCPerLocationHolds(t *testing.T) {
+	if out := litmus.Outcomes(litmus.CoRR(), New()); out.Contains("1:a=1", "1:b=0") {
+		t.Fatal("IR model must preserve coherence (CoRR)")
+	}
+	if out := litmus.Outcomes(litmus.CoWW(), New()); out.Contains("X=1") {
+		t.Fatal("IR model must preserve coherence (CoWW)")
+	}
+}

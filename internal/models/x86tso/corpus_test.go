@@ -1,0 +1,62 @@
+package x86tso
+
+import (
+	"testing"
+
+	"repro/internal/litmus"
+	"repro/internal/models/armcats"
+)
+
+func TestIRIWForbidden(t *testing.T) {
+	out := litmus.Outcomes(litmus.IRIW(), New())
+	// The readers disagreeing on the writes' order is forbidden in x86.
+	if out.Contains("2:a=1", "2:b=0", "3:c=1", "3:d=0") {
+		t.Fatal("x86 forbids IRIW disagreement")
+	}
+	// The agreeing outcomes exist.
+	if !out.Contains("2:a=1", "2:b=1", "3:c=1", "3:d=1") {
+		t.Fatal("x86 allows both readers seeing both writes")
+	}
+}
+
+func TestIRIWOnArm(t *testing.T) {
+	// Plain IRIW is allowed on Arm (reader-side load reordering)…
+	out := litmus.Outcomes(litmus.IRIW(), armcats.New())
+	if !out.Contains("2:a=1", "2:b=0", "3:c=1", "3:d=0") {
+		t.Fatal("Arm allows plain IRIW disagreement")
+	}
+	// …and forbidden with DMBFF between the loads (ARMv8 is
+	// other-multi-copy-atomic: rfe edges enter ob).
+	out = litmus.Outcomes(litmus.IRIWFenced(), armcats.New())
+	if out.Contains("2:a=1", "2:b=0", "3:c=1", "3:d=0") {
+		t.Fatal("Arm forbids IRIW disagreement across full fences")
+	}
+}
+
+func TestWRCForbidden(t *testing.T) {
+	out := litmus.Outcomes(litmus.WRC(), New())
+	if out.Contains("1:a=1", "2:b=1", "2:c=0") {
+		t.Fatal("x86 forbids WRC weak outcome")
+	}
+	if !out.Contains("1:a=1", "2:b=1", "2:c=1") {
+		t.Fatal("x86 allows the causal chain outcome")
+	}
+}
+
+func TestISA2Forbidden(t *testing.T) {
+	out := litmus.Outcomes(litmus.ISA2(), New())
+	if out.Contains("1:a=1", "2:b=1", "2:c=0") {
+		t.Fatal("x86 forbids ISA2 weak outcome")
+	}
+}
+
+func TestRWCPlainAllowedFencedForbidden(t *testing.T) {
+	out := litmus.Outcomes(litmus.RWC(), New())
+	if !out.Contains("1:a=1", "1:b=0", "2:c=0") {
+		t.Fatal("x86 allows plain RWC weak outcome (store-load relaxation)")
+	}
+	out = litmus.Outcomes(litmus.RWCFenced(), New())
+	if out.Contains("1:a=1", "1:b=0", "2:c=0") {
+		t.Fatal("MFENCE must forbid the RWC weak outcome")
+	}
+}

@@ -1,0 +1,75 @@
+// Package x86tso implements the x86-TSO axiomatic concurrency model as
+// presented in §5.2 of the Risotto paper (following Owens et al. [64, 65]
+// and Alglave et al. [10]).
+//
+// Consistency of an execution X requires:
+//
+//	(sc-per-loc)  (po|loc ∪ rf ∪ co ∪ fr)+ irreflexive
+//	(atomicity)   rmw ∩ (fre ; coe) = ∅
+//	(GHB)         (implied ∪ ppo ∪ rfe ∪ fr ∪ co)+ irreflexive
+//
+// where
+//
+//	ppo     ≜ ((W×W) ∪ (R×W) ∪ (R×R)) ∩ po
+//	implied ≜ po;[At ∪ F] ∪ [At ∪ F];po
+//	At      ≜ dom(rmw) ∪ codom(rmw)
+package x86tso
+
+import (
+	"repro/internal/memmodel"
+	"repro/internal/rel"
+)
+
+// Model is the x86-TSO consistency predicate.
+type Model struct{}
+
+// New returns the x86-TSO model.
+func New() Model { return Model{} }
+
+// Name implements memmodel.Model.
+func (Model) Name() string { return "x86-TSO" }
+
+// Ppo returns x86's preserved program order: all po pairs except
+// write-to-read (store-load reordering is the one relaxation TSO allows).
+func Ppo(x *memmodel.Execution) *rel.Relation {
+	return x.Po.Filter(func(a, b int) bool {
+		ea, eb := x.Events[a], x.Events[b]
+		if ea.Kind == memmodel.KindFence || eb.Kind == memmodel.KindFence {
+			return false
+		}
+		// Keep W×W, R×W, R×R; drop W×R.
+		return !(ea.Kind == memmodel.KindWrite && eb.Kind == memmodel.KindRead)
+	})
+}
+
+// Implied returns the orderings implied by fences and successful RMWs:
+// po;[At ∪ F] ∪ [At ∪ F];po.
+func Implied(x *memmodel.Execution) *rel.Relation {
+	atF := make(map[int]bool)
+	for _, id := range x.Rmw.Domain() {
+		atF[id] = true
+	}
+	for _, id := range x.Rmw.Codomain() {
+		atF[id] = true
+	}
+	for _, id := range x.Fences(memmodel.FenceMFENCE) {
+		atF[id] = true
+	}
+	var ids []int
+	for id := range atF {
+		ids = append(ids, id)
+	}
+	idAtF := rel.Identity(ids)
+	return x.Po.Seq(idAtF).Union(idAtF.Seq(x.Po))
+}
+
+// GHB returns the global-happens-before candidate relation whose acyclicity
+// the (GHB) axiom demands.
+func GHB(x *memmodel.Execution) *rel.Relation {
+	return rel.Union(Implied(x), Ppo(x), x.Rfe(), x.Fr(), x.Co)
+}
+
+// Consistent implements memmodel.Model.
+func (Model) Consistent(x *memmodel.Execution) bool {
+	return x.SCPerLoc() && x.Atomicity() && GHB(x).Acyclic()
+}

@@ -1,0 +1,133 @@
+package x86tso
+
+import (
+	"testing"
+
+	"repro/internal/litmus"
+)
+
+func TestMPForbidden(t *testing.T) {
+	out := litmus.Outcomes(litmus.MP(), New())
+	if out.Contains("1:a=1", "1:b=0") {
+		t.Fatal("x86 must forbid MP weak outcome a=1,b=0")
+	}
+	// Sanity: other outcomes exist.
+	for _, frag := range [][]string{
+		{"1:a=0", "1:b=0"}, {"1:a=1", "1:b=1"}, {"1:a=0", "1:b=1"},
+	} {
+		if !out.Contains(frag...) {
+			t.Fatalf("x86 should allow %v", frag)
+		}
+	}
+}
+
+func TestSBWeakAllowed(t *testing.T) {
+	out := litmus.Outcomes(litmus.SB(), New())
+	if !out.Contains("0:a=0", "1:b=0") {
+		t.Fatal("x86 allows SB a=b=0 (store buffering)")
+	}
+}
+
+func TestSBFencedForbidden(t *testing.T) {
+	out := litmus.Outcomes(litmus.SBFenced(), New())
+	if out.Contains("0:a=0", "1:b=0") {
+		t.Fatal("MFENCE must forbid SB a=b=0")
+	}
+}
+
+func TestLBForbidden(t *testing.T) {
+	out := litmus.Outcomes(litmus.LB(), New())
+	if out.Contains("0:a=1", "1:b=1") {
+		t.Fatal("x86 forbids LB a=b=1")
+	}
+}
+
+func TestSForbidden(t *testing.T) {
+	out := litmus.Outcomes(litmus.S(), New())
+	if out.Contains("1:a=1", "X=2") {
+		t.Fatal("x86 forbids S weak outcome a=1,X=2")
+	}
+}
+
+func TestRAllowedPlainForbiddenFenced(t *testing.T) {
+	out := litmus.Outcomes(litmus.R(), New())
+	if !out.Contains("1:a=0", "X=1", "Y=2") {
+		t.Fatal("x86 allows plain R weak outcome (W→R is the TSO relaxation)")
+	}
+	out = litmus.Outcomes(litmus.RFenced(), New())
+	if out.Contains("1:a=0", "X=1", "Y=2") {
+		t.Fatal("x86 forbids R weak outcome once T1 has an MFENCE")
+	}
+}
+
+func TestTwoPlusTwoWForbidden(t *testing.T) {
+	out := litmus.Outcomes(litmus.TwoPlusTwoW(), New())
+	if out.Contains("X=1", "Y=1") {
+		t.Fatal("x86 forbids 2+2W X=1,Y=1")
+	}
+}
+
+func TestCoherence(t *testing.T) {
+	if out := litmus.Outcomes(litmus.CoRR(), New()); out.Contains("1:a=1", "1:b=0") {
+		t.Fatal("CoRR violation allowed")
+	}
+	if out := litmus.Outcomes(litmus.CoWW(), New()); out.Contains("X=1") {
+		t.Fatal("CoWW: X=1 final would reorder same-location writes")
+	}
+	if out := litmus.Outcomes(litmus.CoWR(), New()); !out.Contains("0:a=1") {
+		t.Fatal("CoWR: thread must be able to read own write")
+	} else if out.Contains("0:a=0") {
+		t.Fatal("CoWR: a=0 would read overwritten init past own write")
+	}
+}
+
+func TestMPQForbidden(t *testing.T) {
+	out := litmus.Outcomes(litmus.MPQ(), New())
+	if out.Contains("1:a=1", "X=1") {
+		t.Fatal("x86 forbids MPQ a=1,X=1 (§3.2)")
+	}
+	if !out.Contains("1:a=1", "X=2") {
+		t.Fatal("x86 allows a=1 with successful RMW (X=2)")
+	}
+	if !out.Contains("1:a=0", "X=1") {
+		t.Fatal("x86 allows a=0 (RMW not executed)")
+	}
+}
+
+func TestSBQForbidden(t *testing.T) {
+	out := litmus.Outcomes(litmus.SBQ(), New())
+	if out.Contains("0:a=0", "1:b=0", "Z=1", "U=1") {
+		t.Fatal("x86 forbids SBQ a=b=0 with successful RMWs (§3.2)")
+	}
+}
+
+func TestSBALForbidden(t *testing.T) {
+	out := litmus.Outcomes(litmus.SBAL(), New())
+	if out.Contains("0:a=0", "1:b=0") {
+		t.Fatal("x86 forbids SBAL a=b=0 (§3.3): successful RMWs are full fences")
+	}
+	if !out.Contains("0:a=1", "1:b=0") {
+		t.Fatal("x86 allows SBAL a=1,b=0")
+	}
+}
+
+func TestRMWAtomicity(t *testing.T) {
+	// Two CASes on the same location starting at 0: exactly one succeeds.
+	p := &litmus.Program{
+		Name: "2CAS",
+		Threads: [][]litmus.Op{
+			{litmus.CAS{Loc: "X", Expect: 0, New: 1, Dst: "a"}},
+			{litmus.CAS{Loc: "X", Expect: 0, New: 2, Dst: "b"}},
+		},
+	}
+	out := litmus.Outcomes(p, New())
+	if out.Contains("0:a=0", "1:b=0") {
+		t.Fatal("atomicity: both CASes succeeded reading 0")
+	}
+	if !out.Contains("0:a=0", "1:b=1", "X=1") {
+		t.Fatal("expected outcome: T0 wins (a=0), T1 fails reading 1, X=1")
+	}
+	if !out.Contains("0:a=2", "1:b=0", "X=2") {
+		t.Fatal("expected outcome: T1 wins (b=0), T0 fails reading 2, X=2")
+	}
+}

@@ -1,0 +1,253 @@
+// Package opcheck bridges the repository's two views of weak memory: it
+// compiles litmus programs to native Arm code, executes them on the
+// simulated machine's operational weak-memory mode across many seeds, and
+// checks that every outcome actually observed is admitted by the
+// Armed-Cats axiomatic model — the soundness direction of the
+// operational/axiomatic correspondence. (Completeness cannot hold: the
+// store-buffer machine deliberately models only the store-side
+// relaxations; see internal/machine/weak.go.)
+package opcheck
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/guestimg"
+	"repro/internal/isa/arm"
+	"repro/internal/litmus"
+	"repro/internal/machine"
+	"repro/internal/memmodel"
+)
+
+// Layout constants for compiled litmus programs.
+const (
+	textBase   = 0x1000
+	locBase    = 0x8000 // shared locations, 8 bytes each
+	resultBase = 0x9000 // per-thread result slots
+	memSize    = 1 << 16
+)
+
+// Compiled is a litmus program lowered to native Arm threads.
+type Compiled struct {
+	img     *guestimg.Image
+	entries []uint64
+	// regSlots maps (thread, register) to its result slot address.
+	regSlots map[string]uint64
+	locAddrs map[litmus.Loc]uint64
+	program  *litmus.Program
+}
+
+// Compile lowers a plain litmus program (stores, register stores, loads,
+// fences, movs — no RMWs or conditionals) to one Arm code sequence per
+// thread. Loaded registers are written to result slots before the thread
+// halts.
+func Compile(p *litmus.Program) (*Compiled, error) {
+	c := &Compiled{
+		regSlots: make(map[string]uint64),
+		locAddrs: make(map[litmus.Loc]uint64),
+		program:  p,
+	}
+	for i, loc := range p.Locations() {
+		c.locAddrs[loc] = locBase + uint64(i)*8
+	}
+
+	a := arm.NewAssembler()
+	slotCur := uint64(resultBase)
+	// Register allocation per thread: litmus regs → X9..X20, value
+	// scratch X1, address scratch X2.
+	for t, ops := range p.Threads {
+		label := fmt.Sprintf("t%d", t)
+		a.Label(label)
+		regMap := make(map[litmus.Reg]arm.Reg)
+		nextReg := arm.X9
+		allocReg := func(r litmus.Reg) (arm.Reg, error) {
+			if hw, ok := regMap[r]; ok {
+				return hw, nil
+			}
+			if nextReg > arm.X20 {
+				return 0, fmt.Errorf("opcheck: thread %d: too many registers", t)
+			}
+			hw := nextReg
+			nextReg++
+			regMap[r] = hw
+			key := fmt.Sprintf("%d:%s", t, r)
+			c.regSlots[key] = slotCur
+			slotCur += 8
+			return hw, nil
+		}
+
+		for _, op := range ops {
+			switch o := op.(type) {
+			case litmus.Store:
+				if o.Acq || o.AcqPC || o.SC {
+					return nil, fmt.Errorf("opcheck: unsupported store attrs")
+				}
+				a.MovImm(arm.X2, c.locAddrs[o.Loc])
+				a.MovImm(arm.X1, uint64(o.Val))
+				if o.Rel {
+					a.Stlr(arm.X1, arm.X2)
+				} else {
+					a.Str(arm.X1, arm.X2, 0, 8)
+				}
+			case litmus.StoreReg:
+				hw, ok := regMap[o.Src]
+				if !ok {
+					return nil, fmt.Errorf("opcheck: thread %d stores undefined reg %s", t, o.Src)
+				}
+				a.MovImm(arm.X2, c.locAddrs[o.Loc])
+				if o.Rel {
+					a.Stlr(hw, arm.X2)
+				} else {
+					a.Str(hw, arm.X2, 0, 8)
+				}
+			case litmus.Load:
+				hw, err := allocReg(o.Dst)
+				if err != nil {
+					return nil, err
+				}
+				a.MovImm(arm.X2, c.locAddrs[o.Loc])
+				switch {
+				case o.Acq:
+					a.Ldar(hw, arm.X2)
+				case o.AcqPC:
+					a.Raw(arm.Inst{Op: arm.LDAPR, Rd: hw, Rn: arm.X2, Size: 8})
+				default:
+					a.Ldr(hw, arm.X2, 0, 8)
+				}
+			case litmus.Fence:
+				switch o.K {
+				case memmodel.FenceDMBFF:
+					a.Dmb(arm.BarrierFull)
+				case memmodel.FenceDMBLD:
+					a.Dmb(arm.BarrierLoad)
+				case memmodel.FenceDMBST:
+					a.Dmb(arm.BarrierStore)
+				default:
+					return nil, fmt.Errorf("opcheck: fence %v is not an Arm fence", o.K)
+				}
+			case litmus.MovImm:
+				hw, err := allocReg(o.Dst)
+				if err != nil {
+					return nil, err
+				}
+				a.MovImm(hw, uint64(o.Val))
+			default:
+				return nil, fmt.Errorf("opcheck: unsupported op %T", op)
+			}
+		}
+		// Publish loaded registers and halt.
+		for r, hw := range regMap {
+			a.MovImm(arm.X2, c.regSlots[fmt.Sprintf("%d:%s", t, r)])
+			a.Str(hw, arm.X2, 0, 8)
+		}
+		// Busy-wait a little so buffered stores drain on the random
+		// schedule rather than only at the synchronizing halt.
+		spin := fmt.Sprintf("t%dspin", t)
+		a.MovImm(arm.X3, 0).
+			Label(spin).
+			AddI(arm.X3, arm.X3, 1).
+			CmpI(arm.X3, 48).
+			BCondLabel(arm.NE, spin).
+			Hlt()
+	}
+
+	code, syms, err := a.Assemble(textBase)
+	if err != nil {
+		return nil, err
+	}
+	c.img = &guestimg.Image{Segments: []guestimg.Segment{{Addr: textBase, Data: code}}, Symbols: syms}
+	for t := range p.Threads {
+		c.entries = append(c.entries, syms[fmt.Sprintf("t%d", t)])
+	}
+	return c, nil
+}
+
+// RunSeed executes the compiled program once in weak mode and returns the
+// outcome in the canonical litmus key format (registers then memory).
+func (c *Compiled) RunSeed(seed int64, quantum int) (litmus.Outcome, error) {
+	m := machine.New(memSize)
+	if err := c.img.Load(m.Mem); err != nil {
+		return "", err
+	}
+	m.EnableWeakMemory(seed, 48)
+	for t, entry := range c.entries {
+		var cpu *machine.CPU
+		if t == 0 {
+			cpu = m.CPUs[0]
+		} else {
+			cpu = m.AddCPU()
+		}
+		cpu.PC = entry
+	}
+	if err := m.RunAll(quantum, 1_000_000); err != nil {
+		return "", err
+	}
+	if err := m.FlushAllWeak(); err != nil {
+		return "", err
+	}
+
+	var parts []string
+	keys := make([]string, 0, len(c.regSlots))
+	for k := range c.regSlots {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		// Sort by thread then register name, matching outcomeOf's order.
+		return keys[i] < keys[j]
+	})
+	for _, k := range keys {
+		v, err := m.ReadMem(c.regSlots[k], 8)
+		if err != nil {
+			return "", err
+		}
+		parts = append(parts, fmt.Sprintf("%s=%d", k, v))
+	}
+	locs := c.program.Locations()
+	for _, loc := range locs {
+		v, err := m.ReadMem(c.locAddrs[loc], 8)
+		if err != nil {
+			return "", err
+		}
+		parts = append(parts, fmt.Sprintf("%s=%d", loc, v))
+	}
+	return litmus.Outcome(strings.Join(parts, " ")), nil
+}
+
+// Observe runs seeds 0..n-1 over a few quanta and collects the distinct
+// observed outcomes.
+func (c *Compiled) Observe(n int) (litmus.OutcomeSet, error) {
+	out := make(litmus.OutcomeSet)
+	for _, q := range []int{1, 2, 8} {
+		for seed := 0; seed < n; seed++ {
+			o, err := c.RunSeed(int64(seed), q)
+			if err != nil {
+				return nil, err
+			}
+			out[o] = true
+		}
+	}
+	return out, nil
+}
+
+// CheckSound verifies that every operationally observed outcome of p is
+// admitted by model m, returning the offending outcomes (empty = sound).
+func CheckSound(p *litmus.Program, m memmodel.Model, seeds int) ([]litmus.Outcome, error) {
+	c, err := Compile(p)
+	if err != nil {
+		return nil, err
+	}
+	observed, err := c.Observe(seeds)
+	if err != nil {
+		return nil, err
+	}
+	admitted := litmus.Outcomes(p, m)
+	var bad []litmus.Outcome
+	for o := range observed {
+		if !admitted[o] {
+			bad = append(bad, o)
+		}
+	}
+	sort.Slice(bad, func(i, j int) bool { return bad[i] < bad[j] })
+	return bad, nil
+}

@@ -1,0 +1,168 @@
+package opcheck
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/litmus"
+	"repro/internal/memmodel"
+	"repro/internal/models/armcats"
+)
+
+func TestSoundnessOnClassicCorpus(t *testing.T) {
+	// Every outcome the operational machine produces must be admitted by
+	// the Armed-Cats model.
+	programs := []*litmus.Program{
+		litmus.MP(), litmus.SB(), litmus.LB(), litmus.S(), litmus.R(),
+		litmus.TwoPlusTwoW(), litmus.CoRR(), litmus.CoWW(), litmus.CoWR(),
+		litmus.WRC(), litmus.ISA2(), litmus.IRIW(),
+	}
+	seeds := 40
+	if testing.Short() {
+		seeds = 10
+	}
+	for _, p := range programs {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			bad, err := CheckSound(p, armcats.New(), seeds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(bad) > 0 {
+				t.Fatalf("operational outcomes not admitted by Arm-Cats: %v", bad)
+			}
+		})
+	}
+}
+
+func TestWeakOutcomeActuallyObservable(t *testing.T) {
+	// The operational model is not vacuous: SB's weak outcome (which
+	// needs genuine store-load reordering) shows up.
+	c, err := Compile(litmus.SB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed, err := c.Observe(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !observed.Contains("0:a=0", "1:b=0") {
+		t.Fatalf("SB weak outcome never observed operationally: %v", observed.Sorted())
+	}
+}
+
+func TestFencedMPNeverWeakOperationally(t *testing.T) {
+	p := litmus.MPArmDMB()
+	c, err := Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed, err := c.Observe(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if observed.Contains("1:a=1", "1:b=0") {
+		t.Fatal("DMB-fenced MP exhibited the weak outcome operationally")
+	}
+}
+
+func TestReleaseStorePublishes(t *testing.T) {
+	// MP with an STLR release on Y: writer-side ordering restored even
+	// without a DMB.
+	p := &litmus.Program{
+		Name: "MP+stlr",
+		Threads: [][]litmus.Op{
+			{
+				litmus.Store{Loc: "X", Val: 1},
+				litmus.Store{Loc: "Y", Val: 1, Attr: litmus.Attr{Rel: true}},
+			},
+			{
+				litmus.Load{Dst: "a", Loc: "Y", Attr: litmus.Attr{Acq: true}},
+				litmus.Load{Dst: "b", Loc: "X"},
+			},
+		},
+	}
+	c, err := Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed, err := c.Observe(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if observed.Contains("1:a=1", "1:b=0") {
+		t.Fatal("release store failed to publish the earlier write")
+	}
+	// And the axiomatic model agrees the observations are fine.
+	bad, err := CheckSound(p, armcats.New(), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) > 0 {
+		t.Fatalf("unsound observations: %v", bad)
+	}
+}
+
+func TestSoundnessOnRandomPrograms(t *testing.T) {
+	nProgs := 40
+	if testing.Short() {
+		nProgs = 10
+	}
+	locs := []litmus.Loc{"X", "Y", "Z"}
+	for seed := 0; seed < nProgs; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		p := &litmus.Program{Name: "rand"}
+		regN := 0
+		for th := 0; th < 2; th++ {
+			var ops []litmus.Op
+			n := 2 + rng.Intn(3)
+			for i := 0; i < n; i++ {
+				switch rng.Intn(4) {
+				case 0, 1:
+					r := litmus.Reg(string(rune('a' + regN)))
+					regN++
+					ops = append(ops, litmus.Load{Dst: r, Loc: locs[rng.Intn(3)]})
+				case 2:
+					ops = append(ops, litmus.Store{Loc: locs[rng.Intn(3)], Val: int64(1 + rng.Intn(3))})
+				case 3:
+					kinds := []memmodel.Fence{memmodel.FenceDMBFF, memmodel.FenceDMBLD, memmodel.FenceDMBST}
+					ops = append(ops, litmus.Fence{K: kinds[rng.Intn(3)]})
+				}
+			}
+			p.Threads = append(p.Threads, ops)
+		}
+		bad, err := CheckSound(p, armcats.New(), 20)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(bad) > 0 {
+			t.Fatalf("seed %d: unsound operational outcomes %v for program %+v", seed, bad, p)
+		}
+	}
+}
+
+func TestCompileRejectsUnsupported(t *testing.T) {
+	withCAS := &litmus.Program{
+		Name: "cas",
+		Threads: [][]litmus.Op{
+			{litmus.CAS{Loc: "X", Expect: 0, New: 1, Attr: litmus.Attr{Class: memmodel.RMWAmo}}},
+		},
+	}
+	if _, err := Compile(withCAS); err == nil {
+		t.Fatal("CAS programs are unsupported and must be rejected")
+	}
+	withIRFence := &litmus.Program{
+		Name:    "irfence",
+		Threads: [][]litmus.Op{{litmus.Fence{K: memmodel.FenceFrm}}},
+	}
+	if _, err := Compile(withIRFence); err == nil {
+		t.Fatal("IR fences have no Arm lowering here and must be rejected")
+	}
+	undefReg := &litmus.Program{
+		Name:    "undef",
+		Threads: [][]litmus.Op{{litmus.StoreReg{Loc: "X", Src: "ghost"}}},
+	}
+	if _, err := Compile(undefReg); err == nil {
+		t.Fatal("storereg of an undefined register must be rejected")
+	}
+}

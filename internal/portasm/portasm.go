@@ -1,0 +1,311 @@
+// Package portasm is a small portable assembly DSL used to write each
+// benchmark kernel once and emit it both as a guest (x86) image — executed
+// under the Risotto DBT — and as a native host (Arm) image — executed
+// directly, giving Figure 12's "native" series a real instruction stream
+// rather than a fudge factor.
+//
+// The DSL exposes ten virtual registers, the guest ISA's memory/ALU
+// operations, flag-based conditional branches, one-level calls, the
+// concurrency primitives (MFENCE, flag-setting CAS, XADD), and portable
+// pseudo-ops for the runtime interface (Exit/Write/Spawn/Join/Arg).
+// Shared data is placed at target-independent addresses so pointer
+// immediates are identical in both emissions.
+package portasm
+
+import (
+	"fmt"
+
+	"repro/internal/guestimg"
+)
+
+// Reg is a virtual register, v0–v9.
+type Reg int
+
+// NumRegs is the virtual register count.
+const NumRegs = 10
+
+// Cond is a portable branch condition (signed LT/LE/GT/GE; unsigned
+// LO/LS/HI/HS).
+type Cond int
+
+// Conditions.
+const (
+	EQ Cond = iota
+	NE
+	LT
+	LE
+	GT
+	GE
+	LO
+	LS
+	HI
+	HS
+)
+
+// ALU operation kinds.
+type AluKind int
+
+// ALU kinds.
+const (
+	Add AluKind = iota
+	Sub
+	Mul
+	UDiv
+	URem
+	And
+	Or
+	Xor
+	Shl
+	Shr
+)
+
+// op is one portable instruction.
+type op struct {
+	kind opKind
+	alu  AluKind
+	cond Cond
+	rd   Reg
+	rs   Reg
+	r2   Reg
+	imm  int64
+	size uint8
+	name string
+	scl  uint8
+}
+
+type opKind int
+
+const (
+	opLabel opKind = iota
+	opMovI
+	opMovSym
+	opMov
+	opAluRR
+	opAluRI
+	opLd
+	opSt
+	opLdIdx
+	opStIdx
+	opCmp
+	opCmpI
+	opJcc
+	opJmp
+	opCall
+	opCallPLT
+	opRet
+	opMFence
+	opCASFlag
+	opXAdd
+	opArg
+	opExit
+	opWrite
+	opSpawn
+	opJoin
+	opSetCArg
+	opGetCRet
+	opCArg
+	opSetCRet
+)
+
+// Default layout shared by both targets.
+const (
+	// TextBase is where code is placed.
+	TextBase = 0x10000
+	// DataBase is where shared data is placed (identical addresses in
+	// guest and native images).
+	DataBase = 0x100000
+)
+
+// Builder accumulates a portable program plus its data.
+type Builder struct {
+	ops     []op
+	data    []guestimg.Segment
+	dataCur uint64
+	imports map[string]bool
+	// stackCell is the native spawn-stack cursor cell (0 = not needed).
+	stackCell uint64
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder {
+	return &Builder{dataCur: DataBase, imports: make(map[string]bool)}
+}
+
+// Data places a blob at a target-independent address.
+func (b *Builder) Data(blob []byte) uint64 {
+	addr := b.dataCur
+	b.data = append(b.data, guestimg.Segment{Addr: addr, Data: append([]byte(nil), blob...)})
+	b.dataCur += uint64(len(blob))
+	if r := b.dataCur % 8; r != 0 {
+		b.dataCur += 8 - r
+	}
+	return addr
+}
+
+// Zeros reserves n zeroed bytes.
+func (b *Builder) Zeros(n int) uint64 { return b.Data(make([]byte, n)) }
+
+func (b *Builder) emit(o op) *Builder { b.ops = append(b.ops, o); return b }
+
+// Label defines a label.
+func (b *Builder) Label(name string) *Builder { return b.emit(op{kind: opLabel, name: name}) }
+
+// MovI sets rd = imm.
+func (b *Builder) MovI(rd Reg, imm int64) *Builder {
+	return b.emit(op{kind: opMovI, rd: rd, imm: imm})
+}
+
+// MovSym sets rd = address of label.
+func (b *Builder) MovSym(rd Reg, label string) *Builder {
+	return b.emit(op{kind: opMovSym, rd: rd, name: label})
+}
+
+// Mov sets rd = rs.
+func (b *Builder) Mov(rd, rs Reg) *Builder { return b.emit(op{kind: opMov, rd: rd, rs: rs}) }
+
+// Alu applies rd = rd ∘ rs.
+func (b *Builder) Alu(k AluKind, rd, rs Reg) *Builder {
+	return b.emit(op{kind: opAluRR, alu: k, rd: rd, rs: rs})
+}
+
+// AluI applies rd = rd ∘ imm.
+func (b *Builder) AluI(k AluKind, rd Reg, imm int64) *Builder {
+	return b.emit(op{kind: opAluRI, alu: k, rd: rd, imm: imm})
+}
+
+// Convenience ALU wrappers.
+func (b *Builder) AddR(rd, rs Reg) *Builder        { return b.Alu(Add, rd, rs) }
+func (b *Builder) AddI(rd Reg, imm int64) *Builder { return b.AluI(Add, rd, imm) }
+func (b *Builder) SubR(rd, rs Reg) *Builder        { return b.Alu(Sub, rd, rs) }
+func (b *Builder) SubI(rd Reg, imm int64) *Builder { return b.AluI(Sub, rd, imm) }
+func (b *Builder) MulR(rd, rs Reg) *Builder        { return b.Alu(Mul, rd, rs) }
+func (b *Builder) MulI(rd Reg, imm int64) *Builder { return b.AluI(Mul, rd, imm) }
+func (b *Builder) XorR(rd, rs Reg) *Builder        { return b.Alu(Xor, rd, rs) }
+func (b *Builder) AndI(rd Reg, imm int64) *Builder { return b.AluI(And, rd, imm) }
+func (b *Builder) OrR(rd, rs Reg) *Builder         { return b.Alu(Or, rd, rs) }
+func (b *Builder) ShlI(rd Reg, imm int64) *Builder { return b.AluI(Shl, rd, imm) }
+func (b *Builder) ShrI(rd Reg, imm int64) *Builder { return b.AluI(Shr, rd, imm) }
+
+// Ld loads size bytes from [base+disp] into rd (disp < 4096).
+func (b *Builder) Ld(rd, base Reg, disp int64, size uint8) *Builder {
+	return b.emit(op{kind: opLd, rd: rd, rs: base, imm: disp, size: size})
+}
+
+// St stores size bytes of rs to [base+disp].
+func (b *Builder) St(base Reg, disp int64, rs Reg, size uint8) *Builder {
+	return b.emit(op{kind: opSt, rd: base, rs: rs, imm: disp, size: size})
+}
+
+// LdIdx loads from [base + idx*scale] (scale ∈ {1,2,4,8}).
+func (b *Builder) LdIdx(rd, base, idx Reg, scale uint8, size uint8) *Builder {
+	return b.emit(op{kind: opLdIdx, rd: rd, rs: base, r2: idx, scl: scale, size: size})
+}
+
+// StIdx stores rs to [base + idx*scale].
+func (b *Builder) StIdx(base, idx Reg, scale uint8, rs Reg, size uint8) *Builder {
+	return b.emit(op{kind: opStIdx, rd: base, r2: idx, scl: scale, rs: rs, size: size})
+}
+
+// Cmp compares two registers, setting flags.
+func (b *Builder) Cmp(a, c Reg) *Builder { return b.emit(op{kind: opCmp, rd: a, rs: c}) }
+
+// CmpI compares a register with an immediate.
+func (b *Builder) CmpI(a Reg, imm int64) *Builder {
+	return b.emit(op{kind: opCmpI, rd: a, imm: imm})
+}
+
+// J branches to label when cond holds.
+func (b *Builder) J(c Cond, label string) *Builder {
+	return b.emit(op{kind: opJcc, cond: c, name: label})
+}
+
+// Jmp branches unconditionally.
+func (b *Builder) Jmp(label string) *Builder { return b.emit(op{kind: opJmp, name: label}) }
+
+// Call invokes a one-level leaf function defined in this program.
+func (b *Builder) Call(label string) *Builder { return b.emit(op{kind: opCall, name: label}) }
+
+// CallPLT invokes an imported shared-library function (guest target only;
+// the guest fallback implementation must be assembled under label name).
+func (b *Builder) CallPLT(name string) *Builder {
+	b.imports[name] = true
+	return b.emit(op{kind: opCallPLT, name: name})
+}
+
+// Ret returns from a leaf function.
+func (b *Builder) Ret() *Builder { return b.emit(op{kind: opRet}) }
+
+// MFence emits a full fence.
+func (b *Builder) MFence() *Builder { return b.emit(op{kind: opMFence}) }
+
+// CASFlag performs CAS([base], expect→new) and sets flags: EQ on success.
+// The expect register is preserved.
+func (b *Builder) CASFlag(base, expect, new Reg) *Builder {
+	return b.emit(op{kind: opCASFlag, rd: base, rs: expect, r2: new, size: 8})
+}
+
+// XAdd atomically adds src to [base]; src receives the old value.
+func (b *Builder) XAdd(base, src Reg) *Builder {
+	return b.emit(op{kind: opXAdd, rd: base, rs: src, size: 8})
+}
+
+// Arg moves the thread argument into rd (must be the first op of a thread
+// entry function).
+func (b *Builder) Arg(rd Reg) *Builder { return b.emit(op{kind: opArg, rd: rd}) }
+
+// Exit terminates the thread with the code in rd.
+func (b *Builder) Exit(rd Reg) *Builder { return b.emit(op{kind: opExit, rd: rd}) }
+
+// Write appends guest memory [ptr, ptr+len) to the runtime output.
+func (b *Builder) Write(ptr, length Reg) *Builder {
+	return b.emit(op{kind: opWrite, rd: ptr, rs: length})
+}
+
+// Spawn starts a thread at fnLabel with argument arg; rd receives the
+// thread id. Only the main thread may spawn.
+func (b *Builder) Spawn(rd Reg, fnLabel string, arg Reg) *Builder {
+	if b.stackCell == 0 {
+		b.stackCell = b.Zeros(8)
+	}
+	return b.emit(op{kind: opSpawn, rd: rd, rs: arg, name: fnLabel})
+}
+
+// Join blocks until thread id (in idReg) halts; rd receives its exit code.
+func (b *Builder) Join(rd, idReg Reg) *Builder {
+	return b.emit(op{kind: opJoin, rd: rd, rs: idReg})
+}
+
+// SetCArg places rs into C-ABI argument slot i (0–2) before a CallPLT, so
+// the host linker can marshal it from the guest calling convention.
+// Guest-target only.
+func (b *Builder) SetCArg(i int, rs Reg) *Builder {
+	return b.emit(op{kind: opSetCArg, imm: int64(i), rs: rs})
+}
+
+// GetCRet moves the C-ABI return value into rd after a CallPLT.
+// Guest-target only.
+func (b *Builder) GetCRet(rd Reg) *Builder { return b.emit(op{kind: opGetCRet, rd: rd}) }
+
+// CArg reads C-ABI argument slot i inside a PLT-callable guest fallback
+// implementation. Guest-target only.
+func (b *Builder) CArg(rd Reg, i int) *Builder {
+	return b.emit(op{kind: opCArg, rd: rd, imm: int64(i)})
+}
+
+// SetCRet sets the C-ABI return value inside a guest fallback
+// implementation (before Ret). Guest-target only.
+func (b *Builder) SetCRet(rs Reg) *Builder { return b.emit(op{kind: opSetCRet, rs: rs}) }
+
+func log2scale(s uint8) (int64, error) {
+	switch s {
+	case 1:
+		return 0, nil
+	case 2:
+		return 1, nil
+	case 4:
+		return 2, nil
+	case 8:
+		return 3, nil
+	}
+	return 0, fmt.Errorf("portasm: scale %d not a power of two ≤ 8", s)
+}

@@ -1,0 +1,287 @@
+package portasm
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/guestimg"
+)
+
+// runBoth builds a program for both targets, runs the guest under the DBT
+// (Risotto variant) and the native image directly, and returns both exit
+// codes.
+func runBoth(t *testing.T, b *Builder) (guest, native uint64, grt *core.Runtime, nm interface{ MaxCycles() uint64 }) {
+	t.Helper()
+	gimg, err := b.BuildGuest("main")
+	if err != nil {
+		t.Fatalf("BuildGuest: %v", err)
+	}
+	rt, err := core.New(core.Config{Variant: core.VariantRisotto}, gimg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gcode, err := rt.Run()
+	if err != nil {
+		t.Fatalf("guest run: %v", err)
+	}
+
+	nimg, err := b.BuildNative("main")
+	if err != nil {
+		t.Fatalf("BuildNative: %v", err)
+	}
+	m, err := RunNative(nimg, 0)
+	if err != nil {
+		t.Fatalf("native run: %v", err)
+	}
+	return gcode, m.CPUs[0].ExitCode, rt, m
+}
+
+// sumProgram computes the sum of n data values.
+func sumProgram(n int) (*Builder, uint64) {
+	b := NewBuilder()
+	data := make([]byte, n*8)
+	want := uint64(0)
+	for i := 0; i < n; i++ {
+		v := uint64(i*3 + 7)
+		binary.LittleEndian.PutUint64(data[i*8:], v)
+		want += v
+	}
+	arr := b.Data(data)
+	b.Label("main").
+		MovI(0, int64(arr)). // base
+		MovI(1, 0).          // i
+		MovI(2, 0).          // sum
+		Label("loop").
+		LdIdx(3, 0, 1, 8, 8).
+		AddR(2, 3).
+		AddI(1, 1).
+		CmpI(1, int64(n)).
+		J(NE, "loop").
+		Exit(2)
+	return b, want
+}
+
+func TestSumBothTargets(t *testing.T) {
+	b, want := sumProgram(20)
+	g, n, _, _ := runBoth(t, b)
+	if g != want || n != want {
+		t.Fatalf("guest=%d native=%d want=%d", g, n, want)
+	}
+}
+
+func TestNativeFasterThanGuest(t *testing.T) {
+	b, _ := sumProgram(500)
+	_, _, rt, m := runBoth(t, b)
+	g := rt.M.MaxCycles()
+	n := m.MaxCycles()
+	if n*2 >= g {
+		t.Fatalf("native (%d cycles) should be well under half of emulated (%d)", n, g)
+	}
+}
+
+func TestAluAndShifts(t *testing.T) {
+	b := NewBuilder()
+	b.Label("main").
+		MovI(0, 100).
+		AddI(0, 23). // 123
+		MulI(0, 2).  // 246
+		SubI(0, 6).  // 240
+		ShrI(0, 4).  // 15
+		ShlI(0, 2).  // 60
+		MovI(1, 7).
+		AluI(URem, 0, 7). // 60 % 7 = 4
+		AddI(0, 96).      // 100
+		AluI(UDiv, 0, 3). // 33
+		MovI(2, 5).
+		XorR(0, 2). // 33^5 = 36
+		Exit(0)
+	g, n, _, _ := runBoth(t, b)
+	if g != 36 || n != 36 {
+		t.Fatalf("guest=%d native=%d want=36", g, n)
+	}
+}
+
+func TestConditions(t *testing.T) {
+	// Count how many of the 10 conditions hold for (3, 5), accumulate a
+	// bitmask: EQ=0, NE=1, LT=1, LE=1, GT=0, GE=0, LO=1, LS=1, HI=0, HS=0
+	// → mask 0b0011_0111_0? Compute with branches.
+	b := NewBuilder()
+	b.Label("main").
+		MovI(0, 3).
+		MovI(1, 5).
+		MovI(2, 0) // mask
+	conds := []Cond{EQ, NE, LT, LE, GT, GE, LO, LS, HI, HS}
+	for i, c := range conds {
+		set := "set" + string(rune('a'+i))
+		done := "done" + string(rune('a'+i))
+		b.Cmp(0, 1).
+			J(c, set).
+			Jmp(done).
+			Label(set).
+			AluI(Or, 2, int64(1)<<uint(i)).
+			Label(done)
+	}
+	b.Exit(2)
+	want := uint64(0)
+	for i, hold := range []bool{false, true, true, true, false, false, true, true, false, false} {
+		if hold {
+			want |= 1 << uint(i)
+		}
+	}
+	g, n, _, _ := runBoth(t, b)
+	if g != want || n != want {
+		t.Fatalf("guest=%#x native=%#x want=%#x", g, n, want)
+	}
+}
+
+func TestCallRet(t *testing.T) {
+	b := NewBuilder()
+	b.Label("main").
+		MovI(0, 10).
+		Call("double").
+		Call("double").
+		Exit(0).
+		Label("double").
+		AddR(0, 0).
+		Ret()
+	g, n, _, _ := runBoth(t, b)
+	if g != 40 || n != 40 {
+		t.Fatalf("guest=%d native=%d want=40", g, n)
+	}
+}
+
+func TestSpawnJoinThreads(t *testing.T) {
+	// Two workers each xadd 50 into a counter; main joins and reads it.
+	b := NewBuilder()
+	counter := b.Zeros(8)
+	b.Label("main").
+		MovI(0, 0).
+		Spawn(1, "worker", 0).
+		Spawn(2, "worker", 0).
+		Join(3, 1).
+		Join(3, 2).
+		MovI(4, int64(counter)).
+		Ld(5, 4, 0, 8).
+		Exit(5)
+	b.Label("worker").
+		Arg(0).
+		MovI(1, int64(counter)).
+		MovI(2, 0).
+		Label("wloop").
+		MovI(3, 1).
+		XAdd(1, 3).
+		AddI(2, 1).
+		CmpI(2, 50).
+		J(NE, "wloop").
+		MovI(0, 0).
+		Exit(0)
+	g, n, _, _ := runBoth(t, b)
+	if g != 100 || n != 100 {
+		t.Fatalf("guest=%d native=%d want=100", g, n)
+	}
+}
+
+func TestCASFlag(t *testing.T) {
+	b := NewBuilder()
+	cell := b.Zeros(8)
+	b.Label("main").
+		MovI(0, int64(cell)).
+		MovI(1, 0). // expect
+		MovI(2, 9). // new
+		CASFlag(0, 1, 2).
+		J(NE, "fail").
+		// Second CAS must fail (cell is 9, expect 0).
+		CASFlag(0, 1, 2).
+		J(EQ, "bad").
+		Ld(3, 0, 0, 8). // 9
+		Exit(3).
+		Label("fail").
+		MovI(3, 111).
+		Exit(3).
+		Label("bad").
+		MovI(3, 222).
+		Exit(3)
+	g, n, _, _ := runBoth(t, b)
+	if g != 9 || n != 9 {
+		t.Fatalf("guest=%d native=%d want=9", g, n)
+	}
+}
+
+func TestWriteOutput(t *testing.T) {
+	b := NewBuilder()
+	msg := b.Data([]byte("portable!"))
+	b.Label("main").
+		MovI(0, int64(msg)).
+		MovI(1, 9).
+		Write(0, 1).
+		MovI(2, 0).
+		Exit(2)
+
+	gimg, err := b.BuildGuest("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := core.New(core.Config{Variant: core.VariantQemu}, gimg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if string(rt.M.Output) != "portable!" {
+		t.Fatalf("guest output = %q", rt.M.Output)
+	}
+
+	nimg, err := b.BuildNative("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := RunNative(nimg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(m.Output) != "portable!" {
+		t.Fatalf("native output = %q", m.Output)
+	}
+}
+
+func TestImportsRejectNative(t *testing.T) {
+	b := NewBuilder()
+	b.Label("main").CallPLT("sin").Exit(0).
+		Label("sin").Ret()
+	if _, err := b.BuildNative("main"); err == nil {
+		t.Fatal("native build with imports must fail")
+	}
+	if _, err := b.BuildGuest("main"); err != nil {
+		t.Fatalf("guest build should work: %v", err)
+	}
+}
+
+func TestDataAddressesAgree(t *testing.T) {
+	b := NewBuilder()
+	a1 := b.Data([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	a2 := b.Zeros(16)
+	if a1 != DataBase {
+		t.Fatalf("first blob at %#x, want %#x", a1, DataBase)
+	}
+	if a2 <= a1 {
+		t.Fatal("data addresses must grow")
+	}
+	b.Label("main").MovI(0, 0).Exit(0)
+	gimg, _ := b.BuildGuest("main")
+	nimg, _ := b.BuildNative("main")
+	find := func(img *guestimg.Image, addr uint64) []byte {
+		for _, s := range img.Segments {
+			if s.Addr == addr {
+				return s.Data
+			}
+		}
+		return nil
+	}
+	g := find(gimg, a1)
+	n := find(nimg, a1)
+	if g == nil || n == nil || g[0] != 1 || n[0] != 1 {
+		t.Fatal("data segment mismatch between targets")
+	}
+}

@@ -1,0 +1,29 @@
+package rel_test
+
+import (
+	"fmt"
+
+	"repro/internal/rel"
+)
+
+// ExampleRelation_Acyclic builds the "cat" expression at the heart of
+// every consistency axiom: the union of ordering relations is checked for
+// cycles.
+func ExampleRelation_Acyclic() {
+	po := rel.FromPairs(rel.Pair{From: 1, To: 2}) // e1 →po e2
+	rf := rel.FromPairs(rel.Pair{From: 2, To: 3}) // e2 →rf e3
+	fr := rel.FromPairs(rel.Pair{From: 3, To: 1}) // e3 →fr e1
+	ghb := rel.Union(po, rf, fr)
+	fmt.Println("consistent:", ghb.Acyclic())
+	// Output:
+	// consistent: false
+}
+
+// ExampleSeq composes relations like cat's ';' operator.
+func ExampleSeq() {
+	r := rel.Identity([]int{1}).
+		Seq(rel.FromPairs(rel.Pair{From: 1, To: 2}, rel.Pair{From: 3, To: 4}))
+	fmt.Println(r)
+	// Output:
+	// {1->2}
+}

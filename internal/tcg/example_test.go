@@ -1,0 +1,52 @@
+package tcg_test
+
+import (
+	"fmt"
+
+	"repro/internal/memmodel"
+	"repro/internal/tcg"
+)
+
+// ExampleOptimize shows the paper's §6.1 fence-merging example: the
+// trailing Frm of a load and the leading Fww of the next store merge into
+// one full-strength fence at the earlier position.
+func ExampleOptimize() {
+	b := tcg.NewBlock()
+	addr := b.Temp()
+	val := b.Temp()
+	b.MovI(addr, 0x100)
+	b.Ld(val, addr, 0, 8)
+	b.Mov(0, val) // keep the load's result live in a global
+	b.Mb(memmodel.FenceFrm)
+	b.Mb(memmodel.FenceFww)
+	b.St(addr, 8, val, 8)
+	b.Exit(0)
+
+	tcg.Optimize(b, tcg.DefaultOpt())
+
+	for _, in := range b.Insts {
+		if in.Op == tcg.OpMb {
+			fmt.Println("fence:", in.Fence)
+		}
+	}
+	// Output:
+	// fence: Fmm
+}
+
+// ExampleInterp runs a block on the reference interpreter.
+func ExampleInterp() {
+	b := tcg.NewBlock()
+	x, y := b.Temp(), b.Temp()
+	b.MovI(x, 6)
+	b.MovI(y, 7)
+	b.Alu(tcg.OpMul, 0, x, y) // global 0
+	b.Exit(0x42)
+
+	it := tcg.NewInterp(b, 64)
+	if err := it.Run(b); err != nil {
+		panic(err)
+	}
+	fmt.Println("global0 =", it.Temps[0], "next pc =", it.NextPC)
+	// Output:
+	// global0 = 42 next pc = 66
+}

@@ -1,0 +1,168 @@
+package tcg
+
+import "fmt"
+
+// Interp is a single-threaded reference interpreter for IR blocks, used by
+// tests to differential-test the optimizer (same final state before and
+// after passes) and the frontend (IR semantics match guest semantics).
+// It is not part of the translation pipeline.
+type Interp struct {
+	// Temps holds every temp's value.
+	Temps []uint64
+	// Mem is the flat memory.
+	Mem []byte
+	// NextPC receives the exit target of OpExit/OpExitInd.
+	NextPC uint64
+	// Halted is set by OpExitHalt.
+	Halted bool
+	// Calls records helper invocations (helper, a, b) for inspection;
+	// helper results are produced by OnCall when set.
+	Calls [][3]uint64
+	// OnCall, when set, provides helper results.
+	OnCall func(h Helper, a, b uint64) uint64
+}
+
+// NewInterp returns an interpreter with memSize bytes of memory.
+func NewInterp(b *Block, memSize int) *Interp {
+	return &Interp{
+		Temps: make([]uint64, b.NumTemps),
+		Mem:   make([]byte, memSize),
+	}
+}
+
+func (it *Interp) load(addr uint64, size uint8) (uint64, error) {
+	if addr+uint64(size) > uint64(len(it.Mem)) {
+		return 0, fmt.Errorf("tcg interp: load [%#x,+%d) out of bounds", addr, size)
+	}
+	var v uint64
+	for i := uint8(0); i < size; i++ {
+		v |= uint64(it.Mem[addr+uint64(i)]) << (8 * i)
+	}
+	return v, nil
+}
+
+func (it *Interp) store(addr uint64, size uint8, v uint64) error {
+	if addr+uint64(size) > uint64(len(it.Mem)) {
+		return fmt.Errorf("tcg interp: store [%#x,+%d) out of bounds", addr, size)
+	}
+	for i := uint8(0); i < size; i++ {
+		it.Mem[addr+uint64(i)] = byte(v >> (8 * i))
+	}
+	return nil
+}
+
+// Run executes the block from its first instruction to an exit (or to the
+// end of the op list).
+func (it *Interp) Run(b *Block) error {
+	labelPos := make(map[int]int)
+	for i, in := range b.Insts {
+		if in.Op == OpSetLabel {
+			labelPos[in.Label] = i
+		}
+	}
+	steps := 0
+	for pc := 0; pc < len(b.Insts); pc++ {
+		if steps++; steps > 1_000_000 {
+			return fmt.Errorf("tcg interp: step budget exhausted")
+		}
+		in := b.Insts[pc]
+		t := it.Temps
+		switch in.Op {
+		case OpNop, OpSetLabel, OpMb:
+		case OpMovI:
+			t[in.Dst] = uint64(in.Imm)
+		case OpMov:
+			t[in.Dst] = t[in.A]
+		case OpAdd, OpSub, OpMul, OpUDiv, OpURem, OpAnd, OpOr, OpXor,
+			OpShl, OpShr, OpSar:
+			t[in.Dst] = uint64(foldALU(in.Op, int64(t[in.A]), int64(t[in.B])))
+		case OpNeg:
+			t[in.Dst] = -t[in.A]
+		case OpNot:
+			t[in.Dst] = ^t[in.A]
+		case OpSetcond:
+			if in.Cond.Eval(t[in.A], t[in.B]) {
+				t[in.Dst] = 1
+			} else {
+				t[in.Dst] = 0
+			}
+		case OpLd:
+			v, err := it.load(t[in.A]+uint64(in.Imm), in.Size)
+			if err != nil {
+				return err
+			}
+			t[in.Dst] = v
+		case OpSt:
+			if err := it.store(t[in.A]+uint64(in.Imm), in.Size, t[in.B]); err != nil {
+				return err
+			}
+		case OpCAS:
+			old, err := it.load(t[in.A], in.Size)
+			if err != nil {
+				return err
+			}
+			if old == trunc(t[in.B], in.Size) {
+				if err := it.store(t[in.A], in.Size, t[in.C]); err != nil {
+					return err
+				}
+			}
+			t[in.Dst] = old
+		case OpXAdd:
+			old, err := it.load(t[in.A], in.Size)
+			if err != nil {
+				return err
+			}
+			if err := it.store(t[in.A], in.Size, old+t[in.B]); err != nil {
+				return err
+			}
+			t[in.Dst] = old
+		case OpXchg:
+			old, err := it.load(t[in.A], in.Size)
+			if err != nil {
+				return err
+			}
+			if err := it.store(t[in.A], in.Size, t[in.B]); err != nil {
+				return err
+			}
+			t[in.Dst] = old
+		case OpBr:
+			pos, ok := labelPos[in.Label]
+			if !ok {
+				return fmt.Errorf("tcg interp: undefined label L%d", in.Label)
+			}
+			pc = pos
+		case OpBrcond:
+			if in.Cond.Eval(t[in.A], t[in.B]) {
+				pos, ok := labelPos[in.Label]
+				if !ok {
+					return fmt.Errorf("tcg interp: undefined label L%d", in.Label)
+				}
+				pc = pos
+			}
+		case OpCall:
+			it.Calls = append(it.Calls, [3]uint64{uint64(in.Helper), t[in.A], t[in.B]})
+			if it.OnCall != nil {
+				t[in.Dst] = it.OnCall(in.Helper, t[in.A], t[in.B])
+			}
+		case OpExit:
+			it.NextPC = uint64(in.Imm)
+			return nil
+		case OpExitInd:
+			it.NextPC = t[in.A]
+			return nil
+		case OpExitHalt:
+			it.Halted = true
+			return nil
+		default:
+			return fmt.Errorf("tcg interp: unimplemented op %v", in.Op)
+		}
+	}
+	return nil
+}
+
+func trunc(v uint64, size uint8) uint64 {
+	if size >= 8 {
+		return v
+	}
+	return v & (1<<(8*size) - 1)
+}

@@ -1,0 +1,545 @@
+package tcg
+
+import "repro/internal/memmodel"
+
+// OptConfig selects optimizer passes. The zero value disables everything;
+// DefaultOpt enables the full verified pipeline.
+type OptConfig struct {
+	// ConstProp enables constant propagation and folding (which subsumes
+	// false-dependency elimination such as x*0 → 0, §6.1).
+	ConstProp bool
+	// AccessElim enables the Figure-10 redundant shared-memory access
+	// eliminations (RAR/RAW/WAW and their fence-aware forms).
+	AccessElim bool
+	// FenceMerge enables merging of adjacent fences into one stronger
+	// fence placed at the earliest position (§6.1).
+	FenceMerge bool
+	// DeadCode enables dead code elimination (never removes memory
+	// accesses or fences; see Inst.HasSideEffects).
+	DeadCode bool
+}
+
+// DefaultOpt enables every verified pass.
+func DefaultOpt() OptConfig {
+	return OptConfig{ConstProp: true, AccessElim: true, FenceMerge: true, DeadCode: true}
+}
+
+// Optimize runs the configured passes in order. All passes assume the
+// frontend's invariant that intra-block branches only jump forward.
+func Optimize(b *Block, cfg OptConfig) {
+	if cfg.ConstProp {
+		constProp(b)
+	}
+	if cfg.AccessElim {
+		accessElim(b)
+	}
+	if cfg.FenceMerge {
+		mergeFences(b)
+	}
+	if cfg.DeadCode {
+		deadCode(b)
+	}
+	removeNops(b)
+}
+
+// --- Constant propagation and folding --------------------------------------
+
+func constProp(b *Block) {
+	known := make(map[Temp]int64)
+	kill := func(t Temp) { delete(known, t) }
+
+	for idx := range b.Insts {
+		in := &b.Insts[idx]
+		switch in.Op {
+		case OpSetLabel:
+			// Join point: a branch may arrive with different values.
+			known = make(map[Temp]int64)
+			continue
+		case OpCall:
+			// Helpers may rewrite guest state.
+			for t := Temp(0); t < NumGlobals; t++ {
+				kill(t)
+			}
+			kill(in.Dst)
+			continue
+		}
+
+		av, aok := known[in.A]
+		bv, bok := known[in.B]
+
+		switch in.Op {
+		case OpMovI:
+			known[in.Dst] = in.Imm
+			continue
+		case OpMov:
+			if aok {
+				*in = Inst{Op: OpMovI, Dst: in.Dst, Imm: av}
+				known[in.Dst] = av
+			} else {
+				kill(in.Dst)
+			}
+			continue
+		case OpAdd, OpSub, OpMul, OpUDiv, OpURem, OpAnd, OpOr, OpXor,
+			OpShl, OpShr, OpSar:
+			if aok && bok {
+				v := foldALU(in.Op, av, bv)
+				*in = Inst{Op: OpMovI, Dst: in.Dst, Imm: v}
+				known[in.Dst] = v
+				continue
+			}
+			if simplifyALU(in, aok, av, bok, bv) {
+				// Simplified to MovI or Mov; reprocess knowledge.
+				if in.Op == OpMovI {
+					known[in.Dst] = in.Imm
+				} else if v, ok := known[in.A]; in.Op == OpMov && ok {
+					known[in.Dst] = v
+				} else {
+					kill(in.Dst)
+				}
+				continue
+			}
+			kill(in.Dst)
+		case OpNeg:
+			if aok {
+				*in = Inst{Op: OpMovI, Dst: in.Dst, Imm: -av}
+				known[in.Dst] = -av
+				continue
+			}
+			kill(in.Dst)
+		case OpNot:
+			if aok {
+				*in = Inst{Op: OpMovI, Dst: in.Dst, Imm: ^av}
+				known[in.Dst] = ^av
+				continue
+			}
+			kill(in.Dst)
+		case OpSetcond:
+			if aok && bok {
+				var v int64
+				if in.Cond.Eval(uint64(av), uint64(bv)) {
+					v = 1
+				}
+				*in = Inst{Op: OpMovI, Dst: in.Dst, Imm: v}
+				known[in.Dst] = v
+				continue
+			}
+			kill(in.Dst)
+		case OpBrcond:
+			if aok && bok {
+				if in.Cond.Eval(uint64(av), uint64(bv)) {
+					*in = Inst{Op: OpBr, Label: in.Label}
+				} else {
+					*in = Inst{Op: OpNop}
+				}
+			}
+		default:
+			if in.HasDst() {
+				kill(in.Dst)
+			}
+		}
+	}
+}
+
+func foldALU(op Opcode, a, b int64) int64 {
+	switch op {
+	case OpAdd:
+		return a + b
+	case OpSub:
+		return a - b
+	case OpMul:
+		return a * b
+	case OpUDiv:
+		if b == 0 {
+			return 0
+		}
+		return int64(uint64(a) / uint64(b))
+	case OpURem:
+		if b == 0 {
+			return a
+		}
+		return int64(uint64(a) % uint64(b))
+	case OpAnd:
+		return a & b
+	case OpOr:
+		return a | b
+	case OpXor:
+		return a ^ b
+	case OpShl:
+		return int64(shiftFold(uint64(a), uint64(b), false))
+	case OpShr:
+		return int64(shiftFold(uint64(a), uint64(b), true))
+	case OpSar:
+		if uint64(b) >= 64 {
+			return a >> 63
+		}
+		return a >> uint64(b)
+	}
+	return 0
+}
+
+func shiftFold(v, by uint64, right bool) uint64 {
+	if by >= 64 {
+		return 0
+	}
+	if right {
+		return v >> by
+	}
+	return v << by
+}
+
+// simplifyALU applies single-operand identities; returns true if the
+// instruction was rewritten. This includes the false-dependency
+// eliminations the paper calls out (x*0 → 0), which are trivially correct
+// under the IR model because it orders nothing through dependencies.
+func simplifyALU(in *Inst, aok bool, av int64, bok bool, bv int64) bool {
+	mov := func(src Temp) { *in = Inst{Op: OpMov, Dst: in.Dst, A: src} }
+	movi := func(v int64) { *in = Inst{Op: OpMovI, Dst: in.Dst, Imm: v} }
+	switch in.Op {
+	case OpMul:
+		if (aok && av == 0) || (bok && bv == 0) {
+			movi(0)
+			return true
+		}
+		if aok && av == 1 {
+			mov(in.B)
+			return true
+		}
+		if bok && bv == 1 {
+			mov(in.A)
+			return true
+		}
+	case OpAnd:
+		if (aok && av == 0) || (bok && bv == 0) {
+			movi(0)
+			return true
+		}
+	case OpAdd, OpOr, OpXor:
+		if aok && av == 0 {
+			mov(in.B)
+			return true
+		}
+		if bok && bv == 0 {
+			mov(in.A)
+			return true
+		}
+	case OpSub, OpShl, OpShr, OpSar:
+		if bok && bv == 0 {
+			mov(in.A)
+			return true
+		}
+	}
+	return false
+}
+
+// --- Redundant access elimination (Figure 10) -------------------------------
+
+// accessKey identifies a definitely-same memory location within a block.
+type accessKey struct {
+	base Temp
+	off  int64
+	size uint8
+}
+
+type accessEntry struct {
+	key      accessKey
+	valTemp  Temp // temp holding the location's current value
+	wasStore bool
+	instIdx  int // index of the access instruction (for WAW removal)
+	fences   []memmodel.Fence
+	valid    bool
+}
+
+// fenceAllowed reports whether every fence crossed is in the allowed set.
+func fenceAllowed(fences []memmodel.Fence, allowed ...memmodel.Fence) bool {
+	for _, f := range fences {
+		ok := false
+		for _, a := range allowed {
+			if f == a {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func overlapKeys(a, b accessKey) bool {
+	if a.base != b.base {
+		return true // different bases: possible alias, conservatively overlap
+	}
+	return a.off < b.off+int64(b.size) && b.off < a.off+int64(a.size)
+}
+
+func accessElim(b *Block) {
+	var entries []*accessEntry
+	var removed []bool = make([]bool, len(b.Insts))
+
+	find := func(k accessKey) *accessEntry {
+		for _, e := range entries {
+			if e.valid && e.key == k {
+				return e
+			}
+		}
+		return nil
+	}
+	invalidateAliasing := func(k accessKey) {
+		for _, e := range entries {
+			if e.valid && e.key != k && overlapKeys(e.key, k) {
+				e.valid = false
+			}
+		}
+	}
+	invalidateAll := func() {
+		for _, e := range entries {
+			e.valid = false
+		}
+	}
+	invalidateTemp := func(t Temp) {
+		for _, e := range entries {
+			if e.valid && (e.key.base == t || e.valTemp == t) {
+				e.valid = false
+			}
+		}
+	}
+
+	for idx := range b.Insts {
+		in := &b.Insts[idx]
+		switch in.Op {
+		case OpLd:
+			k := accessKey{in.A, in.Imm, in.Size}
+			if e := find(k); e != nil {
+				if e.wasStore {
+					// (RAW)/(F-RAW): allowed across Fsc and Fww only.
+					// Forwarding is restricted to full-width accesses: a
+					// sub-8-byte load zero-extends the stored low bytes,
+					// which a register copy would not reproduce.
+					if k.size == 8 && fenceAllowed(e.fences, memmodel.FenceFsc, memmodel.FenceFww) {
+						*in = Inst{Op: OpMov, Dst: in.Dst, A: e.valTemp}
+						invalidateTemp(in.Dst)
+						continue
+					}
+				} else {
+					// (RAR)/(F-RAR): allowed across Frm and Fww.
+					if fenceAllowed(e.fences, memmodel.FenceFrm, memmodel.FenceFww) {
+						*in = Inst{Op: OpMov, Dst: in.Dst, A: e.valTemp}
+						invalidateTemp(in.Dst)
+						continue
+					}
+				}
+			}
+			invalidateTemp(in.Dst)
+			invalidateAliasing(k)
+			if e := find(k); e != nil {
+				e.valid = false
+			}
+			// A load clobbering its own address base cannot be recorded:
+			// the key would describe a different location afterwards.
+			if in.Dst != in.A {
+				entries = append(entries, &accessEntry{
+					key: k, valTemp: in.Dst, wasStore: false, instIdx: idx, valid: true,
+				})
+			}
+		case OpSt:
+			k := accessKey{in.A, in.Imm, in.Size}
+			if e := find(k); e != nil && e.wasStore {
+				// (WAW)/(F-WAW): remove the earlier store, allowed across
+				// Frm and Fww.
+				if fenceAllowed(e.fences, memmodel.FenceFrm, memmodel.FenceFww) {
+					removed[e.instIdx] = true
+				}
+			}
+			invalidateAliasing(k)
+			if e := find(k); e != nil {
+				e.valid = false
+			}
+			entries = append(entries, &accessEntry{
+				key: k, valTemp: in.B, wasStore: true, instIdx: idx, valid: true,
+			})
+		case OpMb:
+			if in.Fence == memmodel.FenceFacq || in.Fence == memmodel.FenceFrel {
+				continue
+			}
+			for _, e := range entries {
+				if e.valid {
+					e.fences = append(e.fences, in.Fence)
+				}
+			}
+		case OpCAS, OpXAdd, OpXchg, OpCall:
+			invalidateAll()
+			if in.HasDst() {
+				invalidateTemp(in.Dst)
+			}
+		case OpSetLabel, OpBr, OpBrcond, OpExit, OpExitInd, OpExitHalt:
+			invalidateAll()
+		default:
+			if in.HasDst() {
+				invalidateTemp(in.Dst)
+			}
+		}
+	}
+
+	// Drop removed stores.
+	for idx, r := range removed {
+		if r {
+			b.Insts[idx] = Inst{Op: OpNop}
+		}
+	}
+}
+
+// --- Fence merging ----------------------------------------------------------
+
+// Fence ordering sets: bit 0 = rr, 1 = rw, 2 = wr, 3 = ww, 4 = sc.
+const (
+	fRR = 1 << iota
+	fRW
+	fWR
+	fWW
+	fSC
+)
+
+var fenceSets = map[memmodel.Fence]int{
+	memmodel.FenceFrr: fRR,
+	memmodel.FenceFrw: fRW,
+	memmodel.FenceFrm: fRR | fRW,
+	memmodel.FenceFwr: fWR,
+	memmodel.FenceFww: fWW,
+	memmodel.FenceFwm: fWR | fWW,
+	memmodel.FenceFmr: fRR | fWR,
+	memmodel.FenceFmw: fRW | fWW,
+	memmodel.FenceFmm: fRR | fRW | fWR | fWW,
+	memmodel.FenceFsc: fRR | fRW | fWR | fWW | fSC,
+}
+
+// setToFence returns the weakest fence kind covering the set.
+func setToFence(set int) memmodel.Fence {
+	best := memmodel.FenceFsc
+	bestSize := 6
+	for f, s := range fenceSets {
+		if s&set == set {
+			size := popcount(s)
+			if size < bestSize {
+				best, bestSize = f, size
+			}
+		}
+	}
+	return best
+}
+
+func popcount(v int) int {
+	n := 0
+	for v != 0 {
+		n += v & 1
+		v >>= 1
+	}
+	return n
+}
+
+func mergeFences(b *Block) {
+	pending := -1 // index of the fence we may merge into
+	for idx := range b.Insts {
+		in := &b.Insts[idx]
+		switch in.Op {
+		case OpMb:
+			set, mergeable := fenceSets[in.Fence]
+			if !mergeable {
+				pending = -1 // Facq/Frel are not merged
+				continue
+			}
+			if pending >= 0 {
+				prev := &b.Insts[pending]
+				merged := fenceSets[prev.Fence] | set
+				prev.Fence = setToFence(merged)
+				*in = Inst{Op: OpNop}
+				continue
+			}
+			pending = idx
+		case OpNop, OpMovI, OpMov, OpAdd, OpSub, OpMul, OpUDiv, OpURem,
+			OpAnd, OpOr, OpXor, OpShl, OpShr, OpSar, OpNeg, OpNot, OpSetcond:
+			// Non-memory ops do not separate fences.
+		default:
+			pending = -1
+		}
+	}
+}
+
+// --- Dead code elimination ----------------------------------------------------
+
+func deadCode(b *Block) {
+	live := make(map[Temp]bool)
+	for t := Temp(0); t < NumGlobals; t++ {
+		live[t] = true
+	}
+	liveAtLabel := make(map[int]map[Temp]bool)
+
+	cloneLive := func(m map[Temp]bool) map[Temp]bool {
+		c := make(map[Temp]bool, len(m))
+		for k, v := range m {
+			if v {
+				c[k] = true
+			}
+		}
+		return c
+	}
+
+	for idx := len(b.Insts) - 1; idx >= 0; idx-- {
+		in := &b.Insts[idx]
+		switch in.Op {
+		case OpCall:
+			// Helpers read guest state beyond their explicit arguments
+			// (the cmpxchg helper reads guest RAX, the syscall helper the
+			// guest argument registers), so every global is live across a
+			// call — even one the block overwrites just below it. Only a
+			// local result temp is defined by the call.
+			if in.Dst >= NumGlobals {
+				delete(live, in.Dst)
+			}
+			for t := Temp(0); t < NumGlobals; t++ {
+				live[t] = true
+			}
+			for _, u := range in.Uses() {
+				live[u] = true
+			}
+			continue
+		case OpSetLabel:
+			liveAtLabel[in.Label] = cloneLive(live)
+			continue
+		case OpBr:
+			if l, ok := liveAtLabel[in.Label]; ok {
+				live = cloneLive(l)
+			}
+			continue
+		case OpBrcond:
+			if l, ok := liveAtLabel[in.Label]; ok {
+				for t := range l {
+					live[t] = true
+				}
+			}
+			live[in.A] = true
+			live[in.B] = true
+			continue
+		}
+		if in.HasDst() && !in.HasSideEffects() && !live[in.Dst] {
+			*in = Inst{Op: OpNop}
+			continue
+		}
+		if in.HasDst() {
+			delete(live, in.Dst)
+		}
+		for _, u := range in.Uses() {
+			live[u] = true
+		}
+	}
+}
+
+func removeNops(b *Block) {
+	out := b.Insts[:0]
+	for _, in := range b.Insts {
+		if in.Op != OpNop {
+			out = append(out, in)
+		}
+	}
+	b.Insts = out
+}

@@ -1,0 +1,430 @@
+package tcg
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/memmodel"
+)
+
+func countOp(b *Block, op Opcode) int {
+	n := 0
+	for _, in := range b.Insts {
+		if in.Op == op {
+			n++
+		}
+	}
+	return n
+}
+
+func fenceKinds(b *Block) []memmodel.Fence {
+	var out []memmodel.Fence
+	for _, in := range b.Insts {
+		if in.Op == OpMb {
+			out = append(out, in.Fence)
+		}
+	}
+	return out
+}
+
+func TestConstFolding(t *testing.T) {
+	b := NewBlock()
+	t1, t2, t3 := b.Temp(), b.Temp(), b.Temp()
+	b.MovI(t1, 6)
+	b.MovI(t2, 7)
+	b.Alu(OpMul, t3, t1, t2)
+	b.Mov(0, t3) // into a global so DCE keeps it
+	Optimize(b, DefaultOpt())
+	// Everything should fold to a single movi into the global.
+	if n := countOp(b, OpMul); n != 0 {
+		t.Fatalf("mul not folded: %s", b)
+	}
+	it := NewInterp(b, 16)
+	if err := it.Run(b); err != nil {
+		t.Fatal(err)
+	}
+	if it.Temps[0] != 42 {
+		t.Fatalf("global0 = %d, want 42", it.Temps[0])
+	}
+}
+
+func TestFalseDependencyElimination(t *testing.T) {
+	// X = a * 0 { X = 0 (§6.1): the multiply disappears even though a is
+	// unknown.
+	b := NewBlock()
+	zero, prod, addr := b.Temp(), b.Temp(), b.Temp()
+	b.MovI(zero, 0)
+	b.Alu(OpMul, prod, 0 /* unknown global */, zero)
+	b.MovI(addr, 0x100)
+	b.St(addr, 0, prod, 8)
+	b.Exit(0)
+	Optimize(b, DefaultOpt())
+	if countOp(b, OpMul) != 0 {
+		t.Fatalf("x*0 not eliminated:\n%s", b)
+	}
+}
+
+func TestRAWElimination(t *testing.T) {
+	// st [X] = v; ld t = [X]  →  the load becomes a mov.
+	b := NewBlock()
+	addr, v, out := b.Temp(), b.Temp(), b.Temp()
+	b.MovI(addr, 0x100)
+	b.MovI(v, 9)
+	b.St(addr, 0, v, 8)
+	b.Ld(out, addr, 0, 8)
+	b.Mov(0, out)
+	b.Exit(0)
+	Optimize(b, OptConfig{AccessElim: true})
+	if countOp(b, OpLd) != 0 {
+		t.Fatalf("RAW load not eliminated:\n%s", b)
+	}
+	if countOp(b, OpSt) != 1 {
+		t.Fatalf("store must remain:\n%s", b)
+	}
+}
+
+func TestRAWAcrossAllowedFences(t *testing.T) {
+	// F-RAW permits Fww and Fsc in between (Figure 10).
+	for _, f := range []memmodel.Fence{memmodel.FenceFww, memmodel.FenceFsc} {
+		b := NewBlock()
+		addr, v, out := b.Temp(), b.Temp(), b.Temp()
+		b.MovI(addr, 0x100)
+		b.MovI(v, 9)
+		b.St(addr, 0, v, 8)
+		b.Mb(f)
+		b.Ld(out, addr, 0, 8)
+		b.Mov(0, out)
+		b.Exit(0)
+		Optimize(b, OptConfig{AccessElim: true})
+		if countOp(b, OpLd) != 0 {
+			t.Fatalf("RAW across %v should be allowed:\n%s", f, b)
+		}
+	}
+}
+
+func TestRAWBlockedByFmr(t *testing.T) {
+	// The FMR example (§3.2): RAW elimination across Fmr is incorrect and
+	// must not happen.
+	for _, f := range []memmodel.Fence{memmodel.FenceFmr, memmodel.FenceFwr, memmodel.FenceFrm} {
+		b := NewBlock()
+		addr, v, out := b.Temp(), b.Temp(), b.Temp()
+		b.MovI(addr, 0x100)
+		b.MovI(v, 9)
+		b.St(addr, 0, v, 8)
+		b.Mb(f)
+		b.Ld(out, addr, 0, 8)
+		b.Mov(0, out)
+		b.Exit(0)
+		Optimize(b, DefaultOpt())
+		if countOp(b, OpLd) != 1 {
+			t.Fatalf("RAW across %v must be blocked:\n%s", f, b)
+		}
+	}
+}
+
+func TestRARElimination(t *testing.T) {
+	b := NewBlock()
+	addr, a1, a2 := b.Temp(), b.Temp(), b.Temp()
+	b.MovI(addr, 0x100)
+	b.Ld(a1, addr, 0, 8)
+	b.Mb(memmodel.FenceFrm) // allowed for RAR
+	b.Ld(a2, addr, 0, 8)
+	b.Mov(0, a1)
+	b.Mov(1, a2)
+	b.Exit(0)
+	Optimize(b, OptConfig{AccessElim: true})
+	if countOp(b, OpLd) != 1 {
+		t.Fatalf("RAR not eliminated across Frm:\n%s", b)
+	}
+}
+
+func TestRARBlockedByFsc(t *testing.T) {
+	// F-RAR allows only Frm and Fww; Fsc between two loads must block it
+	// (an SC fence makes the second load observable distinctly).
+	b := NewBlock()
+	addr, a1, a2 := b.Temp(), b.Temp(), b.Temp()
+	b.MovI(addr, 0x100)
+	b.Ld(a1, addr, 0, 8)
+	b.Mb(memmodel.FenceFsc)
+	b.Ld(a2, addr, 0, 8)
+	b.Mov(0, a1)
+	b.Mov(1, a2)
+	b.Exit(0)
+	Optimize(b, OptConfig{AccessElim: true})
+	if countOp(b, OpLd) != 2 {
+		t.Fatalf("RAR across Fsc must be blocked:\n%s", b)
+	}
+}
+
+func TestWAWElimination(t *testing.T) {
+	b := NewBlock()
+	addr, v1, v2 := b.Temp(), b.Temp(), b.Temp()
+	b.MovI(addr, 0x100)
+	b.MovI(v1, 1)
+	b.MovI(v2, 2)
+	b.St(addr, 0, v1, 8)
+	b.St(addr, 0, v2, 8)
+	b.Exit(0)
+	Optimize(b, OptConfig{AccessElim: true})
+	if countOp(b, OpSt) != 1 {
+		t.Fatalf("WAW not eliminated:\n%s", b)
+	}
+	// The surviving store must be the second one (value 2).
+	it := NewInterp(b, 0x200)
+	if err := it.Run(b); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := it.load(0x100, 8); got != 2 {
+		t.Fatalf("[0x100] = %d, want 2", got)
+	}
+}
+
+func TestWAWBlockedByInterveningLoad(t *testing.T) {
+	// st; ld(same loc, not eliminated because elimination disabled);
+	// st — with AccessElim on, the intervening load is itself eliminated
+	// to a mov, so WAW still fires. Use different aliasing base to keep
+	// the load: st [A]; ld [B] (possible alias); st [A] — first store
+	// must survive.
+	b := NewBlock()
+	addrA, addrB, v1, v2, out := b.Temp(), b.Temp(), b.Temp(), b.Temp(), b.Temp()
+	b.MovI(addrA, 0x100)
+	b.MovI(addrB, 0x180)
+	b.MovI(v1, 1)
+	b.MovI(v2, 2)
+	b.St(addrA, 0, v1, 8)
+	b.Ld(out, addrB, 0, 8) // possible alias: invalidates tracking
+	b.Mov(0, out)
+	b.St(addrA, 0, v2, 8)
+	b.Exit(0)
+	Optimize(b, OptConfig{AccessElim: true})
+	if countOp(b, OpSt) != 2 {
+		t.Fatalf("WAW across possibly-aliasing load must be blocked:\n%s", b)
+	}
+}
+
+func TestFenceMergePaperExample(t *testing.T) {
+	// §6.1: a = X; Frm; Fww; Y = 1 — the two fences merge into one full
+	// fence at the earlier position.
+	b := NewBlock()
+	addrX, addrY, a, one := b.Temp(), b.Temp(), b.Temp(), b.Temp()
+	b.MovI(addrX, 0x100)
+	b.Ld(a, addrX, 0, 8)
+	b.Mov(0, a)
+	b.Mb(memmodel.FenceFrm)
+	b.Mb(memmodel.FenceFww)
+	b.MovI(addrY, 0x108)
+	b.MovI(one, 1)
+	b.St(addrY, 0, one, 8)
+	b.Exit(0)
+	Optimize(b, OptConfig{FenceMerge: true})
+	ks := fenceKinds(b)
+	if len(ks) != 1 {
+		t.Fatalf("fences not merged: %v\n%s", ks, b)
+	}
+	// The merged fence must cover rr, rw and ww — Fmm (≡ DMBFF at the Arm
+	// level, matching the paper's Fsc strengthening).
+	if ks[0] != memmodel.FenceFmm && ks[0] != memmodel.FenceFsc {
+		t.Fatalf("merged fence %v does not cover Frm+Fww", ks[0])
+	}
+}
+
+func TestFenceMergeBlockedByMemoryAccess(t *testing.T) {
+	b := NewBlock()
+	addr, a := b.Temp(), b.Temp()
+	b.MovI(addr, 0x100)
+	b.Mb(memmodel.FenceFrm)
+	b.Ld(a, addr, 0, 8)
+	b.Mov(0, a)
+	b.Mb(memmodel.FenceFww)
+	b.Exit(0)
+	Optimize(b, OptConfig{FenceMerge: true})
+	if ks := fenceKinds(b); len(ks) != 2 {
+		t.Fatalf("fences across a memory access must not merge: %v", ks)
+	}
+}
+
+func TestFenceMergeIdempotentKinds(t *testing.T) {
+	// Frm + Frm → Frm, Fsc + anything → Fsc.
+	b := NewBlock()
+	b.Mb(memmodel.FenceFrm)
+	b.Mb(memmodel.FenceFrm)
+	b.Exit(0)
+	Optimize(b, OptConfig{FenceMerge: true})
+	if ks := fenceKinds(b); len(ks) != 1 || ks[0] != memmodel.FenceFrm {
+		t.Fatalf("Frm+Frm: %v", ks)
+	}
+	b = NewBlock()
+	b.Mb(memmodel.FenceFsc)
+	b.Mb(memmodel.FenceFrr)
+	b.Exit(0)
+	Optimize(b, OptConfig{FenceMerge: true})
+	if ks := fenceKinds(b); len(ks) != 1 || ks[0] != memmodel.FenceFsc {
+		t.Fatalf("Fsc+Frr: %v", ks)
+	}
+}
+
+func TestDeadCodeKeepsMemoryAndGlobals(t *testing.T) {
+	b := NewBlock()
+	dead, addr, v := b.Temp(), b.Temp(), b.Temp()
+	b.MovI(dead, 123) // dead: never used
+	b.MovI(addr, 0x100)
+	b.MovI(v, 5)
+	b.St(addr, 0, v, 8)
+	b.MovI(0, 7) // global: always live
+	b.Exit(0)
+	Optimize(b, OptConfig{DeadCode: true})
+	if countOp(b, OpSt) != 1 {
+		t.Fatal("store must never be dead")
+	}
+	movis := countOp(b, OpMovI)
+	if movis != 3 { // addr, v, global — dead one removed
+		t.Fatalf("movi count = %d, want 3:\n%s", movis, b)
+	}
+}
+
+func TestDeadCodeNeverRemovesLoads(t *testing.T) {
+	b := NewBlock()
+	addr, unused := b.Temp(), b.Temp()
+	b.MovI(addr, 0x100)
+	b.Ld(unused, addr, 0, 8) // result unused, but R event must remain
+	b.Exit(0)
+	Optimize(b, OptConfig{DeadCode: true})
+	if countOp(b, OpLd) != 1 {
+		t.Fatalf("DCE must not remove shared-memory loads:\n%s", b)
+	}
+}
+
+func TestBrcondLiveness(t *testing.T) {
+	// A temp used only on the branch-taken path must stay live across the
+	// brcond.
+	b := NewBlock()
+	l := b.NewLabel()
+	x, c1, c2 := b.Temp(), b.Temp(), b.Temp()
+	b.MovI(x, 42)
+	b.MovI(c1, 0)
+	b.MovI(c2, 0)
+	b.Brcond(CondEQ, c1, c2, l)
+	b.MovI(0, 1)
+	b.Exit(0)
+	b.SetLabel(l)
+	b.Mov(1, x) // x used only here
+	b.Exit(0)
+	Optimize(b, DefaultOpt())
+	it := NewInterp(b, 16)
+	if err := it.Run(b); err != nil {
+		t.Fatal(err)
+	}
+	if it.Temps[1] != 42 {
+		t.Fatalf("taken-path value lost: global1 = %d\n%s", it.Temps[1], b)
+	}
+}
+
+// randomBlock builds a random straight-line block over a few temps with
+// loads, stores, ALU ops and fences, for differential testing.
+func randomBlock(rng *rand.Rand) *Block {
+	b := NewBlock()
+	temps := []Temp{0, 1, 2, 3} // globals as sources
+	for i := 0; i < 4; i++ {
+		temps = append(temps, b.Temp())
+	}
+	addr := b.Temp()
+	b.MovI(addr, 0x100)
+	nInst := 5 + rng.Intn(20)
+	for i := 0; i < nInst; i++ {
+		pick := func() Temp { return temps[rng.Intn(len(temps))] }
+		switch rng.Intn(8) {
+		case 0:
+			b.MovI(pick(), int64(rng.Intn(100)))
+		case 1:
+			b.Mov(pick(), pick())
+		case 2:
+			ops := []Opcode{OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor}
+			b.Alu(ops[rng.Intn(len(ops))], pick(), pick(), pick())
+		case 3:
+			b.Ld(pick(), addr, int64(rng.Intn(4))*8, 8)
+		case 4:
+			b.St(addr, int64(rng.Intn(4))*8, pick(), 8)
+		case 5:
+			fences := []memmodel.Fence{
+				memmodel.FenceFrm, memmodel.FenceFww, memmodel.FenceFsc,
+				memmodel.FenceFmr, memmodel.FenceFrr,
+			}
+			b.Mb(fences[rng.Intn(len(fences))])
+		case 6:
+			b.Emit(Inst{Op: OpSetcond, Cond: Cond(rng.Intn(10)), Dst: pick(), A: pick(), B: pick()})
+		case 7:
+			b.Emit(Inst{Op: OpNot, Dst: pick(), A: pick()})
+		}
+	}
+	b.Exit(0x1234)
+	return b
+}
+
+// TestOptimizerPreservesSemantics differential-tests the full pipeline on
+// random straight-line blocks: globals and memory must match after
+// optimization (single-threaded semantics — the concurrent-semantics
+// argument is the Figure-10 verification in internal/models/tcgmm).
+func TestOptimizerPreservesSemantics(t *testing.T) {
+	for seed := int64(0); seed < 300; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		orig := randomBlock(rng)
+
+		run := func(b *Block) *Interp {
+			it := NewInterp(b, 0x200)
+			for g := 0; g < NumGlobals; g++ {
+				it.Temps[g] = uint64(g * 1000003)
+			}
+			for i := range it.Mem {
+				it.Mem[i] = byte(i * 37)
+			}
+			if err := it.Run(b); err != nil {
+				t.Fatalf("seed %d: %v\n%s", seed, err, b)
+			}
+			return it
+		}
+
+		ref := run(orig)
+
+		opt := &Block{Insts: append([]Inst(nil), orig.Insts...),
+			NumTemps: orig.NumTemps, NumLabels: orig.NumLabels}
+		Optimize(opt, DefaultOpt())
+		got := run(opt)
+
+		for g := 0; g < NumGlobals; g++ {
+			if ref.Temps[g] != got.Temps[g] {
+				t.Fatalf("seed %d: global %d: %d != %d\nbefore:\n%s\nafter:\n%s",
+					seed, g, ref.Temps[g], got.Temps[g], orig, opt)
+			}
+		}
+		for i := range ref.Mem {
+			if ref.Mem[i] != got.Mem[i] {
+				t.Fatalf("seed %d: mem[%#x]: %d != %d\nbefore:\n%s\nafter:\n%s",
+					seed, i, ref.Mem[i], got.Mem[i], orig, opt)
+			}
+		}
+		if ref.NextPC != got.NextPC {
+			t.Fatalf("seed %d: next pc %#x != %#x", seed, ref.NextPC, got.NextPC)
+		}
+	}
+}
+
+func TestOptimizerShrinks(t *testing.T) {
+	// Sanity: on a typical frontend-shaped block, optimization reduces
+	// instruction count.
+	b := NewBlock()
+	addr, v1, v2, x := b.Temp(), b.Temp(), b.Temp(), b.Temp()
+	b.MovI(addr, 0x100)
+	b.MovI(v1, 10)
+	b.MovI(v2, 0)
+	b.Alu(OpAdd, x, v1, v2) // x = 10
+	b.St(addr, 0, x, 8)
+	b.Mb(memmodel.FenceFrm)
+	b.Mb(memmodel.FenceFww)
+	b.St(addr, 8, x, 8)
+	b.Exit(0)
+	before := len(b.Insts)
+	Optimize(b, DefaultOpt())
+	if len(b.Insts) >= before {
+		t.Fatalf("no shrink: %d → %d\n%s", before, len(b.Insts), b)
+	}
+}

@@ -1,0 +1,140 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/portasm"
+)
+
+// CASBench builds the Figure-15 microbenchmark: `threads` threads each
+// perform `opsPerThread` successful compare-and-swap increments on one of
+// `vars` shared counters (thread t hammers counter t mod vars, each padded
+// to its own 64-byte line). threads == vars is the uncontended
+// configuration; vars < threads forces line ping-pong.
+//
+// The kernel is the textbook CAS loop: load, attempt CAS(old → old+1),
+// retry on failure. Guest builds exercise either QEMU's helper-call RMW
+// path or Risotto's inline casal translation depending on the DBT variant;
+// the native build uses casal directly.
+func CASBench(threads, vars, opsPerThread int) (*portasm.Builder, error) {
+	if threads <= 0 || vars <= 0 {
+		return nil, fmt.Errorf("workloads: casbench needs positive threads/vars")
+	}
+	b := portasm.NewBuilder()
+	counters := b.Zeros(64 * vars) // one cache line per counter
+	result := b.Zeros(8)
+
+	b.Label("worker").
+		Arg(r0).
+		Mov(r1, r0).
+		AluI(portasm.URem, r1, int64(vars)).
+		MulI(r1, 64).
+		AddI(r1, int64(counters)). // r1 = my counter
+		MovI(r2, 0).               // completed ops
+		Label("cbloop").
+		Label("cbretry").
+		Ld(r3, r1, 0, 8).
+		Mov(r4, r3).
+		AddI(r4, 1).
+		CASFlag(r1, r3, r4).
+		J(portasm.NE, "cbretry").
+		AddI(r2, 1).
+		CmpI(r2, int64(opsPerThread)).
+		J(portasm.NE, "cbloop").
+		MovI(r0, 0).
+		Exit(r0)
+
+	forkJoin(b, threads, func() {
+		// Sum the counters (striding by 64/8 words): must equal
+		// threads*opsPerThread.
+		b.MovI(r4, int64(counters)).
+			MovI(r5, 0).
+			MovI(r6, 0).
+			Label("cbsum").
+			Ld(r7, r4, 0, 8).
+			AddR(r6, r7).
+			AddI(r4, 64).
+			AddI(r5, 1).
+			CmpI(r5, int64(vars)).
+			J(portasm.NE, "cbsum").
+			MovI(r7, int64(result)).
+			St(r7, 0, r6, 8)
+		exitChecksum(b, result)()
+	})
+	return b, nil
+}
+
+// SpinlockCounter builds a mutual-exclusion stress test: `threads` threads
+// each increment a shared counter `iters` times inside a CAS spinlock
+// critical section. The final counter must equal threads×iters under every
+// DBT variant and natively — lost updates mean broken atomics, broken
+// scheduling, or a broken lock translation.
+func SpinlockCounter(threads, iters int) (*portasm.Builder, error) {
+	return spinlockCounter(threads, iters, true)
+}
+
+// SpinlockCounterNoMFence is SpinlockCounter without the explicit MFENCE
+// before the lock release. On x86 this is still a correct lock (TSO orders
+// the counter store before the release store), so a correct translation
+// must keep it working — which is exactly what the verified mapping's
+// store fences do, and what the no-fences translation loses on a weak
+// host (see TestWeakHostSpinlock).
+func SpinlockCounterNoMFence(threads, iters int) (*portasm.Builder, error) {
+	return spinlockCounter(threads, iters, false)
+}
+
+func spinlockCounter(threads, iters int, mfence bool) (*portasm.Builder, error) {
+	if threads <= 0 || iters <= 0 {
+		return nil, fmt.Errorf("workloads: spinlock needs positive threads/iters")
+	}
+	b := portasm.NewBuilder()
+	lock := b.Zeros(64)
+	counter := b.Zeros(64)
+	result := b.Zeros(8)
+
+	b.Label("worker").
+		Arg(r0).
+		MovI(r1, int64(lock)).
+		MovI(r2, int64(counter)).
+		MovI(r3, 0). // completed
+		Label("slloop").
+		// acquire
+		Label("slacq").
+		MovI(r4, 0). // expect unlocked
+		MovI(r5, 1).
+		CASFlag(r1, r4, r5).
+		J(portasm.NE, "slacq").
+		// critical section
+		Ld(r6, r2, 0, 8).
+		AddI(r6, 1).
+		St(r2, 0, r6, 8)
+	// release: on TSO a plain store suffices (store-store order); the
+	// MFENCE variant makes the ordering explicit even under no-fences.
+	if mfence {
+		b.MFence()
+	}
+	b.MovI(r7, 0).
+		St(r1, 0, r7, 8).
+		AddI(r3, 1).
+		CmpI(r3, int64(iters)).
+		J(portasm.NE, "slloop").
+		MovI(r0, 0).
+		Exit(r0)
+
+	forkJoin(b, threads, func() {
+		b.MovI(r4, int64(counter)).
+			Ld(r5, r4, 0, 8).
+			MovI(r6, int64(result)).
+			St(r6, 0, r5, 8)
+		exitChecksum(b, result)()
+	})
+	return b, nil
+}
+
+// Fig15Configs returns the (threads, vars) pairs of Figure 15 in order.
+func Fig15Configs() [][2]int {
+	return [][2]int{
+		{1, 1}, {4, 1}, {4, 2}, {4, 4}, {8, 1}, {8, 4}, {8, 8},
+		{16, 1}, {16, 8}, {16, 16},
+	}
+}

@@ -1,0 +1,451 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/portasm"
+)
+
+// Library workloads (Figures 13–14): guest programs that call shared-
+// library functions through the PLT. Under plain QEMU the guest fallback
+// implementation (also built here, in guest code) is translated and
+// executed; under Risotto with an IDL the dynamic host linker dispatches
+// to internal/hostlib instead.
+//
+// Guest digest implementations use simplified compression functions with
+// the originals' round structure and memory behaviour (documented in
+// DESIGN.md); guest math uses Q16.16 fixed-point series whose element
+// operations are routed through soft-float-style helper calls, standing in
+// for QEMU's software floating point (§7.3).
+
+// IDLAll declares every function the evaluation links.
+const IDLAll = `
+# OpenSSL-like digests
+u64 md5(buf data, u64 len);
+u64 sha1(buf data, u64 len);
+u64 sha256(buf data, u64 len);
+# RSA
+u64 rsa1024_sign(u64 seed);
+u64 rsa1024_verify(u64 seed);
+u64 rsa2048_sign(u64 seed);
+u64 rsa2048_verify(u64 seed);
+# sqlite-like KV engine
+u64 sqlite_exec(ptr table, u64 ops, u64 seed);
+# libm
+f64 sqrt(f64 x);
+f64 exp(f64 x);
+f64 log(f64 x);
+f64 sin(f64 x);
+f64 cos(f64 x);
+f64 tan(f64 x);
+f64 asin(f64 x);
+f64 acos(f64 x);
+f64 atan(f64 x);
+`
+
+// callLoop emits a main that performs `calls` PLT invocations, spilling
+// its loop state to memory around each call (the callee may clobber every
+// virtual register), accumulating an xor of results, and exiting with the
+// low 32 bits. setup(iReg) must place the call's arguments with SetCArg
+// using only r1–r3.
+func callLoop(b *portasm.Builder, fn string, calls int, setup func()) {
+	iCell := b.Zeros(8)
+	accCell := b.Zeros(8)
+	b.Label("main").
+		Label("__calls").
+		MovI(r9, int64(iCell)).
+		Ld(r0, r9, 0, 8) // r0 = i
+	setup()
+	b.CallPLT(fn).
+		GetCRet(r1).
+		MovI(r9, int64(accCell)).
+		Ld(r2, r9, 0, 8).
+		XorR(r2, r1).
+		St(r9, 0, r2, 8).
+		MovI(r9, int64(iCell)).
+		Ld(r0, r9, 0, 8).
+		AddI(r0, 1).
+		St(r9, 0, r0, 8).
+		CmpI(r0, int64(calls)).
+		J(portasm.NE, "__calls")
+	b.MovI(r9, int64(accCell)).
+		Ld(r0, r9, 0, 8).
+		MovI(r1, 0xFFFFFFFF).
+		Alu(portasm.And, r0, r1).
+		Exit(r0)
+}
+
+// DigestProgram builds a guest program hashing a bufLen-byte buffer
+// `calls` times through the PLT function alg ∈ {md5, sha1, sha256}.
+func DigestProgram(alg string, bufLen, calls int) (*portasm.Builder, error) {
+	if bufLen%64 != 0 {
+		return nil, fmt.Errorf("workloads: digest buffer must be a multiple of 64, got %d", bufLen)
+	}
+	b := portasm.NewBuilder()
+	buf := b.Data(bytesOf(40, bufLen))
+
+	callLoop(b, alg, calls, func() {
+		b.MovI(r1, int64(buf)).
+			SetCArg(0, r1).
+			MovI(r2, int64(bufLen)).
+			SetCArg(1, r2)
+	})
+
+	switch alg {
+	case "md5":
+		emitMD5(b)
+	case "sha1":
+		emitSHA1(b)
+	case "sha256":
+		emitSHA256(b)
+	default:
+		return nil, fmt.Errorf("workloads: unknown digest %q", alg)
+	}
+	return b, nil
+}
+
+// emitMD5 defines the guest "md5": per 64-byte block, 64 rounds each
+// loading one message word and running an add-rotate-xor step — the real
+// MD5's load-per-round structure with a simplified mixing function.
+func emitMD5(b *portasm.Builder) {
+	b.Label("md5").
+		CArg(r0, 0).          // ptr
+		CArg(r1, 1).          // len
+		MovI(r2, 0x67452301). // a
+		MovI(r3, 0xefcdab89). // b
+		MovI(r9, 0).          // off
+		Label("md5blk").
+		Mov(r4, r0).
+		AddR(r4, r9). // block base
+		MovI(r5, 0).  // round
+		Label("md5rnd").
+		Mov(r6, r5).
+		AndI(r6, 7).
+		LdIdx(r7, r4, r6, 8, 8).
+		AddR(r2, r7).
+		AddI(r2, 0x5A827999).
+		Mov(r8, r2). // rotl 7
+		ShlI(r2, 7).
+		ShrI(r8, 57).
+		OrR(r2, r8).
+		XorR(r2, r3).
+		Mov(r8, r2). // swap a, b
+		Mov(r2, r3).
+		Mov(r3, r8).
+		AddI(r5, 1).
+		CmpI(r5, 64).
+		J(portasm.NE, "md5rnd").
+		AddI(r9, 64).
+		Cmp(r9, r1).
+		J(portasm.NE, "md5blk").
+		AddR(r2, r3).
+		SetCRet(r2).
+		Ret()
+}
+
+// emitSHA1 defines the guest "sha1": 80 rounds per block over a 3-word
+// state with rotation amounts varying by round quarter.
+func emitSHA1(b *portasm.Builder) {
+	b.Label("sha1").
+		CArg(r0, 0).
+		CArg(r1, 1).
+		MovI(r2, 0x67452301).
+		MovI(r3, 0x98BADCFE).
+		MovI(r9, 0).
+		Label("sh1blk").
+		Mov(r4, r0).
+		AddR(r4, r9).
+		MovI(r5, 0).
+		Label("sh1rnd").
+		Mov(r6, r5).
+		AndI(r6, 7).
+		LdIdx(r7, r4, r6, 8, 8).
+		// f = (b & w) | (~b-ish mix)
+		Mov(r8, r3).
+		Alu(portasm.And, r8, r7).
+		XorR(r8, r7).
+		AddR(r2, r8).
+		AddI(r2, 0x6ED9EBA1).
+		Mov(r8, r2). // rotl 5
+		ShlI(r2, 5).
+		ShrI(r8, 59).
+		OrR(r2, r8).
+		XorR(r2, r3).
+		Mov(r8, r2).
+		Mov(r2, r3).
+		Mov(r3, r8).
+		AddI(r5, 1).
+		CmpI(r5, 80).
+		J(portasm.NE, "sh1rnd").
+		AddI(r9, 64).
+		Cmp(r9, r1).
+		J(portasm.NE, "sh1blk").
+		AddR(r2, r3).
+		SetCRet(r2).
+		Ret()
+}
+
+// emitSHA256 defines the guest "sha256": per block, a 48-step message-
+// schedule expansion writing to a scratch area, then 64 compression rounds
+// reading it back — the real SHA-256's two-phase, store-then-load shape.
+func emitSHA256(b *portasm.Builder) {
+	sched := b.Zeros(8 * 64)
+	b.Label("sha256").
+		CArg(r0, 0).
+		CArg(r1, 1).
+		MovI(r2, 0x6A09E667).
+		MovI(r3, 0xBB67AE85).
+		MovI(r9, 0).
+		Label("sh2blk").
+		Mov(r4, r0).
+		AddR(r4, r9).
+		// Schedule: w[0..7] = message words; w[8..63] = mix of two
+		// previous entries.
+		MovI(r5, 0).
+		MovI(r6, int64(sched)).
+		Label("sh2cpy").
+		LdIdx(r7, r4, r5, 8, 8).
+		StIdx(r6, r5, 8, r7, 8).
+		AddI(r5, 1).
+		CmpI(r5, 8).
+		J(portasm.NE, "sh2cpy").
+		Label("sh2exp").
+		Mov(r7, r5).
+		SubI(r7, 8).
+		LdIdx(r8, r6, r7, 8, 8). // w[i-8]
+		AddI(r7, 6).
+		LdIdx(r7, r6, r7, 8, 8). // w[i-2]
+		Mov(r4, r7).             // σ-ish mixing
+		ShrI(r4, 17).
+		XorR(r7, r4).
+		AddR(r8, r7).
+		StIdx(r6, r5, 8, r8, 8).
+		AddI(r5, 1).
+		CmpI(r5, 64).
+		J(portasm.NE, "sh2exp").
+		// Compression rounds.
+		MovI(r5, 0).
+		Label("sh2rnd").
+		LdIdx(r7, r6, r5, 8, 8).
+		AddR(r2, r7).
+		AddI(r2, 0x428A2F98).
+		Mov(r8, r2). // rotl 13
+		ShlI(r2, 13).
+		ShrI(r8, 51).
+		OrR(r2, r8).
+		Mov(r8, r3). // ch-ish
+		Alu(portasm.And, r8, r2).
+		XorR(r3, r8).
+		Mov(r8, r2).
+		Mov(r2, r3).
+		Mov(r3, r8).
+		AddI(r5, 1).
+		CmpI(r5, 64).
+		J(portasm.NE, "sh2rnd").
+		AddI(r9, 64).
+		Cmp(r9, r1).
+		J(portasm.NE, "sh2blk").
+		AddR(r2, r3).
+		SetCRet(r2).
+		Ret()
+}
+
+// RSAProgram builds a guest program running modular exponentiation through
+// the PLT `calls` times. The guest fallback performs square-and-multiply
+// over 64-bit limbs with URem-based reduction; sign uses the full
+// exponent width, verify uses e = 65537 (17 bits).
+func RSAProgram(bits int, sign bool, calls int) (*portasm.Builder, error) {
+	if bits != 1024 && bits != 2048 {
+		return nil, fmt.Errorf("workloads: rsa bits must be 1024 or 2048")
+	}
+	name := fmt.Sprintf("rsa%d_%s", bits, map[bool]string{true: "sign", false: "verify"}[sign])
+	iters := 17 // verify: e = 65537
+	if sign {
+		iters = bits
+	}
+	// Model schoolbook limb products per exponent bit (a 1024-bit modmul
+	// is ~16² 64-bit multiply-adds; we run a scaled-down count).
+	perBit := 24
+	if bits == 2048 {
+		perBit = 48
+	}
+	const modulus = 0x7FFFFFFFFFFFFFE7
+
+	b := portasm.NewBuilder()
+	callLoop(b, name, calls, func() {
+		b.Mov(r1, r0).
+			AddI(r1, 3).
+			SetCArg(0, r1)
+	})
+
+	b.Label(name).
+		CArg(r0, 0). // seed
+		MovI(r1, modulus).
+		Mov(r2, r0).
+		AluI(portasm.Or, r2, 2). // x
+		MovI(r3, 0)              // bit
+	b.Label(name + "_bit")
+	for k := 0; k < perBit; k++ {
+		// x = (x * (x+k)) % M, masked to avoid 128-bit products.
+		b.Mov(r4, r2).
+			AddI(r4, int64(k)).
+			MovI(r5, 0xFFFFFFFF).
+			Alu(portasm.And, r4, r5).
+			Alu(portasm.And, r2, r5).
+			MulR(r2, r4).
+			Alu(portasm.URem, r2, r1)
+	}
+	b.AddI(r3, 1).
+		CmpI(r3, int64(iters)).
+		J(portasm.NE, name+"_bit").
+		SetCRet(r2).
+		Ret()
+	return b, nil
+}
+
+// SqliteProgram builds the sqlite speedtest-like workload: `calls`
+// transactions of `ops` hashed KV upserts each, through the PLT.
+func SqliteProgram(ops, calls int) (*portasm.Builder, error) {
+	const buckets = 4096
+	b := portasm.NewBuilder()
+	table := b.Zeros(8 * buckets)
+
+	callLoop(b, "sqlite_exec", calls, func() {
+		b.MovI(r1, int64(table)).
+			SetCArg(0, r1).
+			MovI(r2, int64(ops)).
+			SetCArg(1, r2).
+			Mov(r3, r0).
+			AddI(r3, 1).
+			SetCArg(2, r3)
+	})
+
+	b.Label("sqlite_exec").
+		CArg(r0, 0). // table
+		CArg(r1, 1). // ops
+		CArg(r2, 2). // seed
+		AluI(portasm.Or, r2, 1).
+		MovI(r3, 0). // i
+		MovI(r4, 0)  // acc
+	b.Label("sqlo").
+		MulI(r2, 6364136223846793005).
+		AddI(r2, 1442695040888963407).
+		Mov(r5, r2).
+		ShrI(r5, 33).
+		AndI(r5, buckets-1).
+		LdIdx(r6, r0, r5, 8, 8).
+		XorR(r4, r6).
+		AddR(r6, r2).
+		StIdx(r0, r5, 8, r6, 8).
+		AddI(r3, 1).
+		Cmp(r3, r1).
+		J(portasm.NE, "sqlo").
+		SetCRet(r4).
+		Ret()
+	return b, nil
+}
+
+// mathSpec describes one libm function's guest-side evaluation.
+type mathSpec struct {
+	terms   int  // series terms (each: fixmul, fixmul, fixdiv)
+	newton  bool // sqrt-style divide-and-average iterations instead
+	newtonN int
+}
+
+var mathSpecs = map[string]mathSpec{
+	"sqrt": {newton: true, newtonN: 3},
+	"exp":  {terms: 12},
+	"log":  {terms: 12},
+	"sin":  {terms: 9},
+	"cos":  {terms: 9},
+	"tan":  {terms: 11},
+	"asin": {terms: 14},
+	"acos": {terms: 14},
+	"atan": {terms: 13},
+}
+
+// MathNames lists the Figure-14 functions in the paper's order.
+func MathNames() []string {
+	return []string{"sqrt", "exp", "log", "cos", "sin", "tan", "acos", "asin", "atan"}
+}
+
+// MathProgram builds a guest program evaluating a libm function through
+// the PLT `calls` times over varying Q16.16 inputs. The guest fallback
+// evaluates a fixed-point series whose element operations go through
+// soft-float-style helper calls (fixmul/fixdiv), reproducing the cost
+// structure of QEMU's software floating point.
+func MathProgram(fn string, calls int) (*portasm.Builder, error) {
+	spec, ok := mathSpecs[fn]
+	if !ok {
+		return nil, fmt.Errorf("workloads: unknown math function %q", fn)
+	}
+	b := portasm.NewBuilder()
+	callLoop(b, fn, calls, func() {
+		b.Mov(r1, r0).
+			AndI(r1, 127).
+			AddI(r1, 1).
+			ShlI(r1, 12). // Q16.16 in (0, 0.5]
+			SetCArg(0, r1)
+	})
+
+	// Soft-fixed-point helpers. Each pads its core operation with
+	// unpack/normalize-style mask-and-shift work so one helper call costs
+	// roughly what a softfloat primitive does. Clobbers r8, r9 only.
+	b.Label("fixmul"). // r8 = (r8 * r9) >> 16
+				MulR(r8, r9).
+				Mov(r9, r8).
+				ShrI(r9, 63). // sign-ish
+				ShrI(r8, 16).
+				XorR(r8, r9).
+				Mov(r9, r8).
+				AndI(r9, 0xFFF).
+				OrR(r8, r9).
+				Ret()
+	b.Label("fixdiv"). // r8 = (r8 << 16) / r9
+				ShlI(r8, 16).
+				Alu(portasm.UDiv, r8, r9).
+				Mov(r9, r8).
+				ShrI(r9, 48).
+				XorR(r8, r9).
+				Ret()
+
+	b.Label(fn).
+		CArg(r0, 0) // x (Q16.16)
+	if spec.newton {
+		// y = x; repeat: y = (y + x/y) >> 1.
+		b.Mov(r1, r0).
+			AluI(portasm.Or, r1, 1)
+		for i := 0; i < spec.newtonN; i++ {
+			b.Mov(r8, r0).
+				Mov(r9, r1).
+				Call("fixdiv").
+				AddR(r8, r1).
+				ShrI(r8, 1).
+				Mov(r1, r8)
+		}
+		b.SetCRet(r1).
+			Ret()
+	} else {
+		// sum = x; term = x; for i: term = term·x·x / (i·2^16); sum += term.
+		b.Mov(r1, r0). // sum
+				Mov(r2, r0) // term
+		for i := 1; i <= spec.terms; i++ {
+			b.Mov(r8, r2).
+				Mov(r9, r0).
+				Call("fixmul").
+				Mov(r2, r8). // term *= x
+				Mov(r8, r2).
+				Mov(r9, r0).
+				Call("fixmul").
+				Mov(r2, r8). // term *= x
+				Mov(r8, r2).
+				MovI(r9, int64(i)<<16).
+				Call("fixdiv").
+				Mov(r2, r8). // term /= i
+				AddR(r1, r2) // sum += term
+		}
+		b.SetCRet(r1).
+			Ret()
+	}
+	return b, nil
+}

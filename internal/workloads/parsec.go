@@ -1,0 +1,465 @@
+package workloads
+
+import (
+	"repro/internal/portasm"
+)
+
+// PARSEC kernels (Bienia [19]), reproduced at the level of their
+// memory/compute mix: option pricing (blackscholes, swaptions — fixed-point
+// arithmetic chains), stencils (fluidanimate, bodytrack, facesim — heavy
+// neighbouring loads/stores), annealing-style scattered updates (canneal),
+// counting over transactions (freqmine — the paper's most fence-bound
+// benchmark), distance reductions (streamcluster), and pixel pipelines
+// (vips).
+
+// Blackscholes: per option, load spot/strike/vol, run a fixed-point
+// pricing chain (Q16.16), store the price — compute-dominated.
+func Blackscholes(threads, scale int) (*portasm.Builder, error) {
+	n := 4096 * scale
+	n -= n % threads
+	b := portasm.NewBuilder()
+	spots := b.Data(wordsOf(10, n, 1<<20))
+	strikes := b.Data(wordsOf(11, n, 1<<20))
+	prices := b.Zeros(8 * n)
+	result := b.Zeros(8)
+
+	b.Label("worker").
+		Arg(r0)
+	chunkBounds(b, r0, r1, r2, n, threads)
+	b.MovI(r3, int64(spots)).
+		MovI(r4, int64(strikes)).
+		Label("bsloop").
+		LdIdx(r5, r3, r1, 8, 8). // S
+		LdIdx(r6, r4, r1, 8, 8). // K
+		// d = (S - K); price ≈ S·σ-chain in Q16.16: several mul/shr
+		// rounds standing in for CNDF evaluation.
+		Mov(r7, r5).
+		SubR(r7, r6).
+		Mov(r8, r7).
+		MulR(r8, r7).
+		ShrI(r8, 16).
+		AddR(r8, r5).
+		MulR(r8, r7).
+		ShrI(r8, 16).
+		AddR(r8, r6).
+		Mov(r9, r8).
+		MulR(r9, r8).
+		ShrI(r9, 16).
+		AddR(r8, r9).
+		MovI(r9, int64(prices)).
+		StIdx(r9, r1, 8, r8, 8).
+		AddI(r1, 1).
+		Cmp(r1, r2).
+		J(portasm.NE, "bsloop").
+		MovI(r0, 0).
+		Exit(r0)
+
+	forkJoin(b, threads, func() {
+		sumArray(b, prices, n, result)
+		exitChecksum(b, result)()
+	})
+	return b, nil
+}
+
+// Bodytrack: 1-D edge filter over an image — per pixel, three neighbour
+// loads, a weighted sum, one store.
+func Bodytrack(threads, scale int) (*portasm.Builder, error) {
+	n := 16384 * scale
+	n -= n % threads
+	b := portasm.NewBuilder()
+	img := b.Data(wordsOf(12, n+2, 256))
+	out := b.Zeros(8 * n)
+	result := b.Zeros(8)
+
+	b.Label("worker").
+		Arg(r0)
+	chunkBounds(b, r0, r1, r2, n, threads)
+	b.MovI(r3, int64(img)).
+		MovI(r4, int64(out)).
+		Label("btloop").
+		LdIdx(r5, r3, r1, 8, 8). // left
+		Mov(r9, r1).
+		AddI(r9, 1).
+		LdIdx(r6, r3, r9, 8, 8). // centre
+		AddI(r9, 1).
+		LdIdx(r7, r3, r9, 8, 8). // right
+		MulI(r6, 2).
+		AddR(r5, r6).
+		AddR(r5, r7).
+		ShrI(r5, 2).
+		StIdx(r4, r1, 8, r5, 8).
+		AddI(r1, 1).
+		Cmp(r1, r2).
+		J(portasm.NE, "btloop").
+		MovI(r0, 0).
+		Exit(r0)
+
+	forkJoin(b, threads, func() {
+		sumArray(b, out, n, result)
+		exitChecksum(b, result)()
+	})
+	return b, nil
+}
+
+// Canneal: annealing-style scattered reads/writes driven by an LCG —
+// random two-element loads, a cost compare, conditional swap stores. Each
+// thread anneals its own partition (as canneal's netlist sharding does),
+// keeping the result deterministic across variants.
+func Canneal(threads, scale int) (*portasm.Builder, error) {
+	if threads&(threads-1) != 0 {
+		return nil, errPow2("canneal", threads)
+	}
+	n := 4096 // element count (power of two for cheap masking)
+	per := n / threads
+	iters := 8192 * scale
+	iters -= iters % threads
+	b := portasm.NewBuilder()
+	elems := b.Data(wordsOf(13, n, 1<<30))
+	result := b.Zeros(8)
+
+	b.Label("worker").
+		Arg(r0)
+	b.Mov(r1, r0).
+		MulI(r1, 2654435761).
+		AddI(r1, 12345). // per-thread LCG state
+		MovI(r2, 0).     // iteration
+		Mov(r3, r0).
+		MulI(r3, int64(per*8)).
+		AddI(r3, int64(elems)) // partition base
+	b.Label("cnloop").
+		// idx1, idx2 = lcg() & (per-1) within this thread's partition
+		MulI(r1, 6364136223846793005).
+		AddI(r1, 1442695040888963407).
+		Mov(r4, r1).
+		ShrI(r4, 33).
+		AndI(r4, int64(per-1)).
+		MulI(r1, 6364136223846793005).
+		AddI(r1, 1442695040888963407).
+		Mov(r5, r1).
+		ShrI(r5, 33).
+		AndI(r5, int64(per-1)).
+		LdIdx(r6, r3, r4, 8, 8).
+		LdIdx(r7, r3, r5, 8, 8).
+		Cmp(r6, r7).
+		J(portasm.LS, "cnnoswap").
+		// swap to lower "cost"
+		StIdx(r3, r4, 8, r7, 8).
+		StIdx(r3, r5, 8, r6, 8).
+		Label("cnnoswap").
+		AddI(r2, 1).
+		CmpI(r2, int64(iters/threads)).
+		J(portasm.NE, "cnloop").
+		MovI(r0, 0).
+		Exit(r0)
+
+	forkJoin(b, threads, func() {
+		sumArray(b, elems, n, result)
+		exitChecksum(b, result)()
+	})
+	return b, nil
+}
+
+// Facesim: element-wise physics update — three loads, multiply-add chain,
+// two stores per element.
+func Facesim(threads, scale int) (*portasm.Builder, error) {
+	n := 8192 * scale
+	n -= n % threads
+	b := portasm.NewBuilder()
+	pos := b.Data(wordsOf(14, n, 1<<16))
+	vel := b.Data(wordsOf(15, n, 1<<8))
+	force := b.Data(wordsOf(16, n, 1<<8))
+	result := b.Zeros(8)
+
+	b.Label("worker").
+		Arg(r0)
+	chunkBounds(b, r0, r1, r2, n, threads)
+	b.MovI(r3, int64(pos)).
+		MovI(r4, int64(vel)).
+		MovI(r5, int64(force)).
+		Label("fsloop").
+		LdIdx(r6, r3, r1, 8, 8).
+		LdIdx(r7, r4, r1, 8, 8).
+		LdIdx(r8, r5, r1, 8, 8).
+		// vel += force>>4 ; pos += vel>>4
+		ShrI(r8, 4).
+		AddR(r7, r8).
+		StIdx(r4, r1, 8, r7, 8).
+		ShrI(r7, 4).
+		AddR(r6, r7).
+		StIdx(r3, r1, 8, r6, 8).
+		AddI(r1, 1).
+		Cmp(r1, r2).
+		J(portasm.NE, "fsloop").
+		MovI(r0, 0).
+		Exit(r0)
+
+	forkJoin(b, threads, func() {
+		sumArray(b, pos, n, result)
+		exitChecksum(b, result)()
+	})
+	return b, nil
+}
+
+// Fluidanimate: iterated 3-point stencil over cells, ping-ponging between
+// two planes so every sweep reads a plane no thread is writing — per cell,
+// three loads, an average, one store.
+func Fluidanimate(threads, scale int) (*portasm.Builder, error) {
+	n := 8192 * scale
+	n -= n % threads
+	b := portasm.NewBuilder()
+	planeA := b.Data(wordsOf(17, n+2, 1<<12))
+	planeB := b.Zeros(8 * (n + 2))
+	result := b.Zeros(8)
+
+	sweep := func(tag string, from, to uint64) {
+		// Each thread stencils strictly inside its own chunk (reads
+		// [i, i+2] with i ≤ end-3), so sweeps need no inter-thread
+		// barrier and results are deterministic.
+		chunkBounds(b, r0, r1, r2, n, threads)
+		b.SubI(r2, 2)
+		b.MovI(r3, int64(from)).
+			MovI(r7, int64(to)).
+			Label("fl"+tag).
+			LdIdx(r4, r3, r1, 8, 8).
+			Mov(r8, r1).
+			AddI(r8, 1).
+			LdIdx(r5, r3, r8, 8, 8).
+			AddI(r8, 1).
+			LdIdx(r6, r3, r8, 8, 8).
+			MulI(r5, 2).
+			AddR(r4, r5).
+			AddR(r4, r6).
+			ShrI(r4, 2).
+			Mov(r8, r1).
+			AddI(r8, 1).
+			StIdx(r7, r8, 8, r4, 8).
+			AddI(r1, 1).
+			Cmp(r1, r2).
+			J(portasm.NE, "fl"+tag)
+	}
+
+	b.Label("worker").
+		Arg(r0)
+	sweep("s1", planeA, planeB)
+	sweep("s2", planeB, planeA)
+	sweep("s3", planeA, planeB)
+	sweep("s4", planeB, planeA)
+	b.MovI(r0, 0).
+		Exit(r0)
+
+	forkJoin(b, threads, func() {
+		sumArray(b, planeA, n, result)
+		exitChecksum(b, result)()
+	})
+	return b, nil
+}
+
+// Freqmine: itemset counting — per transaction item, a load and a count
+// table read-modify-write, almost nothing else. The paper measures this
+// as its most fence-bound benchmark (fences ≈ 75% of runtime).
+func Freqmine(threads, scale int) (*portasm.Builder, error) {
+	n := 32768 * scale
+	n -= n % threads
+	const items = 512
+	b := portasm.NewBuilder()
+	txs := b.Data(wordsOf(18, n, items))
+	countsBase := b.Zeros(8 * items * threads)
+	result := b.Zeros(8)
+
+	b.Label("worker").
+		Arg(r0)
+	chunkBounds(b, r0, r1, r2, n, threads)
+	b.MovI(r3, int64(txs)).
+		Mov(r4, r0).
+		MulI(r4, items*8).
+		AddI(r4, int64(countsBase)).
+		Label("fmloop").
+		LdIdx(r5, r3, r1, 8, 8).
+		LdIdx(r6, r4, r5, 8, 8).
+		AddI(r6, 1).
+		StIdx(r4, r5, 8, r6, 8).
+		// second-order pair count: bucket (item*31+next)&511
+		Mov(r7, r5).
+		MulI(r7, 31).
+		AddI(r7, 7).
+		AndI(r7, items-1).
+		LdIdx(r6, r4, r7, 8, 8).
+		AddI(r6, 1).
+		StIdx(r4, r7, 8, r6, 8).
+		AddI(r1, 1).
+		Cmp(r1, r2).
+		J(portasm.NE, "fmloop").
+		MovI(r0, 0).
+		Exit(r0)
+
+	forkJoin(b, threads, func() {
+		sumArray(b, countsBase, items*threads, result)
+		exitChecksum(b, result)()
+	})
+	return b, nil
+}
+
+// Streamcluster: per point, distances to M medians (M loads plus ALU),
+// keep the min, accumulate — load-heavy reduction.
+func Streamcluster(threads, scale int) (*portasm.Builder, error) {
+	n := 8192 * scale
+	n -= n % threads
+	const medians = 8
+	b := portasm.NewBuilder()
+	points := b.Data(wordsOf(19, n, 1<<16))
+	meds := b.Data(wordsOf(20, medians, 1<<16))
+	dists := b.Zeros(8 * n) // per-point distance to nearest median
+	result := b.Zeros(8)
+
+	b.Label("worker").
+		Arg(r0)
+	chunkBounds(b, r0, r1, r2, n, threads)
+	b.MovI(r3, int64(points)).
+		MovI(r4, int64(meds)).
+		Label("scloop").
+		LdIdx(r6, r3, r1, 8, 8). // point
+		MovI(r7, 0).             // m
+		MovI(r8, 0x7FFFFFFFFF)   // min
+	b.Label("scmed").
+		LdIdx(r9, r4, r7, 8, 8).
+		SubR(r9, r6).
+		MulR(r9, r9).
+		Cmp(r9, r8).
+		J(portasm.HS, "scnomin").
+		Mov(r8, r9).
+		Label("scnomin").
+		AddI(r7, 1).
+		CmpI(r7, medians).
+		J(portasm.NE, "scmed").
+		MovI(r5, int64(dists)).
+		StIdx(r5, r1, 8, r8, 8). // record assignment cost
+		AddI(r1, 1).
+		Cmp(r1, r2).
+		J(portasm.NE, "scloop").
+		MovI(r0, 0).
+		Exit(r0)
+
+	forkJoin(b, threads, func() {
+		sumArray(b, dists, n, result)
+		exitChecksum(b, result)()
+	})
+	return b, nil
+}
+
+// Swaptions: Monte-Carlo path simulation per swaption — an LCG-driven
+// fixed-point random walk, compute-dominated with rare stores.
+func Swaptions(threads, scale int) (*portasm.Builder, error) {
+	n := 64 * scale
+	n -= n % threads
+	if n == 0 {
+		n = threads
+	}
+	const paths = 256
+	b := portasm.NewBuilder()
+	out := b.Zeros(8 * n)
+	result := b.Zeros(8)
+
+	b.Label("worker").
+		Arg(r0)
+	chunkBounds(b, r0, r1, r2, n, threads)
+	b.Label("swo").
+		Mov(r3, r1).
+		MulI(r3, 2654435761).
+		AddI(r3, 99991). // rng
+		MovI(r4, 0).     // path
+		MovI(r5, 0)      // value acc
+	b.Label("swp").
+		MulI(r3, 6364136223846793005).
+		AddI(r3, 1442695040888963407).
+		Mov(r6, r3).
+		ShrI(r6, 40). // 24-bit step
+		Mov(r7, r6).
+		MulR(r7, r6).
+		ShrI(r7, 24).
+		AddR(r5, r7).
+		AddI(r4, 1).
+		CmpI(r4, paths).
+		J(portasm.NE, "swp").
+		MovI(r6, int64(out)).
+		StIdx(r6, r1, 8, r5, 8).
+		AddI(r1, 1).
+		Cmp(r1, r2).
+		J(portasm.NE, "swo").
+		MovI(r0, 0).
+		Exit(r0)
+
+	forkJoin(b, threads, func() {
+		sumArray(b, out, n, result)
+		exitChecksum(b, result)()
+	})
+	return b, nil
+}
+
+// Vips: pixel pipeline — load, scale, clamp, store, with a second output
+// plane — balanced loads/stores.
+func Vips(threads, scale int) (*portasm.Builder, error) {
+	n := 16384 * scale
+	n -= n % threads
+	b := portasm.NewBuilder()
+	src := b.Data(wordsOf(21, n, 1<<10))
+	dst1 := b.Zeros(8 * n)
+	dst2 := b.Zeros(8 * n)
+	result := b.Zeros(8)
+
+	b.Label("worker").
+		Arg(r0)
+	chunkBounds(b, r0, r1, r2, n, threads)
+	b.MovI(r3, int64(src)).
+		MovI(r4, int64(dst1)).
+		MovI(r5, int64(dst2)).
+		Label("vloop").
+		LdIdx(r6, r3, r1, 8, 8).
+		Mov(r7, r6).
+		MulI(r7, 179).
+		ShrI(r7, 7).
+		CmpI(r7, 1023).
+		J(portasm.LS, "vok").
+		MovI(r7, 1023).
+		Label("vok").
+		StIdx(r4, r1, 8, r7, 8).
+		XorR(r7, r6).
+		StIdx(r5, r1, 8, r7, 8).
+		AddI(r1, 1).
+		Cmp(r1, r2).
+		J(portasm.NE, "vloop").
+		MovI(r0, 0).
+		Exit(r0)
+
+	forkJoin(b, threads, func() {
+		sumArray(b, dst2, n, result)
+		exitChecksum(b, result)()
+	})
+	return b, nil
+}
+
+// sumArray emits a main-thread checksum of the words at base into the
+// result cell (clobbers r4–r7). It samples every 8th element so the
+// single-threaded verification phase stays negligible next to the
+// parallel phase being measured.
+func sumArray(b *portasm.Builder, base uint64, count int, result uint64) {
+	stride := 8
+	if count < 64 {
+		stride = 1
+	}
+	limit := count - count%stride
+	if limit == 0 {
+		limit = count
+		stride = 1
+	}
+	b.MovI(r4, int64(base)).
+		MovI(r5, 0).
+		MovI(r6, 0).
+		Label("__sum").
+		LdIdx(r7, r4, r5, 8, 8).
+		AddR(r6, r7).
+		AddI(r5, int64(stride)).
+		CmpI(r5, int64(limit)).
+		J(portasm.NE, "__sum").
+		MovI(r7, int64(result)).
+		St(r7, 0, r6, 8)
+}

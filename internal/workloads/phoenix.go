@@ -1,0 +1,418 @@
+package workloads
+
+import (
+	"encoding/binary"
+
+	"repro/internal/portasm"
+)
+
+// Phoenix kernels (Ranger et al. [72]): MapReduce-style data-parallel
+// scans. Each reproduces the original's memory-access character: byte
+// scans with table updates (histogram, wordcount), two-stream reductions
+// (linear_regression, pca), distance kernels (kmeans), blocked compute
+// (matrix_multiply), and pattern scans (string_match).
+
+// Histogram: one pass over a byte image, bumping one of 256 per-thread
+// buckets per byte — one byte load + one read-modify-write per element.
+func Histogram(threads, scale int) (*portasm.Builder, error) {
+	n := 32768 * scale
+	n -= n % threads
+	b := portasm.NewBuilder()
+	input := b.Data(bytesOf(1, n))
+	hists := b.Zeros(8 * 256 * threads)
+	total := b.Zeros(8)
+
+	b.Label("worker").
+		Arg(r0)
+	chunkBounds(b, r0, r1, r2, n, threads)
+	b.MovI(r3, int64(input)).
+		Mov(r4, r0).
+		MulI(r4, 256*8).
+		AddI(r4, int64(hists)). // r4 = this thread's histogram
+		Label("hloop").
+		LdIdx(r5, r3, r1, 1, 1). // byte
+		LdIdx(r6, r4, r5, 8, 8). // bucket value
+		AddI(r6, 1).
+		StIdx(r4, r5, 8, r6, 8).
+		AddI(r1, 1).
+		Cmp(r1, r2).
+		J(portasm.NE, "hloop").
+		MovI(r0, 0).
+		Exit(r0)
+
+	forkJoin(b, threads, func() {
+		sumArray(b, hists, 256*threads, total)
+		exitChecksum(b, total)()
+	})
+	return b, nil
+}
+
+// LinearRegression: one pass over (x, y) pairs accumulating Σx, Σy, Σxy,
+// Σxx in registers — two loads per point, stores only at the end.
+func LinearRegression(threads, scale int) (*portasm.Builder, error) {
+	n := 16384 * scale
+	n -= n % threads
+	b := portasm.NewBuilder()
+	xs := b.Data(wordsOf(2, n, 1000))
+	ys := b.Data(wordsOf(3, n, 1000))
+	partials := b.Zeros(8 * 4 * threads)
+	result := b.Zeros(8)
+
+	b.Label("worker").
+		Arg(r0)
+	chunkBounds(b, r0, r1, r2, n, threads)
+	b.MovI(r3, int64(xs)).
+		MovI(r4, int64(ys)).
+		MovI(r5, 0). // Σx
+		MovI(r6, 0). // Σxy
+		Label("lrloop").
+		LdIdx(r7, r3, r1, 8, 8).
+		LdIdx(r8, r4, r1, 8, 8).
+		AddR(r5, r7).
+		MulR(r7, r8).
+		AddR(r6, r7).
+		AddI(r1, 1).
+		Cmp(r1, r2).
+		J(portasm.NE, "lrloop").
+		// Store partials[tid] = Σx and Σxy.
+		Mov(r9, r0).
+		MulI(r9, 4*8).
+		AddI(r9, int64(partials)).
+		St(r9, 0, r5, 8).
+		St(r9, 8, r6, 8).
+		MovI(r0, 0).
+		Exit(r0)
+
+	forkJoin(b, threads, func() {
+		b.MovI(r4, int64(partials)).
+			MovI(r5, 0).
+			MovI(r6, 0).
+			Label("lrmerge").
+			LdIdx(r7, r4, r5, 8, 8).
+			AddR(r6, r7).
+			AddI(r5, 1).
+			CmpI(r5, int64(4*threads)).
+			J(portasm.NE, "lrmerge").
+			MovI(r7, int64(result)).
+			St(r7, 0, r6, 8)
+		exitChecksum(b, result)()
+	})
+	return b, nil
+}
+
+// Kmeans: assignment passes against K=4 fixed centroids — per point, one
+// load plus an unrolled distance comparison chain.
+func Kmeans(threads, scale int) (*portasm.Builder, error) {
+	n := 8192 * scale
+	n -= n % threads
+	const rounds = 3
+	centroids := [4]int64{100, 350, 600, 900}
+	b := portasm.NewBuilder()
+	points := b.Data(wordsOf(4, n, 1024))
+	assign := b.Zeros(8 * n)
+	result := b.Zeros(8)
+
+	b.Label("worker").
+		Arg(r0)
+	b.MovI(r9, 0). // round
+			Label("kround")
+	chunkBounds(b, r0, r1, r2, n, threads)
+	b.MovI(r3, int64(points)).
+		Label("kloop").
+		LdIdx(r4, r3, r1, 8, 8). // point
+		MovI(r5, 0x7FFFFFFF).    // best distance
+		MovI(r6, 0)              // best k
+	for k, c := range centroids {
+		skip := "kskip" + string(rune('0'+k))
+		b.Mov(r7, r4).
+			SubI(r7, c).
+			MulR(r7, r7).
+			Cmp(r7, r5).
+			J(portasm.HS, skip).
+			Mov(r5, r7).
+			MovI(r6, int64(k)).
+			Label(skip)
+	}
+	b.MovI(r7, int64(assign)).
+		StIdx(r7, r1, 8, r6, 8).
+		AddI(r1, 1).
+		Cmp(r1, r2).
+		J(portasm.NE, "kloop").
+		AddI(r9, 1).
+		CmpI(r9, rounds).
+		J(portasm.NE, "kround").
+		MovI(r0, 0).
+		Exit(r0)
+
+	forkJoin(b, threads, func() {
+		sumArray(b, assign, n, result)
+		exitChecksum(b, result)()
+	})
+	return b, nil
+}
+
+// MatrixMultiply: C = A·B over n×n word matrices, rows split across
+// threads — the classic three-deep loop with two loads per inner step.
+func MatrixMultiply(threads, scale int) (*portasm.Builder, error) {
+	n := 24 * scale
+	n -= n % threads
+	if n == 0 {
+		n = threads
+	}
+	b := portasm.NewBuilder()
+	matA := b.Data(wordsOf(5, n*n, 64))
+	matB := b.Data(wordsOf(6, n*n, 64))
+	matC := b.Zeros(8 * n * n)
+	result := b.Zeros(8)
+
+	b.Label("worker").
+		Arg(r0)
+	chunkBounds(b, r0, r1, r7, n, threads) // r1 = i, r7 = end row
+	b.Label("mmi").
+		MovI(r2, 0). // j
+		Label("mmj").
+		MovI(r3, 0). // acc
+		MovI(r9, 0). // k
+		Label("mmk").
+		// a = A[i*n+k]
+		Mov(r4, r1).
+		MulI(r4, int64(n)).
+		AddR(r4, r9).
+		MovI(r5, int64(matA)).
+		LdIdx(r6, r5, r4, 8, 8).
+		// b = B[k*n+j]
+		Mov(r4, r9).
+		MulI(r4, int64(n)).
+		AddR(r4, r2).
+		MovI(r5, int64(matB)).
+		LdIdx(r5, r5, r4, 8, 8).
+		MulR(r6, r5).
+		AddR(r3, r6).
+		AddI(r9, 1).
+		CmpI(r9, int64(n)).
+		J(portasm.NE, "mmk").
+		// C[i*n+j] = acc
+		Mov(r4, r1).
+		MulI(r4, int64(n)).
+		AddR(r4, r2).
+		MovI(r5, int64(matC)).
+		StIdx(r5, r4, 8, r3, 8).
+		AddI(r2, 1).
+		CmpI(r2, int64(n)).
+		J(portasm.NE, "mmj").
+		AddI(r1, 1).
+		Cmp(r1, r7).
+		J(portasm.NE, "mmi").
+		MovI(r0, 0).
+		Exit(r0)
+
+	forkJoin(b, threads, func() {
+		sumArray(b, matC, n*n, result)
+		exitChecksum(b, result)()
+	})
+	return b, nil
+}
+
+// PCA: per-column means then adjacent-column dot products over a
+// column-major matrix — long streaming reads.
+func PCA(threads, scale int) (*portasm.Builder, error) {
+	rows := 2048 * scale
+	cols := 8
+	if cols%threads != 0 && threads <= cols {
+		cols = threads * (cols/threads + 1)
+	}
+	if threads > cols {
+		cols = threads
+	}
+	b := portasm.NewBuilder()
+	mat := b.Data(wordsOf(7, rows*cols, 256))
+	means := b.Zeros(8 * cols)
+	centered := b.Zeros(8 * rows * cols)
+	dots := b.Zeros(8 * cols)
+	result := b.Zeros(8)
+
+	b.Label("worker").
+		Arg(r0)
+	chunkBounds(b, r0, r1, r2, cols, threads) // columns [r1, r2)
+	b.Label("pcol").
+		// mean pass: sum column r1, writing the half-scaled value into
+		// the centered plane (PCA's mean-subtraction output).
+		Mov(r3, r1).
+		MulI(r3, int64(rows*8)).
+		AddI(r3, int64(mat)). // col base
+		Mov(r8, r1).
+		MulI(r8, int64(rows*8)).
+		AddI(r8, int64(centered)). // centered col base
+		MovI(r4, 0).               // row
+		MovI(r5, 0).               // sum
+		Label("pmean").
+		LdIdx(r6, r3, r4, 8, 8).
+		AddR(r5, r6).
+		Mov(r9, r6).
+		ShrI(r9, 1).
+		StIdx(r8, r4, 8, r9, 8).
+		AddI(r4, 1).
+		CmpI(r4, int64(rows)).
+		J(portasm.NE, "pmean").
+		MovI(r6, int64(means)).
+		StIdx(r6, r1, 8, r5, 8).
+		// dot pass: col r1 · col (r1+1 mod cols)
+		Mov(r7, r1).
+		AddI(r7, 1).
+		AluI(portasm.URem, r7, int64(cols)).
+		MulI(r7, int64(rows*8)).
+		AddI(r7, int64(mat)). // other col base
+		MovI(r4, 0).
+		MovI(r5, 0).
+		Label("pdot").
+		LdIdx(r6, r3, r4, 8, 8).
+		LdIdx(r8, r7, r4, 8, 8).
+		MulR(r6, r8).
+		AddR(r5, r6).
+		AddI(r4, 1).
+		CmpI(r4, int64(rows)).
+		J(portasm.NE, "pdot").
+		MovI(r6, int64(dots)).
+		StIdx(r6, r1, 8, r5, 8).
+		AddI(r1, 1).
+		Cmp(r1, r2).
+		J(portasm.NE, "pcol").
+		MovI(r0, 0).
+		Exit(r0)
+
+	forkJoin(b, threads, func() {
+		b.MovI(r4, int64(dots)).
+			MovI(r5, 0).
+			MovI(r6, 0).
+			Label("psum").
+			LdIdx(r7, r4, r5, 8, 8).
+			AddR(r6, r7).
+			AddI(r5, 1).
+			CmpI(r5, int64(cols)).
+			J(portasm.NE, "psum").
+			MovI(r7, int64(result)).
+			St(r7, 0, r6, 8)
+		exitChecksum(b, result)()
+	})
+	return b, nil
+}
+
+// StringMatch: scan text for a 4-byte pattern at every byte offset —
+// one unaligned 4-byte load and compare per position.
+func StringMatch(threads, scale int) (*portasm.Builder, error) {
+	n := 32768 * scale
+	n -= n % threads
+	text := bytesOf(8, n+8)
+	// Plant deterministic occurrences of "RISO".
+	pat := []byte("RISO")
+	for i := 100; i+4 < n; i += 977 {
+		copy(text[i:], pat)
+	}
+	patWord := int64(binary.LittleEndian.Uint32(pat))
+
+	b := portasm.NewBuilder()
+	input := b.Data(text)
+	counts := b.Zeros(8 * threads)
+	result := b.Zeros(8)
+
+	b.Label("worker").
+		Arg(r0)
+	chunkBounds(b, r0, r1, r2, n, threads)
+	b.MovI(r3, int64(input)).
+		MovI(r4, 0). // matches
+		Label("sloop").
+		LdIdx(r5, r3, r1, 1, 4).
+		CmpI(r5, patWord).
+		J(portasm.NE, "snom").
+		AddI(r4, 1).
+		Label("snom").
+		AddI(r1, 1).
+		Cmp(r1, r2).
+		J(portasm.NE, "sloop").
+		MovI(r5, int64(counts)).
+		StIdx(r5, r0, 8, r4, 8).
+		MovI(r0, 0).
+		Exit(r0)
+
+	forkJoin(b, threads, func() {
+		b.MovI(r4, int64(counts)).
+			MovI(r5, 0).
+			MovI(r6, 0).
+			Label("smerge").
+			LdIdx(r7, r4, r5, 8, 8).
+			AddR(r6, r7).
+			AddI(r5, 1).
+			CmpI(r5, int64(threads)).
+			J(portasm.NE, "smerge").
+			MovI(r7, int64(result)).
+			St(r7, 0, r6, 8)
+		exitChecksum(b, result)()
+	})
+	return b, nil
+}
+
+// WordCount: byte scan counting word starts (non-space after space) and
+// hashing word-start bytes into a small per-thread table.
+func WordCount(threads, scale int) (*portasm.Builder, error) {
+	n := 32768 * scale
+	n -= n % threads
+	text := bytesOf(9, n)
+	for i := 0; i < n; i += 7 {
+		text[i] = ' '
+	}
+	b := portasm.NewBuilder()
+	input := b.Data(text)
+	tables := b.Zeros(8 * 64 * threads)
+	counts := b.Zeros(8 * threads)
+	result := b.Zeros(8)
+
+	b.Label("worker").
+		Arg(r0)
+	chunkBounds(b, r0, r1, r2, n, threads)
+	b.MovI(r3, int64(input)).
+		MovI(r4, 0). // word count
+		MovI(r5, 1). // prev-is-space
+		Mov(r8, r0).
+		MulI(r8, 64*8).
+		AddI(r8, int64(tables)). // per-thread table
+		Label("wloop").
+		LdIdx(r6, r3, r1, 1, 1).
+		CmpI(r6, ' ').
+		J(portasm.NE, "wnonspace").
+		MovI(r5, 1).
+		Jmp("wnext").
+		Label("wnonspace").
+		CmpI(r5, 1).
+		J(portasm.NE, "wnext").
+		// word start: count it and bump its hash bucket
+		AddI(r4, 1).
+		MovI(r5, 0).
+		AluI(portasm.And, r6, 63).
+		LdIdx(r7, r8, r6, 8, 8).
+		AddI(r7, 1).
+		StIdx(r8, r6, 8, r7, 8).
+		Label("wnext").
+		AddI(r1, 1).
+		Cmp(r1, r2).
+		J(portasm.NE, "wloop").
+		MovI(r6, int64(counts)).
+		StIdx(r6, r0, 8, r4, 8).
+		MovI(r0, 0).
+		Exit(r0)
+
+	forkJoin(b, threads, func() {
+		b.MovI(r4, int64(counts)).
+			MovI(r5, 0).
+			MovI(r6, 0).
+			Label("wmerge").
+			LdIdx(r7, r4, r5, 8, 8).
+			AddR(r6, r7).
+			AddI(r5, 1).
+			CmpI(r5, int64(threads)).
+			J(portasm.NE, "wmerge").
+			MovI(r7, int64(result)).
+			St(r7, 0, r6, 8)
+		exitChecksum(b, result)()
+	})
+	return b, nil
+}

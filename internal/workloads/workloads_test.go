@@ -1,0 +1,303 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/portasm"
+)
+
+// runGuest builds and runs a guest program under the given variant,
+// returning the exit code and cycles.
+func runGuest(t *testing.T, b *portasm.Builder, v core.Variant, cfg core.Config) (uint64, uint64) {
+	t.Helper()
+	img, err := b.BuildGuest("main")
+	if err != nil {
+		t.Fatalf("BuildGuest: %v", err)
+	}
+	cfg.Variant = v
+	rt, err := core.New(cfg, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := rt.Run()
+	if err != nil {
+		t.Fatalf("%v: %v", v, err)
+	}
+	return code, rt.M.MaxCycles()
+}
+
+// runNative builds and runs the native image, returning exit code and
+// cycles.
+func runNative(t *testing.T, b *portasm.Builder) (uint64, uint64) {
+	t.Helper()
+	img, err := b.BuildNative("main")
+	if err != nil {
+		t.Fatalf("BuildNative: %v", err)
+	}
+	m, err := portasm.RunNative(img, 0)
+	if err != nil {
+		t.Fatalf("native: %v", err)
+	}
+	return m.CPUs[0].ExitCode, m.MaxCycles()
+}
+
+// TestKernelsAgreeAcrossVariants is the workload correctness gate: every
+// Figure-12 kernel must produce the same checksum under all four DBT
+// variants and natively, and the cycle ordering no-fences ≤ tcg-ver ≤ qemu
+// must hold.
+func TestKernelsAgreeAcrossVariants(t *testing.T) {
+	kernels := Registry()
+	if testing.Short() {
+		kernels = kernels[:4]
+	}
+	const threads, scale = 2, 1
+	for _, k := range kernels {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			variants := []core.Variant{
+				core.VariantQemu, core.VariantNoFences,
+				core.VariantTCGVer, core.VariantRisotto,
+			}
+			cycles := make(map[core.Variant]uint64)
+			var want uint64
+			for i, v := range variants {
+				b, err := k.Build(threads, scale)
+				if err != nil {
+					t.Fatal(err)
+				}
+				code, cyc := runGuest(t, b, v, core.Config{})
+				cycles[v] = cyc
+				if i == 0 {
+					want = code
+				} else if code != want {
+					t.Errorf("%v checksum %d != qemu checksum %d", v, code, want)
+				}
+			}
+			b, err := k.Build(threads, scale)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ncode, ncyc := runNative(t, b)
+			if ncode != want {
+				t.Errorf("native checksum %d != guest checksum %d", ncode, want)
+			}
+			if ncyc >= cycles[core.VariantNoFences] {
+				t.Errorf("native (%d cycles) should beat every emulated variant (best %d)",
+					ncyc, cycles[core.VariantNoFences])
+			}
+			if cycles[core.VariantQemu] < cycles[core.VariantTCGVer] {
+				t.Errorf("qemu (%d) should not beat tcg-ver (%d)",
+					cycles[core.VariantQemu], cycles[core.VariantTCGVer])
+			}
+			if cycles[core.VariantTCGVer] < cycles[core.VariantNoFences] {
+				t.Errorf("tcg-ver (%d) should not beat no-fences (%d)",
+					cycles[core.VariantTCGVer], cycles[core.VariantNoFences])
+			}
+		})
+	}
+}
+
+func TestKernelThreadScaling(t *testing.T) {
+	// Kernels accept different thread counts and still agree.
+	k, err := KernelByName("histogram")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base uint64
+	for i, threads := range []int{1, 2, 4} {
+		b, err := k.Build(threads, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		code, _ := runGuest(t, b, core.VariantRisotto, core.Config{})
+		if i == 0 {
+			base = code
+		} else if code != base {
+			t.Fatalf("threads=%d checksum %d != %d", threads, code, base)
+		}
+	}
+}
+
+func TestKernelByName(t *testing.T) {
+	if _, err := KernelByName("nope"); err == nil {
+		t.Fatal("unknown kernel must error")
+	}
+	k, err := KernelByName("freqmine")
+	if err != nil || k.Suite != "parsec" {
+		t.Fatalf("freqmine lookup: %v %v", k, err)
+	}
+	if len(Registry()) != 16 {
+		t.Fatalf("registry has %d kernels, want 16", len(Registry()))
+	}
+}
+
+func TestCannealRequiresPow2(t *testing.T) {
+	if _, err := Canneal(3, 1); err == nil {
+		t.Fatal("canneal with 3 threads must error")
+	}
+}
+
+func TestDigestProgramsRun(t *testing.T) {
+	for _, alg := range []string{"md5", "sha1", "sha256"} {
+		b, err := DigestProgram(alg, 1024, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		codeQ, cycQ := runGuest(t, b, core.VariantQemu, core.Config{})
+
+		// The linked run executes the real host digest; cycles must drop
+		// dramatically even though the toy guest digest's checksum
+		// differs (documented substitution).
+		b2, _ := DigestProgram(alg, 1024, 2)
+		codeR, cycR := runGuest(t, b2, core.VariantRisotto, core.Config{IDL: IDLAll})
+		if cycR >= cycQ {
+			t.Errorf("%s: linked (%d cycles) should beat translated (%d)", alg, cycR, cycQ)
+		}
+		_ = codeQ
+		_ = codeR
+	}
+}
+
+func TestDigestBufferValidation(t *testing.T) {
+	if _, err := DigestProgram("md5", 100, 1); err == nil {
+		t.Fatal("non-64-multiple buffer must error")
+	}
+	if _, err := DigestProgram("sha512", 64, 1); err == nil {
+		t.Fatal("unknown digest must error")
+	}
+}
+
+func TestRSAPrograms(t *testing.T) {
+	b, err := RSAProgram(1024, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cycSign := runGuest(t, b, core.VariantQemu, core.Config{})
+	b2, _ := RSAProgram(1024, false, 1)
+	_, cycVerify := runGuest(t, b2, core.VariantQemu, core.Config{})
+	if cycVerify >= cycSign {
+		t.Fatalf("verify (%d) must be much cheaper than sign (%d)", cycVerify, cycSign)
+	}
+	if _, err := RSAProgram(512, true, 1); err == nil {
+		t.Fatal("bad bit width must error")
+	}
+}
+
+func TestSqliteProgram(t *testing.T) {
+	b, err := SqliteProgram(64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cycQ := runGuest(t, b, core.VariantQemu, core.Config{})
+	b2, _ := SqliteProgram(64, 2)
+	_, cycR := runGuest(t, b2, core.VariantRisotto, core.Config{IDL: IDLAll})
+	if cycR >= cycQ {
+		t.Fatalf("linked sqlite (%d) should beat translated (%d)", cycR, cycQ)
+	}
+}
+
+func TestMathPrograms(t *testing.T) {
+	for _, fn := range MathNames() {
+		b, err := MathProgram(fn, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, cycQ := runGuest(t, b, core.VariantQemu, core.Config{})
+		b2, _ := MathProgram(fn, 2)
+		_, cycR := runGuest(t, b2, core.VariantRisotto, core.Config{IDL: IDLAll})
+		if cycR >= cycQ {
+			t.Errorf("%s: linked (%d) should beat translated (%d)", fn, cycR, cycQ)
+		}
+	}
+	if _, err := MathProgram("cbrt", 1); err == nil {
+		t.Fatal("unknown math fn must error")
+	}
+}
+
+func TestCASBenchAllVariantsAndNative(t *testing.T) {
+	const threads, vars, ops = 4, 2, 200
+	want := uint64(threads * ops)
+	for _, v := range []core.Variant{core.VariantQemu, core.VariantRisotto} {
+		b, err := CASBench(threads, vars, ops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		code, _ := runGuest(t, b, v, core.Config{})
+		if code != want {
+			t.Errorf("%v: counter sum = %d, want %d", v, code, want)
+		}
+	}
+	b, _ := CASBench(threads, vars, ops)
+	code, _ := runNative(t, b)
+	if code != want {
+		t.Errorf("native: counter sum = %d, want %d", code, want)
+	}
+}
+
+func TestSpinlockMutualExclusion(t *testing.T) {
+	const threads, iters = 4, 150
+	want := uint64(threads * iters)
+	for _, v := range []core.Variant{
+		core.VariantQemu, core.VariantNoFences, core.VariantTCGVer, core.VariantRisotto,
+	} {
+		// A small quantum forces lock handoffs mid-critical-section.
+		b, err := SpinlockCounter(threads, iters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		code, _ := runGuest(t, b, v, core.Config{Quantum: 3})
+		if code != want {
+			t.Errorf("%v: counter = %d, want %d (lost updates!)", v, code, want)
+		}
+	}
+	b, err := SpinlockCounter(threads, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nimg, err := b.BuildNative("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := portasm.RunNativeQuantum(nimg, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.CPUs[0].ExitCode; got != want {
+		t.Errorf("native: counter = %d, want %d", got, want)
+	}
+}
+
+func TestSpinlockValidation(t *testing.T) {
+	if _, err := SpinlockCounter(0, 10); err == nil {
+		t.Fatal("zero threads must error")
+	}
+}
+
+func TestCASUncontendedRisottoBeatsQemu(t *testing.T) {
+	// threads == vars: no contention; inline casal must beat the helper
+	// path (§7.4).
+	b1, _ := CASBench(4, 4, 500)
+	_, cycQ := runGuest(t, b1, core.VariantQemu, core.Config{})
+	b2, _ := CASBench(4, 4, 500)
+	_, cycR := runGuest(t, b2, core.VariantRisotto, core.Config{})
+	if cycR >= cycQ {
+		t.Fatalf("uncontended CAS: risotto (%d) should beat qemu (%d)", cycR, cycQ)
+	}
+}
+
+func TestIDLMatchesHostlib(t *testing.T) {
+	// Every function declared in IDLAll must exist in the default host
+	// library — otherwise the linker setup fails at runtime.
+	b, err := DigestProgram("md5", 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := b.BuildGuest("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.New(core.Config{Variant: core.VariantRisotto, IDL: IDLAll}, img); err != nil {
+		t.Fatalf("IDL/hostlib mismatch: %v", err)
+	}
+}
