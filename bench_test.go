@@ -17,12 +17,14 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/litmus"
 	"repro/internal/mapping"
+	"repro/internal/memmodel"
 	"repro/internal/models/armcats"
 	"repro/internal/models/x86tso"
 	"repro/internal/portasm"
@@ -156,6 +158,62 @@ func BenchmarkTheorem1(b *testing.B) {
 				b.Fatalf("%s: verified mapping broken", p.Name)
 			}
 		}
+	}
+}
+
+// sb3q is a three-thread store-buffering variant with one CAS per thread:
+// each CAS contributes a success/failure choice bit, so the program has
+// 2³ = 8 thread-skeleton combinations and a wide rf tree below each — the
+// shape the parallel enumerator shards.
+func sb3q() *litmus.Program {
+	return &litmus.Program{
+		Name: "SB3Q",
+		Threads: [][]litmus.Op{
+			{
+				litmus.Store{Loc: "X", Val: 1},
+				litmus.CAS{Loc: "U", Expect: 0, New: 1, Attr: litmus.Attr{Class: memmodel.RMWAmo}},
+				litmus.Load{Dst: "a", Loc: "Y"},
+				litmus.Load{Dst: "b", Loc: "Z"},
+			},
+			{
+				litmus.Store{Loc: "Y", Val: 1},
+				litmus.CAS{Loc: "V", Expect: 0, New: 1, Attr: litmus.Attr{Class: memmodel.RMWAmo}},
+				litmus.Load{Dst: "c", Loc: "Z"},
+				litmus.Load{Dst: "d", Loc: "X"},
+			},
+			{
+				litmus.Store{Loc: "Z", Val: 1},
+				litmus.CAS{Loc: "W", Expect: 0, New: 1, Attr: litmus.Attr{Class: memmodel.RMWAmo}},
+				litmus.Load{Dst: "e", Loc: "X"},
+				litmus.Load{Dst: "f", Loc: "Y"},
+			},
+		},
+	}
+}
+
+// BenchmarkOutcomesParallel compares the serial enumerator (workers-1) with
+// the sharded worker pool on a multi-skeleton litmus program. The workers-N
+// sub-benchmarks divide the same search space, so ns/op ratios are the
+// parallel speedup.
+func BenchmarkOutcomesParallel(b *testing.B) {
+	prog := sb3q()
+	m := x86tso.New()
+	serial := litmus.Outcomes(prog, m)
+
+	counts := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		counts = append(counts, n)
+	}
+	for _, w := range counts {
+		w := w
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out := litmus.OutcomesOpt(prog, m, litmus.Options{Workers: w})
+				if len(out) != len(serial) {
+					b.Fatalf("workers=%d: %d outcomes, serial has %d", w, len(out), len(serial))
+				}
+			}
+		})
 	}
 }
 

@@ -11,9 +11,14 @@
 //	litmusctl errors           # QEMU's MPQ/SBQ errors + FMR
 //	litmusctl sbal             # the Armed-Cats casal error and its fix
 //	litmusctl run <file.lit>…  # run text-format tests' expectations
+//
+// The global -workers N flag (before the subcommand) bounds enumeration
+// parallelism: 0, the default, uses every CPU; 1 forces the serial
+// enumerator.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
@@ -26,18 +31,27 @@ import (
 	"repro/internal/models/x86tso"
 )
 
+// enumOpt carries the -workers setting (plus the process-wide outcome cache)
+// to every enumeration this command performs.
+var enumOpt litmus.Options
+
 func main() {
-	if len(os.Args) < 2 {
+	workers := flag.Int("workers", 0, "enumeration workers (0 = all CPUs, 1 = serial)")
+	flag.Usage = func() { usage() }
+	flag.Parse()
+	enumOpt = litmus.Options{Workers: *workers, Cache: litmus.DefaultCache}
+	args := flag.Args()
+	if len(args) < 1 {
 		usage()
 	}
-	switch os.Args[1] {
+	switch args[0] {
 	case "corpus":
 		corpus()
 	case "outcomes":
-		if len(os.Args) < 3 {
+		if len(args) < 2 {
 			usage()
 		}
-		outcomes(os.Args[2])
+		outcomes(args[1])
 	case "verify":
 		fmt.Println(bench.VerifyReport())
 	case "errors":
@@ -45,10 +59,10 @@ func main() {
 	case "sbal":
 		sbal()
 	case "run":
-		if len(os.Args) < 3 {
+		if len(args) < 2 {
 			usage()
 		}
-		runFiles(os.Args[2:])
+		runFiles(args[1:])
 	default:
 		usage()
 	}
@@ -106,7 +120,7 @@ func corpus() {
 	for _, p := range litmus.X86Corpus() {
 		fmt.Printf("%s:\n", p.Name)
 		for _, m := range models() {
-			out := litmus.Outcomes(p, m)
+			out := litmus.OutcomesOpt(p, m, enumOpt)
 			fmt.Printf("  %-12s %d outcomes\n", m.Name(), len(out))
 		}
 	}
@@ -126,7 +140,7 @@ func outcomes(name string) {
 	}
 	for _, m := range models() {
 		fmt.Printf("%s under %s:\n", prog.Name, m.Name())
-		for _, o := range litmus.Outcomes(prog, m).Sorted() {
+		for _, o := range litmus.OutcomesOpt(prog, m, enumOpt).Sorted() {
 			fmt.Printf("  %s\n", o)
 		}
 	}
@@ -137,13 +151,13 @@ func sbal() {
 	tgt := litmus.SBALArm()
 	fmt.Println("SBAL (§3.3): x86 source vs Figure-3 Arm mapping (casal + LDAPR)")
 	fmt.Printf("\nx86 outcomes:\n")
-	for _, o := range litmus.Outcomes(src, x86tso.New()).Sorted() {
+	for _, o := range litmus.OutcomesOpt(src, x86tso.New(), enumOpt).Sorted() {
 		fmt.Printf("  %s\n", o)
 	}
 	for _, v := range []armcats.Variant{armcats.Original, armcats.Corrected} {
 		m := armcats.NewVariant(v)
 		fmt.Printf("\nArm outcomes under %s:\n", m.Name())
-		for _, o := range litmus.Outcomes(tgt, m).Sorted() {
+		for _, o := range litmus.OutcomesOpt(tgt, m, enumOpt).Sorted() {
 			fmt.Printf("  %s\n", o)
 		}
 		ver := mapping.VerifyTheorem1(src, x86tso.New(), tgt, m)
@@ -156,6 +170,6 @@ func sbal() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: litmusctl {corpus|outcomes <name>|verify|errors|sbal}")
+	fmt.Fprintln(os.Stderr, "usage: litmusctl [-workers N] {corpus|outcomes <name>|verify|errors|sbal|run <file.lit>…}")
 	os.Exit(2)
 }

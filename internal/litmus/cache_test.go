@@ -1,0 +1,134 @@
+package litmus
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/models/tcgmm"
+	"repro/internal/models/x86tso"
+)
+
+// TestCacheEnumeratesOnce is the concurrency property test: N goroutines
+// racing on the same (program, model) key all receive the identical outcome
+// set, and the underlying enumeration runs exactly once.
+func TestCacheEnumeratesOnce(t *testing.T) {
+	c := NewCache()
+	var enumerations atomic.Int32
+	c.onEnumerate = func(_, _ string) { enumerations.Add(1) }
+
+	p, m := SBQ(), x86tso.New()
+	want := Outcomes(p, m).Sorted()
+
+	const goroutines = 16
+	results := make([]OutcomeSet, goroutines)
+	var start, done sync.WaitGroup
+	start.Add(1)
+	for i := 0; i < goroutines; i++ {
+		done.Add(1)
+		go func(i int) {
+			defer done.Done()
+			start.Wait() // line everyone up on the same cold entry
+			results[i] = c.Outcomes(p, m, Options{})
+		}(i)
+	}
+	start.Done()
+	done.Wait()
+
+	if n := enumerations.Load(); n != 1 {
+		t.Fatalf("cache enumerated %d times; want exactly 1", n)
+	}
+	for i, r := range results {
+		assertSameOutcomes(t, p.Name, m.Name(), "cached", OutcomesParallel(p, m), r)
+		if len(r.Sorted()) != len(want) {
+			t.Fatalf("goroutine %d: wrong outcome count", i)
+		}
+	}
+	if c.Len() != 1 {
+		t.Fatalf("cache holds %d entries; want 1", c.Len())
+	}
+}
+
+// TestCacheKeying checks that cache keys separate models and program
+// structure — and that the program *name* plays no part, so a renamed
+// structural twin hits, while a same-named different program misses.
+func TestCacheKeying(t *testing.T) {
+	c := NewCache()
+	var enumerations atomic.Int32
+	c.onEnumerate = func(_, _ string) { enumerations.Add(1) }
+
+	mp := MP()
+	outX86 := c.Outcomes(mp, x86tso.New(), Options{})
+	outIR := c.Outcomes(mp, tcgmm.New(), Options{})
+	if enumerations.Load() != 2 {
+		t.Fatalf("same program under two models must enumerate twice; got %d", enumerations.Load())
+	}
+	// MP's weak outcome separates the models, so colliding keys would be
+	// observable, not just wasteful.
+	if !outIR.Contains("1:a=1", "1:b=0") || outX86.Contains("1:a=1", "1:b=0") {
+		t.Fatalf("model keying returned the wrong set: x86=%v ir=%v",
+			outX86.Sorted(), outIR.Sorted())
+	}
+
+	// Same name, different structure: must be distinct entries.
+	sbAlias := SB()
+	sbAlias.Name = mp.Name
+	outSB := c.Outcomes(sbAlias, x86tso.New(), Options{})
+	if enumerations.Load() != 3 {
+		t.Fatalf("structurally different program with a shared name must miss; got %d enumerations",
+			enumerations.Load())
+	}
+	if !outSB.Contains("0:a=0", "1:b=0") {
+		t.Fatalf("cache returned MP's set for SB: %v", outSB.Sorted())
+	}
+
+	// Different name, same structure: must hit.
+	mpTwin := MP()
+	mpTwin.Name = "MP-renamed"
+	c.Outcomes(mpTwin, x86tso.New(), Options{})
+	if enumerations.Load() != 3 {
+		t.Fatalf("structural twin should hit the cache; got %d enumerations", enumerations.Load())
+	}
+	if c.Len() != 3 {
+		t.Fatalf("cache holds %d entries; want 3", c.Len())
+	}
+}
+
+// TestFingerprintDistinguishesStructure spot-checks the fingerprint on
+// details that matter to enumeration: values, attributes, fence kinds,
+// conditional bodies.
+func TestFingerprintDistinguishesStructure(t *testing.T) {
+	base := MP()
+	if base.Fingerprint() != MP().Fingerprint() {
+		t.Fatal("identical programs must share a fingerprint")
+	}
+	renamed := MP()
+	renamed.Name = "other"
+	if base.Fingerprint() != renamed.Fingerprint() {
+		t.Fatal("fingerprint must ignore the program name")
+	}
+	distinct := []*Program{
+		SB(), SBFenced(), MPQ(), SBAL(), SBALArm(), FMRSource(), FMRTarget(),
+	}
+	seen := map[string]string{base.Fingerprint(): base.Name}
+	for _, p := range distinct {
+		fp := p.Fingerprint()
+		if prev, ok := seen[fp]; ok {
+			t.Errorf("%s and %s share fingerprint %q", prev, p.Name, fp)
+		}
+		seen[fp] = p.Name
+	}
+}
+
+// TestDefaultCacheConsistency ensures the shared DefaultCache (used by the
+// mapping and opcheck packages) serves sets equal to fresh enumeration.
+func TestDefaultCacheConsistency(t *testing.T) {
+	p, m := SBAL(), x86tso.New()
+	got := OutcomesOpt(p, m, Options{Cache: DefaultCache})
+	assertSameOutcomes(t, p.Name, m.Name(), "DefaultCache", Outcomes(p, m), got)
+	// A second call must return the identical shared set.
+	again := OutcomesOpt(p, m, Options{Cache: DefaultCache})
+	if len(again) != len(got) {
+		t.Fatal("repeated cached call diverged")
+	}
+}

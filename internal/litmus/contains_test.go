@@ -1,0 +1,90 @@
+package litmus
+
+import "testing"
+
+// TestContainsTokenBoundaries pins token matching to whole space-delimited
+// tokens: a fragment must never match as a substring of a longer token
+// (prefix, suffix, or interior).
+func TestContainsTokenBoundaries(t *testing.T) {
+	cases := []struct {
+		s, tok string
+		want   bool
+	}{
+		// Exact whole-token hits at every position.
+		{"1:a=1 X=2 Y=0", "1:a=1", true},
+		{"1:a=1 X=2 Y=0", "X=2", true},
+		{"1:a=1 X=2 Y=0", "Y=0", true},
+		{"1:a=1", "1:a=1", true},
+
+		// Thread-prefix boundary: "1:a=1" must not match inside "11:a=1".
+		{"11:a=1 X=2", "1:a=1", false},
+		{"1:a=1 X=2", "11:a=1", false},
+		{"0:r11=1", "0:r1=1", false},
+
+		// Value-suffix boundary: "a=1" must not match "a=10" (or vice versa).
+		{"0:a=10 X=0", "0:a=1", false},
+		{"0:a=1 X=0", "0:a=10", false},
+		{"a=10", "a=1", false},
+		{"a=1", "a=10", false},
+		{"X=10 Y=1", "X=1", false},
+		{"X=1 Y=10", "Y=1", false},
+
+		// Location-name boundary.
+		{"XY=1", "X=1", false},
+		{"X=1", "XY=1", false},
+
+		// Negative-looking values still match exactly.
+		{"0:a=-1 X=0", "0:a=-1", true},
+		{"0:a=-1 X=0", "0:a=1", false},
+
+		// Fragments spanning a token boundary must not match even though
+		// the substring occurs verbatim.
+		{"0:a=1 X=2", "1 X", false},
+		{"0:a=1 X=2", "0:a=1 X=2", false},
+
+		// Degenerate inputs.
+		{"", "X=1", false},
+		{"X=1", "", false},
+		{"  X=1  Y=2 ", "X=1", true},
+		{"  X=1  Y=2 ", "Y=2", true},
+	}
+	for _, c := range cases {
+		if got := containsToken(c.s, c.tok); got != c.want {
+			t.Errorf("containsToken(%q, %q) = %v, want %v", c.s, c.tok, got, c.want)
+		}
+	}
+}
+
+// TestOutcomeSetContains exercises the set-level API over realistic outcome
+// strings, including the multi-fragment conjunction semantics.
+func TestOutcomeSetContains(t *testing.T) {
+	s := OutcomeSet{
+		"0:a=1 1:b=0 X=1 Y=1":   true,
+		"0:a=10 1:b=1 X=1 Y=10": true,
+	}
+	if !s.Contains("0:a=1") || !s.Contains("0:a=10") {
+		t.Fatal("whole-token lookups failed")
+	}
+	if s.Contains("0:a=") || s.Contains(":a=1") || s.Contains("b=0") {
+		t.Fatal("partial tokens must not match")
+	}
+	// Conjunction must hold within a single outcome, not across outcomes.
+	if !s.Contains("0:a=1", "1:b=0") {
+		t.Fatal("fragments of the same outcome must match together")
+	}
+	if s.Contains("0:a=1", "1:b=1") {
+		t.Fatal("fragments from different outcomes must not combine")
+	}
+	// Y=1 appears as a token only in the first outcome; Y=10 only in the
+	// second — prefix confusion across the set would pass the wrong one.
+	if !s.Contains("Y=1", "0:a=1") || s.Contains("Y=1", "0:a=10") {
+		t.Fatal("value-suffix confusion across outcomes")
+	}
+	if s.Contains() != true {
+		t.Fatal("empty fragment list matches any outcome of a non-empty set")
+	}
+	empty := OutcomeSet{}
+	if empty.Contains() {
+		t.Fatal("empty set contains nothing, even the empty conjunction")
+	}
+}

@@ -289,8 +289,32 @@ type Candidate struct {
 // fn is called for each; enumeration stops if fn returns false.
 func Enumerate(p *Program, fn func(*Candidate) bool) {
 	locs := p.Locations()
+	perThread := skeletonsPerThread(p)
 
-	// Per-thread: all (path, successBits) skeletons.
+	// Cartesian product over threads.
+	choice := make([]int, len(p.Threads))
+	var rec func(t int) bool
+	rec = func(t int) bool {
+		if t == len(p.Threads) {
+			skels := make([]threadSkel, len(p.Threads))
+			for i, c := range choice {
+				skels[i] = perThread[i][c]
+			}
+			return newSkeletonJob(locs, skels).enumerate(nil, fn)
+		}
+		for i := range perThread[t] {
+			choice[t] = i
+			if !rec(t + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0)
+}
+
+// skeletonsPerThread computes, per thread, every (path, choiceBits) skeleton.
+func skeletonsPerThread(p *Program) [][]threadSkel {
 	perThread := make([][]threadSkel, len(p.Threads))
 	for t, ops := range p.Threads {
 		for _, path := range linearize(ops) {
@@ -304,32 +328,27 @@ func Enumerate(p *Program, fn func(*Candidate) bool) {
 			}
 		}
 	}
-
-	// Cartesian product over threads.
-	choice := make([]int, len(p.Threads))
-	var rec func(t int) bool
-	rec = func(t int) bool {
-		if t == len(p.Threads) {
-			skels := make([]threadSkel, len(p.Threads))
-			for i, c := range choice {
-				skels[i] = perThread[i][c]
-			}
-			return enumerateForSkeleton(locs, skels, fn)
-		}
-		for i := range perThread[t] {
-			choice[t] = i
-			if !rec(t + 1) {
-				return false
-			}
-		}
-		return true
-	}
-	rec(0)
+	return perThread
 }
 
-// enumerateForSkeleton builds the event set for fixed paths/success bits and
-// enumerates rf and co. Returns false to stop the overall enumeration.
-func enumerateForSkeleton(locs []Loc, skels []threadSkel, fn func(*Candidate) bool) bool {
+// skeletonJob is the prepared event structure for one skeleton combination
+// (fixed control paths and choice bits across all threads). It is immutable
+// once built: enumerate may be called concurrently from several goroutines
+// with disjoint rf prefixes, which is how OutcomesOpt shards the search.
+type skeletonJob struct {
+	locs      []Loc
+	skels     []threadSkel
+	events    []memmodel.Event
+	sev       []skelEvent
+	po, rmw   *rel.Relation
+	eventIDs  [][]int
+	reads     []int
+	writersOf map[string][]int
+}
+
+// newSkeletonJob builds the event set for fixed paths/success bits and
+// precomputes the read list and per-location writer candidates.
+func newSkeletonJob(locs []Loc, skels []threadSkel) *skeletonJob {
 	var events []memmodel.Event
 	var sev []skelEvent
 	po := rel.New()
@@ -439,7 +458,8 @@ func enumerateForSkeleton(locs []Loc, skels []threadSkel, fn func(*Candidate) bo
 		}
 	}
 
-	// rf enumeration: for each read, candidate writers of the same loc.
+	// Precompute rf enumeration inputs: the reads, and for each location the
+	// candidate writers.
 	reads := make([]int, 0)
 	for _, e := range events {
 		if e.Kind == memmodel.KindRead {
@@ -453,13 +473,32 @@ func enumerateForSkeleton(locs []Loc, skels []threadSkel, fn func(*Candidate) bo
 		}
 	}
 
-	rfChoice := make([]int, len(reads))
+	return &skeletonJob{
+		locs:      locs,
+		skels:     skels,
+		events:    events,
+		sev:       sev,
+		po:        po,
+		rmw:       rmw,
+		eventIDs:  eventIDs,
+		reads:     reads,
+		writersOf: writersOf,
+	}
+}
+
+// enumerate walks every rf assignment extending the fixed prefix (rfPrefix[i]
+// is the chosen writer for reads[i]), then every coherence order, invoking fn
+// per candidate. Returns false to stop the overall enumeration. Safe for
+// concurrent use with disjoint prefixes: all job state is read-only here.
+func (j *skeletonJob) enumerate(rfPrefix []int, fn func(*Candidate) bool) bool {
+	rfChoice := make([]int, len(j.reads))
+	copy(rfChoice, rfPrefix)
 	var recRF func(i int) bool
 	recRF = func(i int) bool {
-		if i == len(reads) {
-			return enumerateCO(events, sev, skels, eventIDs, po, rmw, reads, rfChoice, locs, fn)
+		if i == len(j.reads) {
+			return j.enumerateCO(rfChoice, fn)
 		}
-		for _, w := range writersOf[events[reads[i]].Loc] {
+		for _, w := range j.writersOf[j.events[j.reads[i]].Loc] {
 			rfChoice[i] = w
 			if !recRF(i + 1) {
 				return false
@@ -467,15 +506,15 @@ func enumerateForSkeleton(locs []Loc, skels []threadSkel, fn func(*Candidate) bo
 		}
 		return true
 	}
-	return recRF(0)
+	return recRF(len(rfPrefix))
 }
 
 // enumerateCO resolves values for the chosen rf, validates the candidate,
 // then enumerates coherence orders.
-func enumerateCO(events []memmodel.Event, sev []skelEvent,
-	skels []threadSkel, eventIDs [][]int,
-	po, rmw *rel.Relation, reads []int, rfChoice []int,
-	locs []Loc, fn func(*Candidate) bool) bool {
+func (j *skeletonJob) enumerateCO(rfChoice []int, fn func(*Candidate) bool) bool {
+	events, sev, skels := j.events, j.sev, j.skels
+	eventIDs, po, rmw := j.eventIDs, j.po, j.rmw
+	reads, locs := j.reads, j.locs
 
 	rfOf := make(map[int]int) // read -> writer
 	for i, r := range reads {
@@ -838,9 +877,26 @@ func (s OutcomeSet) Contains(fragments ...string) bool {
 	return false
 }
 
+// containsToken reports whether tok occurs in s as a whole space-delimited
+// token. Matching whole tokens (never substrings) is what keeps fragments
+// like "1:a=1" from matching inside "11:a=1", or "a=1" inside "a=10". The
+// scan is allocation-free: Contains sits on the hot path of expectation
+// checking over full outcome sets.
 func containsToken(s, tok string) bool {
-	for _, part := range strings.Fields(s) {
-		if part == tok {
+	if tok == "" || strings.IndexByte(tok, ' ') >= 0 {
+		// Outcome tokens are never empty and never contain spaces; a
+		// fragment that does can only be a malformed query.
+		return false
+	}
+	for i := 0; i < len(s); {
+		for i < len(s) && s[i] == ' ' {
+			i++
+		}
+		start := i
+		for i < len(s) && s[i] != ' ' {
+			i++
+		}
+		if s[start:i] == tok {
 			return true
 		}
 	}

@@ -1,0 +1,166 @@
+// Parallel candidate-execution enumeration.
+//
+// The search space of Enumerate factors into independent shards: the outer
+// Cartesian product over per-thread skeletons (control path × choice bits)
+// partitions the space exactly, and within one skeleton the reads-from
+// enumeration is a tree whose first levels partition it further. A shard is
+// therefore (skeletonJob, rf prefix); two distinct shards can never produce
+// the same candidate, and the union over all shards is the full space. Shards
+// are fanned out to a bounded worker pool and the per-shard OutcomeSets are
+// merged in shard order, so OutcomesOpt is equal to the serial Outcomes for
+// every worker count — set union is order-insensitive and consistency checks
+// are pure functions of each candidate.
+
+package litmus
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/memmodel"
+)
+
+// Options configures outcome computation.
+type Options struct {
+	// Workers bounds enumeration parallelism: 0 (or negative) uses
+	// runtime.NumCPU(); 1 selects the serial enumeration path (useful when
+	// debugging the enumerator itself).
+	Workers int
+	// Cache, when non-nil, memoizes outcome sets keyed by (program
+	// fingerprint, model name). Sets returned through a cache are shared
+	// between callers and must be treated as read-only.
+	Cache *Cache
+}
+
+func (o Options) workerCount() int {
+	if o.Workers <= 0 {
+		return runtime.NumCPU()
+	}
+	return o.Workers
+}
+
+// shardsPerWorker oversubscribes the shard list relative to the pool so that
+// uneven shards (rf subtrees prune at very different depths) still balance.
+const shardsPerWorker = 4
+
+// OutcomesParallel computes Outcomes(p, m) on every available CPU. The
+// result is always equal to the serial set.
+func OutcomesParallel(p *Program, m memmodel.Model) OutcomeSet {
+	return OutcomesOpt(p, m, Options{})
+}
+
+// OutcomesOpt computes the set of outcomes of p admitted by model m with
+// explicit worker-count and caching options.
+func OutcomesOpt(p *Program, m memmodel.Model, opt Options) OutcomeSet {
+	if opt.Cache != nil {
+		return opt.Cache.Outcomes(p, m, opt)
+	}
+	workers := opt.workerCount()
+	if workers == 1 {
+		return Outcomes(p, m)
+	}
+
+	shards := buildShards(p, workers*shardsPerWorker)
+	if workers > len(shards) {
+		workers = len(shards)
+	}
+
+	// Workers claim shard indices from an atomic cursor; each writes only
+	// its own results slot, so the merge below needs no locking.
+	results := make([]OutcomeSet, len(shards))
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(shards) {
+					return
+				}
+				out := make(OutcomeSet)
+				shards[i].job.enumerate(shards[i].rfPrefix, func(c *Candidate) bool {
+					if m.Consistent(c.X) {
+						out[outcomeOf(c)] = true
+					}
+					return true
+				})
+				results[i] = out
+			}
+		}()
+	}
+	wg.Wait()
+
+	merged := make(OutcomeSet)
+	for _, r := range results {
+		for o := range r {
+			merged[o] = true
+		}
+	}
+	return merged
+}
+
+// shard is one independent slice of the candidate-execution search space:
+// a fixed skeleton combination plus a fixed writer choice for the first
+// len(rfPrefix) reads. The job pointer may be shared between shards; it is
+// read-only during enumeration.
+type shard struct {
+	job      *skeletonJob
+	rfPrefix []int
+}
+
+// buildShards partitions p's search space into at least target shards where
+// possible. It starts from the skeleton combinations (the outer loop of
+// Enumerate) and, while too coarse, refines every shard one rf level deeper:
+// a shard with prefix length d splits into one child per candidate writer of
+// read d. Programs whose space is genuinely smaller than target (few
+// skeletons, few reads) yield fewer shards.
+func buildShards(p *Program, target int) []shard {
+	locs := p.Locations()
+	perThread := skeletonsPerThread(p)
+
+	var shards []shard
+	choice := make([]int, len(p.Threads))
+	var rec func(t int)
+	rec = func(t int) {
+		if t == len(p.Threads) {
+			skels := make([]threadSkel, len(p.Threads))
+			for i, c := range choice {
+				skels[i] = perThread[i][c]
+			}
+			shards = append(shards, shard{job: newSkeletonJob(locs, skels)})
+			return
+		}
+		for i := range perThread[t] {
+			choice[t] = i
+			rec(t + 1)
+		}
+	}
+	rec(0)
+
+	for len(shards) < target {
+		refined := make([]shard, 0, len(shards))
+		progress := false
+		for _, s := range shards {
+			d := len(s.rfPrefix)
+			if d == len(s.job.reads) {
+				refined = append(refined, s)
+				continue
+			}
+			progress = true
+			for _, w := range s.job.writersOf[s.job.events[s.job.reads[d]].Loc] {
+				prefix := make([]int, d+1)
+				copy(prefix, s.rfPrefix)
+				prefix[d] = w
+				refined = append(refined, shard{job: s.job, rfPrefix: prefix})
+			}
+		}
+		shards = refined
+		if !progress {
+			break
+		}
+	}
+	return shards
+}

@@ -260,10 +260,13 @@ type Verification struct {
 func (v Verification) Correct() bool { return len(v.NewBehaviours) == 0 }
 
 // VerifyTheorem1 checks behaviour containment: every outcome of tgt under
-// mt must be an outcome of src under ms.
+// mt must be an outcome of src under ms. Outcome sets are computed with the
+// parallel enumerator through the process-wide cache, so sweeping one source
+// program against several candidate translations enumerates it only once.
 func VerifyTheorem1(src *litmus.Program, ms memmodel.Model, tgt *litmus.Program, mt memmodel.Model) Verification {
-	srcOut := litmus.Outcomes(src, ms)
-	tgtOut := litmus.Outcomes(tgt, mt)
+	opt := litmus.Options{Cache: litmus.DefaultCache}
+	srcOut := litmus.OutcomesOpt(src, ms, opt)
+	tgtOut := litmus.OutcomesOpt(tgt, mt, opt)
 	return Verification{
 		Source:        src.Name,
 		Target:        tgt.Name,

@@ -241,7 +241,7 @@ func CheckSound(p *litmus.Program, m memmodel.Model, seeds int) ([]litmus.Outcom
 	if err != nil {
 		return nil, err
 	}
-	admitted := litmus.Outcomes(p, m)
+	admitted := litmus.OutcomesOpt(p, m, litmus.Options{Cache: litmus.DefaultCache})
 	var bad []litmus.Outcome
 	for o := range observed {
 		if !admitted[o] {

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate. Every PR must pass this script unchanged:
+#
+#   ./scripts/check.sh
+#
+# It runs vet, a full build, the full test suite, and — because the litmus
+# enumerator and its memoization cache are concurrent subsystems — the race
+# detector over the packages that exercise them.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "==> go test -race ./internal/litmus/... ./internal/mapping/..."
+go test -race ./internal/litmus/... ./internal/mapping/...
+
+echo "OK"
