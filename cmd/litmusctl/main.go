@@ -14,15 +14,19 @@
 //
 // The global -workers N flag (before the subcommand) bounds enumeration
 // parallelism: 0, the default, uses every CPU; 1 forces the serial
-// enumerator.
+// enumerator. -fault name[@N] arms the deterministic fault injector (e.g.
+// shard-panic exercises the enumerator's panic-capture and serial
+// fallback); an enumeration that fails beyond recovery exits with code 3.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/faults"
 	"repro/internal/litmus"
 	"repro/internal/mapping"
 	"repro/internal/memmodel"
@@ -31,15 +35,27 @@ import (
 	"repro/internal/models/x86tso"
 )
 
-// enumOpt carries the -workers setting (plus the process-wide outcome cache)
-// to every enumeration this command performs.
+// enumOpt carries the -workers and -fault settings (plus the process-wide
+// outcome cache) to every enumeration this command performs.
 var enumOpt litmus.Options
 
 func main() {
 	workers := flag.Int("workers", 0, "enumeration workers (0 = all CPUs, 1 = serial)")
+	fault := flag.String("fault", "", "inject deterministic faults: comma list of name[@N]\n(names: "+strings.Join(faults.SpecNames(), ", ")+")")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for the fault injector")
 	flag.Usage = func() { usage() }
 	flag.Parse()
-	enumOpt = litmus.Options{Workers: *workers, Cache: litmus.DefaultCache}
+	var inject *faults.Injector
+	if specs, err := faults.ParseSpecs(*fault); err != nil {
+		fmt.Fprintln(os.Stderr, "litmusctl:", err)
+		os.Exit(2)
+	} else if len(specs) > 0 {
+		inject = faults.NewInjector(*faultSeed)
+		for _, sp := range specs {
+			sp.Arm(inject)
+		}
+	}
+	enumOpt = litmus.Options{Workers: *workers, Cache: litmus.DefaultCache, Inject: inject}
 	args := flag.Args()
 	if len(args) < 1 {
 		usage()
@@ -116,11 +132,23 @@ func models() []memmodel.Model {
 	return []memmodel.Model{x86tso.New(), tcgmm.New(), armcats.New()}
 }
 
+// enumerate computes an outcome set with the global options; an enumeration
+// failure that survived the serial fallback (a real enumerator fault)
+// prints the trap and exits with code 3.
+func enumerate(p *litmus.Program, m memmodel.Model) litmus.OutcomeSet {
+	out, err := litmus.OutcomesChecked(p, m, enumOpt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "litmusctl: %v\n", err)
+		os.Exit(3)
+	}
+	return out
+}
+
 func corpus() {
 	for _, p := range litmus.X86Corpus() {
 		fmt.Printf("%s:\n", p.Name)
 		for _, m := range models() {
-			out := litmus.OutcomesOpt(p, m, enumOpt)
+			out := enumerate(p, m)
 			fmt.Printf("  %-12s %d outcomes\n", m.Name(), len(out))
 		}
 	}
@@ -140,7 +168,7 @@ func outcomes(name string) {
 	}
 	for _, m := range models() {
 		fmt.Printf("%s under %s:\n", prog.Name, m.Name())
-		for _, o := range litmus.OutcomesOpt(prog, m, enumOpt).Sorted() {
+		for _, o := range enumerate(prog, m).Sorted() {
 			fmt.Printf("  %s\n", o)
 		}
 	}
@@ -151,16 +179,20 @@ func sbal() {
 	tgt := litmus.SBALArm()
 	fmt.Println("SBAL (§3.3): x86 source vs Figure-3 Arm mapping (casal + LDAPR)")
 	fmt.Printf("\nx86 outcomes:\n")
-	for _, o := range litmus.OutcomesOpt(src, x86tso.New(), enumOpt).Sorted() {
+	for _, o := range enumerate(src, x86tso.New()).Sorted() {
 		fmt.Printf("  %s\n", o)
 	}
 	for _, v := range []armcats.Variant{armcats.Original, armcats.Corrected} {
 		m := armcats.NewVariant(v)
 		fmt.Printf("\nArm outcomes under %s:\n", m.Name())
-		for _, o := range litmus.OutcomesOpt(tgt, m, enumOpt).Sorted() {
+		for _, o := range enumerate(tgt, m).Sorted() {
 			fmt.Printf("  %s\n", o)
 		}
 		ver := mapping.VerifyTheorem1(src, x86tso.New(), tgt, m)
+		if ver.Err != nil {
+			fmt.Fprintf(os.Stderr, "litmusctl: %v\n", ver.Err)
+			os.Exit(3)
+		}
 		if ver.Correct() {
 			fmt.Println("→ mapping correct under this model")
 		} else {
@@ -170,6 +202,6 @@ func sbal() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: litmusctl [-workers N] {corpus|outcomes <name>|verify|errors|sbal|run <file.lit>…}")
+	fmt.Fprintln(os.Stderr, "usage: litmusctl [-workers N] [-fault name[@N]] {corpus|outcomes <name>|verify|errors|sbal|run <file.lit>…}")
 	os.Exit(2)
 }

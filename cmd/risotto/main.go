@@ -15,9 +15,11 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/guestimg"
 	"repro/internal/workloads"
 )
@@ -33,7 +35,23 @@ func main() {
 	emit := flag.String("emit", "", "write the guest image to a file instead of running")
 	imagePath := flag.String("image", "", "run a saved guest image (.riso)")
 	list := flag.Bool("list", false, "list available kernels")
+	fault := flag.String("fault", "", "inject deterministic faults: comma list of name[@N]\n(names: "+strings.Join(faults.SpecNames(), ", ")+")")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for the fault injector")
+	stepBudget := flag.Uint64("step-budget", 0, "per-vCPU host-instruction watchdog budget (0 = unlimited)")
+	deadline := flag.Duration("deadline", 0, "wall-clock watchdog for the run (0 = none)")
 	flag.Parse()
+
+	inject, err := buildInjector(*fault, *faultSeed)
+	check(err)
+	runCfg := func(v core.Variant) core.Config {
+		return core.Config{
+			Variant:    v,
+			Chain:      *chain,
+			StepBudget: *stepBudget,
+			Deadline:   *deadline,
+			Inject:     inject,
+		}
+	}
 
 	if *list {
 		for _, k := range workloads.Registry() {
@@ -49,10 +67,9 @@ func main() {
 		check(err)
 		v, err := parseVariant(*variant)
 		check(err)
-		rt, err := core.New(core.Config{Variant: v, Chain: *chain}, img)
+		rt, err := core.New(runCfg(v), img)
 		check(err)
-		code, err := rt.Run()
-		check(err)
+		code := runGuest(rt)
 		fmt.Printf("image       %s (entry %#x)\n", *imagePath, img.Entry)
 		printStats(v, code, rt)
 		return
@@ -81,10 +98,9 @@ func main() {
 
 	img, err := b.BuildGuest("main")
 	check(err)
-	rt, err := core.New(core.Config{Variant: v, Chain: *chain}, img)
+	rt, err := core.New(runCfg(v), img)
 	check(err)
-	code, err := rt.Run()
-	check(err)
+	code := runGuest(rt)
 
 	fmt.Printf("kernel      %s (%s), threads=%d scale=%d\n", k.Name, k.Suite, *threads, *scale)
 	printStats(v, code, rt)
@@ -112,6 +128,37 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// buildInjector arms an injector from the -fault spec list; a nil injector
+// (no specs) disables injection entirely.
+func buildInjector(specList string, seed int64) (*faults.Injector, error) {
+	specs, err := faults.ParseSpecs(specList)
+	if err != nil || len(specs) == 0 {
+		return nil, err
+	}
+	in := faults.NewInjector(seed)
+	for _, sp := range specs {
+		sp.Arm(in)
+	}
+	return in, nil
+}
+
+// runGuest executes the guest. A structured trap (watchdog, injected or
+// natural fault) prints a one-line report and exits with code 3, distinct
+// from usage (2) and internal (1) errors, so scripted callers can tell a
+// trapped guest from a broken tool.
+func runGuest(rt *core.Runtime) uint64 {
+	code, err := rt.Run()
+	if err == nil {
+		return code
+	}
+	if tr, ok := faults.As(err); ok {
+		fmt.Fprintf(os.Stderr, "risotto: %s\n", tr.Error())
+		os.Exit(3)
+	}
+	check(err)
+	return 0
 }
 
 func parseVariant(name string) (core.Variant, error) {
@@ -144,6 +191,9 @@ func printStats(v core.Variant, code uint64, rt *core.Runtime) {
 		st.Casal, st.ExclLoop, st.HelperCalls)
 	fmt.Printf("syscalls    %d, host-linked calls %d, chain patches %d\n",
 		st.Syscalls, st.HostCalls, st.ChainPatches)
+	if st.CacheFlushes > 0 {
+		fmt.Printf("degradation %d code-cache flush-and-retranslate cycles\n", st.CacheFlushes)
+	}
 }
 
 func check(err error) {

@@ -10,8 +10,11 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
+	"time"
 
 	"repro/internal/backend"
+	"repro/internal/faults"
 	"repro/internal/frontend"
 	"repro/internal/guestimg"
 	"repro/internal/hostlib"
@@ -86,6 +89,17 @@ type Config struct {
 	// visible reorderings. Used by correctness demonstrations, not by the
 	// performance figures.
 	WeakSeed *int64
+	// StepBudget, when non-zero, bounds each vCPU's executed host
+	// instructions; a guest that reaches it (runaway loop, livelocked
+	// spin) halts with a structured faults.TrapBudget instead of spinning
+	// until MaxSteps.
+	StepBudget uint64
+	// Deadline, when non-zero, is the wall-clock watchdog for Run.
+	Deadline time.Duration
+	// Inject, when non-nil, arms deterministic fault injection across the
+	// stack: frontend decode, code-cache allocation, memory accesses,
+	// scheduler quanta and host-linked calls.
+	Inject *faults.Injector
 }
 
 // Stats aggregates runtime counters.
@@ -103,6 +117,9 @@ type Stats struct {
 	Syscalls    uint64
 	// ChainPatches counts block exits rewritten into direct branches.
 	ChainPatches int
+	// CacheFlushes counts full code-cache flush-and-retranslate cycles
+	// taken to recover from cache exhaustion.
+	CacheFlushes int
 }
 
 // tb is one cached translation block.
@@ -139,7 +156,18 @@ type Runtime struct {
 	// chainSites maps the host address of a patchable exit SVC to its
 	// constant guest target (TB chaining).
 	chainSites map[uint64]uint64
+	// patched records exit SVCs rewritten into direct branches (host
+	// address → guest target), so a cache flush can restore them (chain
+	// reset) before recycling the region they branch into.
+	patched map[uint64]uint64
+	// pinned lists code-cache extents that survived the last flush
+	// because a CPU was still executing inside them; the allocator skips
+	// them until the next flush re-evaluates liveness.
+	pinned []extent
 }
+
+// extent is a half-open host-code byte range [start, end).
+type extent struct{ start, end uint64 }
 
 // Costs charged by the runtime on top of the machine's table.
 const (
@@ -180,6 +208,7 @@ func New(cfg Config, img *guestimg.Image) (*Runtime, error) {
 		tbs:        make(map[uint64]*tb),
 		plt:        make(map[uint64]*pltEntry),
 		chainSites: make(map[uint64]uint64),
+		patched:    make(map[uint64]uint64),
 	}
 
 	switch cfg.Variant {
@@ -202,10 +231,14 @@ func New(cfg Config, img *guestimg.Image) (*Runtime, error) {
 		rt.optCfg = *cfg.Opt
 	}
 	rt.beCfg = backend.Config{CAS: backend.CASCasal}
+	rt.feCfg.Inject = cfg.Inject
 
 	rt.M = machine.New(cfg.MemSize)
 	rt.M.Syscall = rt.handleSvc
 	rt.M.OnBLR = rt.handleBLR
+	rt.M.StepBudget = cfg.StepBudget
+	rt.M.Deadline = cfg.Deadline
+	rt.M.Inject = cfg.Inject
 	if cfg.WeakSeed != nil {
 		rt.M.EnableWeakMemory(*cfg.WeakSeed, 48)
 	}
@@ -298,46 +331,142 @@ func (rt *Runtime) dispatch(c *machine.CPU, guestPC uint64) error {
 	return nil
 }
 
-// translate builds, optimizes and emits one block.
+// translate builds, optimizes and emits one block. Code-cache exhaustion
+// is not fatal: it triggers a full cache flush plus chain reset and a
+// single retranslation attempt (QEMU's tb_flush recovery); only a block
+// that cannot fit an empty cache still reports the typed trap.
 func (rt *Runtime) translate(c *machine.CPU, guestPC uint64) (*tb, error) {
 	block, err := frontend.Translate(rt.M.Mem, guestPC, rt.feCfg)
 	if err != nil {
+		if t, ok := faults.As(err); ok {
+			t.WithCPU(c.ID).WithGuestPC(guestPC)
+		}
 		return nil, err
 	}
 	tcg.Optimize(block, rt.optCfg)
-	code, st, err := backend.Generate(block, rt.codeCursor, rt.beCfg)
-	if err != nil {
-		return nil, fmt.Errorf("core: generating %#x: %w", guestPC, err)
+	t, err := rt.emitBlock(c, block, guestPC)
+	if err == nil {
+		return t, nil
 	}
-	if rt.codeCursor+uint64(len(code)) > uint64(len(rt.M.Mem)) {
-		return nil, fmt.Errorf("core: code cache exhausted at %#x", rt.codeCursor)
+	if !faults.IsKind(err, faults.TrapCacheExhausted) {
+		return nil, err
 	}
-	copy(rt.M.Mem[rt.codeCursor:], code)
-	t := &tb{guestPC: guestPC, hostAddr: rt.codeCursor, codeLen: len(code)}
-	rt.codeCursor += uint64(len(code) + 15)
-	rt.codeCursor &^= 15
-	rt.tbs[guestPC] = t
+	rt.flushCodeCache()
+	return rt.emitBlock(c, block, guestPC)
+}
 
-	rt.Stats.Blocks++
-	rt.Stats.GuestBytes += block.GuestEnd - block.GuestPC
-	rt.Stats.HostInsts += st.Insts
-	rt.Stats.DMBFull += st.DMBFull
-	rt.Stats.DMBLoad += st.DMBLoad
-	rt.Stats.DMBStore += st.DMBStore
-	rt.Stats.Casal += st.Casal
-	rt.Stats.ExclLoop += st.ExclLoop
-	if rt.cfg.Chain {
-		for _, slot := range st.ChainSlots {
-			// Host-linked PLT targets must keep trapping: the host call
-			// runs in the dispatcher.
-			if _, linked := rt.plt[slot.GuestTarget]; linked {
-				continue
+// emitBlock generates host code for block at the next free code-cache
+// slot, skipping pinned extents, and installs it. A block that does not
+// fit reports a faults.TrapCacheExhausted (recoverable via flush).
+func (rt *Runtime) emitBlock(c *machine.CPU, block *tcg.Block, guestPC uint64) (*tb, error) {
+	if t := rt.cfg.Inject.Hit(faults.SiteCacheAlloc); t != nil {
+		return nil, t.WithCPU(c.ID).WithGuestPC(guestPC)
+	}
+	base := rt.codeCursor
+	for {
+		code, st, err := backend.Generate(block, base, rt.beCfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: generating %#x: %w", guestPC, err)
+		}
+		end := base + uint64(len(code))
+		if end > uint64(len(rt.M.Mem)) || end < base {
+			t := faults.New(faults.TrapCacheExhausted,
+				"code cache exhausted at %#x (block %d bytes, memory ends %#x)",
+				base, len(code), len(rt.M.Mem))
+			return nil, t.WithCPU(c.ID).WithGuestPC(guestPC)
+		}
+		// Generated code is position-dependent, so a collision with a
+		// pinned extent moves the cursor past it and regenerates.
+		if pe, ok := rt.pinnedOverlap(base, end); ok {
+			base = (pe.end + 15) &^ 15
+			continue
+		}
+		copy(rt.M.Mem[base:], code)
+		t := &tb{guestPC: guestPC, hostAddr: base, codeLen: len(code)}
+		rt.codeCursor = (end + 15) &^ 15
+		rt.tbs[guestPC] = t
+
+		rt.Stats.Blocks++
+		rt.Stats.GuestBytes += block.GuestEnd - block.GuestPC
+		rt.Stats.HostInsts += st.Insts
+		rt.Stats.DMBFull += st.DMBFull
+		rt.Stats.DMBLoad += st.DMBLoad
+		rt.Stats.DMBStore += st.DMBStore
+		rt.Stats.Casal += st.Casal
+		rt.Stats.ExclLoop += st.ExclLoop
+		if rt.cfg.Chain {
+			for _, slot := range st.ChainSlots {
+				// Host-linked PLT targets must keep trapping: the host call
+				// runs in the dispatcher.
+				if _, linked := rt.plt[slot.GuestTarget]; linked {
+					continue
+				}
+				rt.chainSites[t.hostAddr+uint64(slot.Off)] = slot.GuestTarget
 			}
-			rt.chainSites[t.hostAddr+uint64(slot.Off)] = slot.GuestTarget
+		}
+		c.Cycles += translationCostPerByte * (block.GuestEnd - block.GuestPC)
+		return t, nil
+	}
+}
+
+// pinnedOverlap reports the first pinned extent intersecting [start, end).
+func (rt *Runtime) pinnedOverlap(start, end uint64) (extent, bool) {
+	for _, e := range rt.pinned {
+		if start < e.end && e.start < end {
+			return e, true
 		}
 	}
-	c.Cycles += translationCostPerByte * (block.GuestEnd - block.GuestPC)
-	return t, nil
+	return extent{}, false
+}
+
+// flushCodeCache drops every translation and resets the allocation cursor
+// so translation can start over — the graceful-degradation answer to cache
+// exhaustion. Correctness around the flush:
+//
+//   - Chain reset: every patched direct branch is restored to its exit
+//     SVC first, so no surviving code can branch into recycled memory.
+//   - Pinning: CPUs parked mid-block by the scheduler (or helper-call
+//     link addresses in X30) keep executing old code until their next
+//     block-end trap; the extents containing any live CPU's PC or LR are
+//     pinned and the allocator routes around them until a later flush
+//     observes them dead.
+//   - The machine's decode cache is invalidated wholesale, since freed
+//     addresses will be rewritten with fresh code.
+func (rt *Runtime) flushCodeCache() {
+	w, err := arm.Encode(arm.Inst{Op: arm.SVC, Imm: backend.SvcTBExit})
+	if err == nil {
+		for svcAddr := range rt.patched {
+			binary.LittleEndian.PutUint32(rt.M.Mem[svcAddr:], w)
+		}
+	}
+	rt.patched = make(map[uint64]uint64)
+	rt.chainSites = make(map[uint64]uint64)
+
+	candidates := make([]extent, 0, len(rt.tbs)+len(rt.pinned))
+	for _, t := range rt.tbs {
+		candidates = append(candidates, extent{t.hostAddr, t.hostAddr + uint64(t.codeLen)})
+	}
+	candidates = append(candidates, rt.pinned...)
+	var pins []extent
+	for _, e := range candidates {
+		for _, c := range rt.M.CPUs {
+			if c.Halted {
+				continue
+			}
+			if (c.PC >= e.start && c.PC < e.end) ||
+				(c.Regs[30] >= e.start && c.Regs[30] < e.end) {
+				pins = append(pins, e)
+				break
+			}
+		}
+	}
+	sort.Slice(pins, func(i, j int) bool { return pins[i].start < pins[j].start })
+	rt.pinned = pins
+
+	rt.tbs = make(map[uint64]*tb)
+	rt.codeCursor = rt.cfg.CodeCacheBase
+	rt.M.InvalidateDecodeCache()
+	rt.Stats.CacheFlushes++
 }
 
 // chain patches the exit SVC at svcAddr into a direct branch to the target
@@ -356,8 +485,20 @@ func (rt *Runtime) chain(svcAddr uint64, target *tb) error {
 	binary.LittleEndian.PutUint32(rt.M.Mem[svcAddr:], w)
 	rt.M.InvalidateDecodeAt(svcAddr)
 	delete(rt.chainSites, svcAddr)
+	rt.patched[svcAddr] = target.guestPC
 	rt.Stats.ChainPatches++
 	return nil
+}
+
+// guestPCOf maps a host-code address back to the guest PC of the block
+// containing it, for trap attribution.
+func (rt *Runtime) guestPCOf(hostAddr uint64) (uint64, bool) {
+	for _, t := range rt.tbs {
+		if hostAddr >= t.hostAddr && hostAddr < t.hostAddr+uint64(t.codeLen) {
+			return t.guestPC, true
+		}
+	}
+	return 0, false
 }
 
 // DisassembleBlock returns the host-code disassembly of the translation
@@ -406,6 +547,12 @@ func (rt *Runtime) handleSvc(m *machine.Machine, c *machine.CPU, imm uint16) err
 				if err := rt.dispatch(c, guestTarget); err != nil {
 					return err
 				}
+				// Translating the target may have flushed the cache, which
+				// clears chainSites and may recycle the block holding this
+				// SVC — re-check before patching it.
+				if _, still := rt.chainSites[svcAddr]; !still {
+					return nil
+				}
 				// dispatch pointed the CPU at the target block (a host
 				// call would have redirected elsewhere; only patch when
 				// the target is a plain block).
@@ -420,6 +567,11 @@ func (rt *Runtime) handleSvc(m *machine.Machine, c *machine.CPU, imm uint16) err
 		c.Halted = true
 		return nil
 	default:
-		return fmt.Errorf("core: unexpected svc #%d at cpu%d", imm, c.ID)
+		t := faults.New(faults.TrapDecode, "core: unexpected svc #%d", imm).WithCPU(c.ID)
+		// c.PC was advanced past the SVC before the trap.
+		if gpc, ok := rt.guestPCOf(c.PC - arm.InstBytes); ok {
+			return t.WithGuestPC(gpc)
+		}
+		return t.WithHostPC(c.PC - arm.InstBytes)
 	}
 }

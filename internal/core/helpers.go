@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/backend"
+	"repro/internal/faults"
 	"repro/internal/frontend"
 	"repro/internal/isa/x86"
 	"repro/internal/machine"
@@ -84,7 +85,8 @@ func (rt *Runtime) handleBLR(m *machine.Machine, c *machine.CPU, target uint64) 
 		rt.Stats.Syscalls++
 		return true, rt.guestSyscall(m, c)
 	}
-	return false, fmt.Errorf("core: unknown helper %d (target %#x)", h, target)
+	return false, faults.New(faults.TrapHostCall,
+		"core: unknown helper %d (target %#x)", h, target).WithCPU(c.ID)
 }
 
 // guestSyscall implements the guest OS interface. User-mode emulation

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/faults"
 	"repro/internal/idl"
 	"repro/internal/isa/x86"
 	"repro/internal/machine"
@@ -17,13 +18,18 @@ var guestArgRegs = [...]x86.Reg{x86.RDI, x86.RSI, x86.RDX, x86.RCX, x86.R8, x86.
 // dispatch lands on a PLT entry that the IDL declared.
 func (rt *Runtime) hostCall(c *machine.CPU, e *pltEntry) error {
 	m := rt.M
+	if t := rt.cfg.Inject.Hit(faults.SiteHostCall); t != nil {
+		t.Msg = fmt.Sprintf("host call %s: %s", e.name, t.Msg)
+		return t.WithCPU(c.ID)
+	}
 	rt.Stats.HostCalls++
 
 	// Marshal arguments: guest register values are copied into the host
 	// call (for Arm/x86 both pass the first arguments in registers, so
 	// the runtime copies register to register — §6.2).
 	if len(e.sig.Params) > len(guestArgRegs) {
-		return fmt.Errorf("core: %s: too many parameters (%d)", e.name, len(e.sig.Params))
+		return faults.New(faults.TrapHostCall,
+			"core: %s: too many parameters (%d)", e.name, len(e.sig.Params)).WithCPU(c.ID)
 	}
 	args := make([]uint64, len(e.sig.Params))
 	for i, p := range e.sig.Params {
@@ -52,7 +58,8 @@ func (rt *Runtime) hostCall(c *machine.CPU, e *pltEntry) error {
 	sp := guestReg(c, x86.RSP)
 	ret, err := m.ReadMem(*sp, 8)
 	if err != nil {
-		return fmt.Errorf("core: %s: reading return address: %w", e.name, err)
+		return faults.Wrap(faults.TrapHostCall, err,
+			"core: %s: reading return address", e.name).WithCPU(c.ID)
 	}
 	*sp += 8
 	return rt.dispatch(c, ret)

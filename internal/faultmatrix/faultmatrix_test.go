@@ -1,0 +1,98 @@
+package faultmatrix
+
+import (
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/litmus"
+	"repro/internal/models/armcats"
+	"repro/internal/models/x86tso"
+)
+
+// wantKind maps each injectable fault to the trap kind a halted run must
+// report. Faults absent from the map must not halt the workload at all:
+// cache-exhaust is recovered by flush-and-retranslate, and shard-panic's
+// site does not exist in the DBT stack.
+var wantKind = map[string]faults.TrapKind{
+	"decode":      faults.TrapDecode,
+	"unmapped":    faults.TrapUnmapped,
+	"misaligned":  faults.TrapMisaligned,
+	"step-budget": faults.TrapBudget,
+	"host-call":   faults.TrapHostCall,
+}
+
+// TestFaultMatrixDifferential sweeps every workload under every fault and
+// checks each cell: either the degraded run equals the fault-free one, or
+// it halts with the right structured trap. No cell may be Bad (silent
+// wrong answer, untyped error, panic) and no run may hang (budgets are
+// armed by the driver).
+func TestFaultMatrixDifferential(t *testing.T) {
+	cells, err := Matrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cells {
+		label := c.Workload + "/" + c.Fault
+		if c.Outcome == Bad {
+			t.Errorf("%s: %s", label, c.Detail)
+			continue
+		}
+		switch c.Fault {
+		case "":
+			if c.Outcome != OK {
+				t.Errorf("%s: control run did not complete: %s", label, c.Detail)
+			}
+		case "cache-exhaust":
+			// Injected exhaustion must be absorbed by a flush, not kill
+			// the guest.
+			if c.Outcome != OK {
+				t.Errorf("%s: exhaustion not recovered: %s", label, c.Detail)
+			} else if c.Flushes == 0 {
+				t.Errorf("%s: recovered without any flush recorded", label)
+			}
+		case "shard-panic":
+			// No such site in the DBT stack; the run must be unaffected.
+			if c.Outcome != OK {
+				t.Errorf("%s: inert fault changed the run: %s", label, c.Detail)
+			}
+		case "host-call":
+			// Only the linker workload has the site; others run clean.
+			if c.Workload == "host-call" {
+				if c.Outcome != Trapped || c.Trap.Kind != faults.TrapHostCall {
+					t.Errorf("%s: want host-call trap, got %v (%s)", label, c.Outcome, c.Detail)
+				}
+			} else if c.Outcome != OK {
+				t.Errorf("%s: inert fault changed the run: %s", label, c.Detail)
+			}
+		default:
+			want := wantKind[c.Fault]
+			if c.Outcome != Trapped {
+				t.Errorf("%s: want trap, got %v (%s)", label, c.Outcome, c.Detail)
+				continue
+			}
+			if c.Trap.Kind != want {
+				t.Errorf("%s: trap kind = %v, want %v: %s", label, c.Trap.Kind, want, c.Detail)
+			}
+			if !c.Trap.Injected {
+				t.Errorf("%s: trap not marked injected: %s", label, c.Detail)
+			}
+		}
+	}
+}
+
+// TestFaultMatrixLitmus checks the enumerator half: for several programs
+// and models, an injected worker-shard panic must leave the outcome set
+// exactly equal to the serial reference.
+func TestFaultMatrixLitmus(t *testing.T) {
+	for _, p := range litmus.X86Corpus() {
+		for _, cell := range []Result{
+			RunLitmus(p, x86tso.New()),
+			RunLitmus(p, armcats.New()),
+		} {
+			if cell.Outcome != OK {
+				t.Errorf("%s under injected shard panic: %v (%s)",
+					cell.Workload, cell.Outcome, cell.Detail)
+			}
+		}
+	}
+}

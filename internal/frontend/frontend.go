@@ -8,6 +8,7 @@ package frontend
 import (
 	"fmt"
 
+	"repro/internal/faults"
 	"repro/internal/isa/x86"
 	"repro/internal/mapping"
 	"repro/internal/memmodel"
@@ -35,6 +36,9 @@ type Config struct {
 	CAS CASStrategy
 	// MaxInsts bounds guest instructions per block (default 64).
 	MaxInsts int
+	// Inject, when non-nil, forces decode traps at instrumented decode
+	// sites (fault-matrix testing).
+	Inject *faults.Injector
 }
 
 // translator carries per-block state.
@@ -99,11 +103,16 @@ func Translate(mem []byte, pc uint64, cfg Config) (*tcg.Block, error) {
 	cur := pc
 	for n := 0; n < cfg.MaxInsts; n++ {
 		if cur >= uint64(len(mem)) {
-			return nil, fmt.Errorf("frontend: pc %#x outside memory", cur)
+			t := faults.New(faults.TrapUnmapped, "frontend: guest pc outside memory")
+			t.Addr = cur
+			return nil, t.WithGuestPC(cur)
+		}
+		if t := cfg.Inject.Hit(faults.SiteDecode); t != nil {
+			return nil, t.WithGuestPC(cur)
 		}
 		inst, size, err := x86.Decode(mem[cur:])
 		if err != nil {
-			return nil, fmt.Errorf("frontend: at %#x: %w", cur, err)
+			return nil, faults.Wrap(faults.TrapDecode, err, "frontend: guest decode").WithGuestPC(cur)
 		}
 		next := cur + uint64(size)
 		if err := tr.emit(inst, next); err != nil {

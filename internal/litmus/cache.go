@@ -103,6 +103,7 @@ type cacheKey struct {
 type cacheEntry struct {
 	once sync.Once
 	out  OutcomeSet
+	err  error
 }
 
 // NewCache returns an empty cache.
@@ -118,6 +119,19 @@ var DefaultCache = NewCache()
 // opt's worker count on first use. The returned set is shared between all
 // callers for the key and must not be mutated.
 func (c *Cache) Outcomes(p *Program, m memmodel.Model, opt Options) OutcomeSet {
+	out, err := c.OutcomesChecked(p, m, opt)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// OutcomesChecked is Outcomes with explicit error reporting. The body of
+// the once.Do never panics (OutcomesChecked captures worker panics), so a
+// failed first enumeration memoizes its error rather than silently marking
+// the entry done with a nil set; racing callers for the same key all
+// observe the same (set, error) pair.
+func (c *Cache) OutcomesChecked(p *Program, m memmodel.Model, opt Options) (OutcomeSet, error) {
 	key := cacheKey{prog: p.Fingerprint(), model: m.Name()}
 	c.mu.Lock()
 	e, ok := c.entries[key]
@@ -133,9 +147,9 @@ func (c *Cache) Outcomes(p *Program, m memmodel.Model, opt Options) OutcomeSet {
 		}
 		uncached := opt
 		uncached.Cache = nil
-		e.out = OutcomesOpt(p, m, uncached)
+		e.out, e.err = OutcomesChecked(p, m, uncached)
 	})
-	return e.out
+	return e.out, e.err
 }
 
 // Len reports how many (program, model) pairs the cache holds.

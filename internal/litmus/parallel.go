@@ -18,6 +18,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/faults"
 	"repro/internal/memmodel"
 )
 
@@ -31,6 +32,10 @@ type Options struct {
 	// fingerprint, model name). Sets returned through a cache are shared
 	// between callers and must be treated as read-only.
 	Cache *Cache
+	// Inject, when non-nil, arms deterministic fault injection in the
+	// parallel enumerator (faults.SiteLitmusShard fires inside a worker
+	// shard, exercising the panic-capture and serial-fallback paths).
+	Inject *faults.Injector
 }
 
 func (o Options) workerCount() int {
@@ -51,24 +56,70 @@ func OutcomesParallel(p *Program, m memmodel.Model) OutcomeSet {
 }
 
 // OutcomesOpt computes the set of outcomes of p admitted by model m with
-// explicit worker-count and caching options.
+// explicit worker-count and caching options. Worker panics are captured
+// and degraded to a serial re-enumeration (see OutcomesChecked); only a
+// failure of both paths — an enumerator bug, not a scheduling artifact —
+// escapes, as a panic carrying a faults.TrapWorkerPanic.
 func OutcomesOpt(p *Program, m memmodel.Model, opt Options) OutcomeSet {
+	out, err := OutcomesChecked(p, m, opt)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// OutcomesChecked is OutcomesOpt with explicit error reporting and graceful
+// degradation: a panic in any parallel worker shard is recover()ed into a
+// faults.TrapWorkerPanic naming the program and shard, and the enumeration
+// is retried once on the serial Workers:1 path (whose result is the
+// definition of correctness for the parallel one). An error is returned
+// only when the serial retry fails too.
+func OutcomesChecked(p *Program, m memmodel.Model, opt Options) (OutcomeSet, error) {
 	if opt.Cache != nil {
-		return opt.Cache.Outcomes(p, m, opt)
+		return opt.Cache.OutcomesChecked(p, m, opt)
 	}
 	workers := opt.workerCount()
 	if workers == 1 {
-		return Outcomes(p, m)
+		return outcomesSerial(p, m)
 	}
+	out, perr := outcomesSharded(p, m, opt, workers)
+	if perr == nil {
+		return out, nil
+	}
+	out, serr := outcomesSerial(p, m)
+	if serr != nil {
+		t := faults.Wrap(faults.TrapWorkerPanic, serr,
+			"litmus %q: parallel enumeration failed (%v) and serial fallback also failed",
+			p.Name, perr)
+		return nil, t
+	}
+	return out, nil
+}
 
+// outcomesSerial runs the reference serial enumerator with panic capture.
+func outcomesSerial(p *Program, m memmodel.Model) (out OutcomeSet, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = faults.New(faults.TrapWorkerPanic,
+				"litmus %q: serial enumeration panicked: %v", p.Name, r)
+		}
+	}()
+	return Outcomes(p, m), nil
+}
+
+// outcomesSharded fans the shard list out to a bounded worker pool. Each
+// shard runs under its own recover(), so one faulty shard poisons only its
+// slot; the first captured panic is reported after the pool drains.
+func outcomesSharded(p *Program, m memmodel.Model, opt Options, workers int) (OutcomeSet, error) {
 	shards := buildShards(p, workers*shardsPerWorker)
 	if workers > len(shards) {
 		workers = len(shards)
 	}
 
 	// Workers claim shard indices from an atomic cursor; each writes only
-	// its own results slot, so the merge below needs no locking.
+	// its own results/errs slot, so the merge below needs no locking.
 	results := make([]OutcomeSet, len(shards))
+	errs := make([]error, len(shards))
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -80,26 +131,50 @@ func OutcomesOpt(p *Program, m memmodel.Model, opt Options) OutcomeSet {
 				if i >= len(shards) {
 					return
 				}
-				out := make(OutcomeSet)
-				shards[i].job.enumerate(shards[i].rfPrefix, func(c *Candidate) bool {
-					if m.Consistent(c.X) {
-						out[outcomeOf(c)] = true
-					}
-					return true
-				})
-				results[i] = out
+				results[i], errs[i] = runShard(p, m, shards[i], i, opt.Inject)
 			}
 		}()
 	}
 	wg.Wait()
 
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
 	merged := make(OutcomeSet)
 	for _, r := range results {
 		for o := range r {
 			merged[o] = true
 		}
 	}
-	return merged
+	return merged, nil
+}
+
+// runShard enumerates one shard, converting a panic (including injected
+// ones) into a faults.TrapWorkerPanic that names the program and shard.
+func runShard(p *Program, m memmodel.Model, s shard, idx int, inj *faults.Injector) (out OutcomeSet, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			t := faults.New(faults.TrapWorkerPanic,
+				"litmus %q: worker shard %d panicked: %v", p.Name, idx, r)
+			if tr, ok := r.(*faults.Trap); ok {
+				t.Injected = tr.Injected
+			}
+			out, err = nil, t
+		}
+	}()
+	if t := inj.Hit(faults.SiteLitmusShard); t != nil {
+		panic(t)
+	}
+	out = make(OutcomeSet)
+	s.job.enumerate(s.rfPrefix, func(c *Candidate) bool {
+		if m.Consistent(c.X) {
+			out[outcomeOf(c)] = true
+		}
+		return true
+	})
+	return out, nil
 }
 
 // shard is one independent slice of the candidate-execution search space:

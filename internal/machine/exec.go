@@ -3,6 +3,7 @@ package machine
 import (
 	"fmt"
 
+	"repro/internal/faults"
 	"repro/internal/isa/arm"
 )
 
@@ -151,6 +152,9 @@ func (m *Machine) exec(c *CPU, inst arm.Inst) error {
 			}
 		}
 		addr := c.reg(inst.Rn)
+		if err := checkAtomicAlign(addr, inst.Size); err != nil {
+			return cpuErr(c, err)
+		}
 		v, err := m.ReadMem(addr, inst.Size)
 		if err != nil {
 			return cpuErr(c, err)
@@ -159,6 +163,9 @@ func (m *Machine) exec(c *CPU, inst arm.Inst) error {
 		c.monAddr, c.monSize, c.monValid = addr, inst.Size, true
 	case arm.STXR, arm.STLXR:
 		addr := c.reg(inst.Rn)
+		if err := checkAtomicAlign(addr, inst.Size); err != nil {
+			return cpuErr(c, err)
+		}
 		if c.monValid && c.monAddr == addr && c.monSize == inst.Size {
 			if err := m.WriteMem(addr, inst.Size, c.reg(inst.Rm)); err != nil {
 				return cpuErr(c, err)
@@ -176,6 +183,9 @@ func (m *Machine) exec(c *CPU, inst arm.Inst) error {
 			}
 		}
 		addr := c.reg(inst.Rn)
+		if err := checkAtomicAlign(addr, inst.Size); err != nil {
+			return cpuErr(c, err)
+		}
 		c.Cycles += m.atomicTouch(c, addr)
 		old, err := m.ReadMem(addr, inst.Size)
 		if err != nil {
@@ -194,6 +204,9 @@ func (m *Machine) exec(c *CPU, inst arm.Inst) error {
 			}
 		}
 		addr := c.reg(inst.Rn)
+		if err := checkAtomicAlign(addr, inst.Size); err != nil {
+			return cpuErr(c, err)
+		}
 		c.Cycles += m.atomicTouch(c, addr)
 		old, err := m.ReadMem(addr, inst.Size)
 		if err != nil {
@@ -210,6 +223,9 @@ func (m *Machine) exec(c *CPU, inst arm.Inst) error {
 			}
 		}
 		addr := c.reg(inst.Rn)
+		if err := checkAtomicAlign(addr, inst.Size); err != nil {
+			return cpuErr(c, err)
+		}
 		c.Cycles += m.atomicTouch(c, addr)
 		old, err := m.ReadMem(addr, inst.Size)
 		if err != nil {
@@ -284,7 +300,7 @@ func (m *Machine) exec(c *CPU, inst arm.Inst) error {
 		return nil
 
 	default:
-		return fmt.Errorf("cpu%d at %#x: unimplemented op %v", c.ID, c.PC, inst.Op)
+		return cpuErr(c, faults.New(faults.TrapDecode, "unimplemented op %v", inst.Op))
 	}
 
 	c.PC = next
@@ -292,7 +308,23 @@ func (m *Machine) exec(c *CPU, inst arm.Inst) error {
 }
 
 func cpuErr(c *CPU, err error) error {
+	if t, ok := faults.As(err); ok {
+		t.WithCPU(c.ID).WithHostPC(c.PC)
+	}
 	return fmt.Errorf("cpu%d at pc=%#x: %w", c.ID, c.PC, err)
+}
+
+// checkAtomicAlign faults exclusives and single-copy atomics on addresses
+// that are not naturally aligned — Arm raises an alignment fault for
+// these regardless of SCTLR configuration.
+func checkAtomicAlign(addr uint64, size uint8) error {
+	if size > 1 && addr%uint64(size) != 0 {
+		t := faults.New(faults.TrapMisaligned,
+			"atomic access [%#x,+%d) not naturally aligned", addr, size)
+		t.Addr = addr
+		return t
+	}
+	return nil
 }
 
 func branchTarget(pc uint64, off int32) uint64 {

@@ -22,7 +22,9 @@ package machine
 
 import (
 	"fmt"
+	"time"
 
+	"repro/internal/faults"
 	"repro/internal/isa/arm"
 )
 
@@ -34,6 +36,18 @@ type Machine struct {
 	CPUs []*CPU
 	// Cost is the cycle cost table.
 	Cost CostTable
+
+	// StepBudget, when non-zero, bounds each CPU's executed instruction
+	// count: a CPU that reaches it makes RunAll return a structured
+	// faults.TrapBudget — the watchdog that halts runaway or livelocked
+	// guests instead of spinning forever.
+	StepBudget uint64
+	// Deadline, when non-zero, is a wall-clock watchdog for RunAll,
+	// measured from its invocation.
+	Deadline time.Duration
+	// Inject, when non-nil, forces traps at instrumented sites (memory
+	// accesses, scheduler quanta) for fault-matrix testing.
+	Inject *faults.Injector
 
 	// Syscall handles SVC instructions. The PC has already been advanced
 	// past the SVC; the handler may rewind it to block.
@@ -141,13 +155,31 @@ func (c *CPU) setReg(r arm.Reg, v uint64) {
 
 func (m *Machine) check(addr uint64, size uint8) error {
 	if addr+uint64(size) > uint64(len(m.Mem)) || addr+uint64(size) < addr {
-		return fmt.Errorf("machine: access [%#x,+%d) out of bounds (mem %#x)", addr, size, len(m.Mem))
+		t := faults.New(faults.TrapUnmapped, "access [%#x,+%d) out of bounds (mem %#x)", addr, size, len(m.Mem))
+		t.Addr = addr
+		return t
+	}
+	return nil
+}
+
+// injectMem consults the injector's memory site, attributing the forced
+// trap to addr. Nil-injector calls are free.
+func (m *Machine) injectMem(addr uint64) error {
+	if m.Inject == nil {
+		return nil
+	}
+	if t := m.Inject.Hit(faults.SiteMemory); t != nil {
+		t.Addr = addr
+		return t
 	}
 	return nil
 }
 
 // ReadMem loads size bytes (1/2/4/8) at addr, zero-extended.
 func (m *Machine) ReadMem(addr uint64, size uint8) (uint64, error) {
+	if err := m.injectMem(addr); err != nil {
+		return 0, err
+	}
 	if err := m.check(addr, size); err != nil {
 		return 0, err
 	}
@@ -160,6 +192,9 @@ func (m *Machine) ReadMem(addr uint64, size uint8) (uint64, error) {
 
 // WriteMem stores the low size bytes of v at addr.
 func (m *Machine) WriteMem(addr uint64, size uint8, v uint64) error {
+	if err := m.injectMem(addr); err != nil {
+		return err
+	}
 	if err := m.check(addr, size); err != nil {
 		return err
 	}
@@ -249,12 +284,12 @@ func (m *Machine) Step(c *CPU) error {
 	inst, ok := m.decodeCache[c.PC]
 	if !ok {
 		if err := m.check(c.PC, arm.InstBytes); err != nil {
-			return fmt.Errorf("cpu%d: fetch: %w", c.ID, err)
+			return cpuErr(c, fmt.Errorf("fetch: %w", err))
 		}
 		var err error
 		inst, err = arm.DecodeAt(m.Mem, int(c.PC))
 		if err != nil {
-			return fmt.Errorf("cpu%d at %#x: %w", c.ID, c.PC, err)
+			return cpuErr(c, faults.Wrap(faults.TrapDecode, err, "host instruction decode"))
 		}
 		m.decodeCache[c.PC] = inst
 	}
@@ -277,15 +312,22 @@ func (m *Machine) Run(c *CPU, maxSteps uint64) error {
 			return err
 		}
 	}
-	return fmt.Errorf("cpu%d: step budget %d exhausted at pc=%#x", c.ID, maxSteps, c.PC)
+	return budgetTrap(c, maxSteps, "step budget %d exhausted", maxSteps)
 }
 
 // RunAll interleaves every live CPU round-robin, quantum instructions at a
-// time, until all halt or the per-machine step budget is exhausted.
-// CPUs added during execution (spawn) join the rotation.
+// time, until all halt or a budget expires: the per-machine maxSteps, the
+// per-CPU StepBudget, or the wall-clock Deadline. Budget expiry returns a
+// structured faults.TrapBudget, so a runaway or livelocked guest degrades
+// to a typed, reportable halt instead of an unbounded spin. CPUs added
+// during execution (spawn) join the rotation.
 func (m *Machine) RunAll(quantum int, maxSteps uint64) error {
 	if quantum <= 0 {
 		quantum = 64
+	}
+	var start time.Time
+	if m.Deadline > 0 {
+		start = time.Now()
 	}
 	var total uint64
 	for {
@@ -296,13 +338,25 @@ func (m *Machine) RunAll(quantum int, maxSteps uint64) error {
 				continue
 			}
 			alive = true
+			if t := m.Inject.Hit(faults.SiteStep); t != nil {
+				t.Steps = c.Insts
+				return t.WithCPU(c.ID).WithHostPC(c.PC)
+			}
 			for q := 0; q < quantum && !c.Halted; q++ {
 				if err := m.Step(c); err != nil {
 					return err
 				}
 				total++
 				if total > maxSteps {
-					return fmt.Errorf("machine: step budget %d exhausted", maxSteps)
+					return budgetTrap(c, total, "machine step budget %d exhausted", maxSteps)
+				}
+				if m.StepBudget != 0 && c.Insts >= m.StepBudget {
+					return budgetTrap(c, c.Insts, "per-CPU step budget %d exhausted", m.StepBudget)
+				}
+				// The wall-clock watchdog is polled every 1024 steps: cheap
+				// enough for the hot loop, tight enough to bound a hang.
+				if m.Deadline > 0 && total&0x3FF == 0 && time.Since(start) > m.Deadline {
+					return budgetTrap(c, total, "wall-clock deadline %v exceeded", m.Deadline)
 				}
 			}
 		}
@@ -310,6 +364,13 @@ func (m *Machine) RunAll(quantum int, maxSteps uint64) error {
 			return nil
 		}
 	}
+}
+
+// budgetTrap builds the structured watchdog result for c.
+func budgetTrap(c *CPU, steps uint64, format string, args ...any) error {
+	t := faults.New(faults.TrapBudget, format, args...)
+	t.Steps = steps
+	return t.WithCPU(c.ID).WithHostPC(c.PC)
 }
 
 // MaxCycles returns the largest per-CPU cycle count — the simulated elapsed

@@ -23,6 +23,8 @@
 package mapping
 
 import (
+	"fmt"
+
 	"repro/internal/litmus"
 	"repro/internal/memmodel"
 )
@@ -254,24 +256,40 @@ type Verification struct {
 	// NewBehaviours lists target outcomes absent from the source — empty
 	// iff the mapping is correct for this program.
 	NewBehaviours []litmus.Outcome
+	// Err, when non-nil, reports that an outcome set could not be
+	// enumerated (a worker shard failed beyond recovery); it names the
+	// program and shard. NewBehaviours is then meaningless.
+	Err error
 }
 
-// Correct reports whether the translation introduced no new behaviour.
-func (v Verification) Correct() bool { return len(v.NewBehaviours) == 0 }
+// Correct reports whether the translation introduced no new behaviour. A
+// verification that failed to enumerate is never correct.
+func (v Verification) Correct() bool { return v.Err == nil && len(v.NewBehaviours) == 0 }
 
 // VerifyTheorem1 checks behaviour containment: every outcome of tgt under
 // mt must be an outcome of src under ms. Outcome sets are computed with the
 // parallel enumerator through the process-wide cache, so sweeping one source
 // program against several candidate translations enumerates it only once.
+// Enumeration failures (a panicked worker shard whose serial retry also
+// failed) surface in the result's Err instead of crashing the sweep.
 func VerifyTheorem1(src *litmus.Program, ms memmodel.Model, tgt *litmus.Program, mt memmodel.Model) Verification {
-	opt := litmus.Options{Cache: litmus.DefaultCache}
-	srcOut := litmus.OutcomesOpt(src, ms, opt)
-	tgtOut := litmus.OutcomesOpt(tgt, mt, opt)
-	return Verification{
-		Source:        src.Name,
-		Target:        tgt.Name,
-		SourceModel:   ms.Name(),
-		TargetModel:   mt.Name(),
-		NewBehaviours: tgtOut.Minus(srcOut),
+	v := Verification{
+		Source:      src.Name,
+		Target:      tgt.Name,
+		SourceModel: ms.Name(),
+		TargetModel: mt.Name(),
 	}
+	opt := litmus.Options{Cache: litmus.DefaultCache}
+	srcOut, err := litmus.OutcomesChecked(src, ms, opt)
+	if err != nil {
+		v.Err = fmt.Errorf("mapping: enumerating source %q under %s: %w", src.Name, ms.Name(), err)
+		return v
+	}
+	tgtOut, err := litmus.OutcomesChecked(tgt, mt, opt)
+	if err != nil {
+		v.Err = fmt.Errorf("mapping: enumerating target %q under %s: %w", tgt.Name, mt.Name(), err)
+		return v
+	}
+	v.NewBehaviours = tgtOut.Minus(srcOut)
+	return v
 }

@@ -21,4 +21,14 @@ go test ./...
 echo "==> go test -race ./internal/litmus/... ./internal/mapping/..."
 go test -race ./internal/litmus/... ./internal/mapping/...
 
+echo "==> fault matrix: go test ./... -run Fault -count=1"
+go test ./... -run Fault -count=1
+
+echo "==> fault matrix (race): go test -race ./internal/faultmatrix/ ./internal/core/ -run Fault -count=1"
+go test -race ./internal/faultmatrix/ ./internal/core/ -run Fault -count=1
+
+echo "==> litmusctl fault smoke"
+go run ./cmd/litmusctl -workers 4 -fault cache-exhaust corpus >/dev/null
+go run ./cmd/litmusctl -workers 4 -fault shard-panic corpus >/dev/null
+
 echo "OK"
