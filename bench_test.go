@@ -27,6 +27,7 @@ import (
 	"repro/internal/memmodel"
 	"repro/internal/models/armcats"
 	"repro/internal/models/x86tso"
+	"repro/internal/obs"
 	"repro/internal/portasm"
 	"repro/internal/tcg"
 	"repro/internal/workloads"
@@ -215,6 +216,32 @@ func BenchmarkOutcomesParallel(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkEnumerateInstrumented puts a number on the observability tax:
+// the same enumeration as BenchmarkOutcomesParallel/workers-4, once bare
+// and once with a live obs scope (counters, duration histogram, span per
+// enumeration). The ns/op ratio is the instrumentation overhead, which the
+// nil-check design keeps in the noise (bare) and a handful of atomics
+// (instrumented).
+func BenchmarkEnumerateInstrumented(b *testing.B) {
+	prog := sb3q()
+	m := x86tso.New()
+	serial := litmus.Outcomes(prog, m)
+	run := func(b *testing.B, opts ...litmus.Option) {
+		for i := 0; i < b.N; i++ {
+			out, err := litmus.Enumerate(prog, m, opts...)
+			if err != nil || len(out) != len(serial) {
+				b.Fatalf("%d outcomes (err %v), serial has %d", len(out), err, len(serial))
+			}
+		}
+	}
+	b.Run("bare", func(b *testing.B) {
+		run(b, litmus.WithWorkers(4))
+	})
+	b.Run("obs", func(b *testing.B) {
+		run(b, litmus.WithWorkers(4), litmus.WithObs(obs.NewScope("")))
+	})
 }
 
 // BenchmarkChaining measures translation-block chaining (QEMU's goto_tb,

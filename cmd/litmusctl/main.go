@@ -17,16 +17,18 @@
 // enumerator. -fault name[@N] arms the deterministic fault injector (e.g.
 // shard-panic exercises the enumerator's panic-capture and serial
 // fallback); an enumeration that fails beyond recovery exits with code 3.
+// -metrics json|prom|text dumps the observability snapshot (enumerations,
+// shards, cache hits/misses, serial fallbacks) after the subcommand, and
+// -trace FILE writes the span ring buffer as JSON lines.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"repro/internal/bench"
-	"repro/internal/faults"
+	"repro/internal/cliflags"
 	"repro/internal/litmus"
 	"repro/internal/mapping"
 	"repro/internal/memmodel"
@@ -35,27 +37,28 @@ import (
 	"repro/internal/models/x86tso"
 )
 
-// enumOpt carries the -workers and -fault settings (plus the process-wide
-// outcome cache) to every enumeration this command performs.
-var enumOpt litmus.Options
+// cf and enumOpts carry the shared flag settings (workers, faults, the
+// process-wide outcome cache and the root observability scope) to every
+// enumeration this command performs.
+var (
+	cf       *cliflags.Set
+	enumOpts []litmus.Option
+)
 
 func main() {
-	workers := flag.Int("workers", 0, "enumeration workers (0 = all CPUs, 1 = serial)")
-	fault := flag.String("fault", "", "inject deterministic faults: comma list of name[@N]\n(names: "+strings.Join(faults.SpecNames(), ", ")+")")
-	faultSeed := flag.Int64("fault-seed", 1, "seed for the fault injector")
+	cf = cliflags.Register(flag.CommandLine)
 	flag.Usage = func() { usage() }
 	flag.Parse()
-	var inject *faults.Injector
-	if specs, err := faults.ParseSpecs(*fault); err != nil {
+	if err := cf.Check(); err != nil {
 		fmt.Fprintln(os.Stderr, "litmusctl:", err)
 		os.Exit(2)
-	} else if len(specs) > 0 {
-		inject = faults.NewInjector(*faultSeed)
-		for _, sp := range specs {
-			sp.Arm(inject)
-		}
 	}
-	enumOpt = litmus.Options{Workers: *workers, Cache: litmus.DefaultCache, Inject: inject}
+	var err error
+	enumOpts, err = cf.LitmusOptions()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "litmusctl:", err)
+		os.Exit(2)
+	}
 	args := flag.Args()
 	if len(args) < 1 {
 		usage()
@@ -69,9 +72,9 @@ func main() {
 		}
 		outcomes(args[1])
 	case "verify":
-		fmt.Println(bench.VerifyReport())
+		fmt.Println(bench.VerifyReport(enumOpts...))
 	case "errors":
-		fmt.Println(bench.MotivationReport())
+		fmt.Println(bench.MotivationReport(enumOpts...))
 	case "sbal":
 		sbal()
 	case "run":
@@ -81,6 +84,10 @@ func main() {
 		runFiles(args[1:])
 	default:
 		usage()
+	}
+	if err := cf.Finish(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "litmusctl:", err)
+		os.Exit(1)
 	}
 }
 
@@ -136,7 +143,7 @@ func models() []memmodel.Model {
 // failure that survived the serial fallback (a real enumerator fault)
 // prints the trap and exits with code 3.
 func enumerate(p *litmus.Program, m memmodel.Model) litmus.OutcomeSet {
-	out, err := litmus.OutcomesChecked(p, m, enumOpt)
+	out, err := litmus.Enumerate(p, m, enumOpts...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "litmusctl: %v\n", err)
 		os.Exit(3)
@@ -152,6 +159,11 @@ func corpus() {
 			fmt.Printf("  %-12s %d outcomes\n", m.Name(), len(out))
 		}
 	}
+	snap := cf.Scope().Snapshot()
+	fmt.Printf("\nenumerations %d (cache: %d hits, %d misses; %d shards, %d serial fallbacks)\n",
+		snap.Counter("litmus.enumerations"),
+		snap.Counter("litmus.cache.hits"), snap.Counter("litmus.cache.misses"),
+		snap.Counter("litmus.shards"), snap.Counter("litmus.serial_fallbacks"))
 }
 
 func outcomes(name string) {
@@ -188,7 +200,7 @@ func sbal() {
 		for _, o := range enumerate(tgt, m).Sorted() {
 			fmt.Printf("  %s\n", o)
 		}
-		ver := mapping.VerifyTheorem1(src, x86tso.New(), tgt, m)
+		ver := mapping.VerifyTheorem1(src, x86tso.New(), tgt, m, enumOpts...)
 		if ver.Err != nil {
 			fmt.Fprintf(os.Stderr, "litmusctl: %v\n", ver.Err)
 			os.Exit(3)
@@ -202,6 +214,6 @@ func sbal() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: litmusctl [-workers N] [-fault name[@N]] {corpus|outcomes <name>|verify|errors|sbal|run <file.lit>…}")
+	fmt.Fprintln(os.Stderr, "usage: litmusctl [-workers N] [-fault name[@N]] [-metrics json|prom|text] [-trace FILE] {corpus|outcomes <name>|verify|errors|sbal|run <file.lit>…}")
 	os.Exit(2)
 }

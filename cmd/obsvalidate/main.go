@@ -1,0 +1,43 @@
+// Command obsvalidate checks that a metrics snapshot produced by
+// `-metrics json` is well formed: the four sections are present, counters
+// are non-negative integers, histogram buckets are consistent, and span
+// totals add up. It reads the document from a file argument or stdin and
+// exits nonzero on a malformed document, so the verification gate can pipe
+// a live run through it.
+//
+// Usage:
+//
+//	risotto -kernel histogram -metrics json | obsvalidate
+//	obsvalidate snapshot.json
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	var data []byte
+	var err error
+	switch len(os.Args) {
+	case 1:
+		data, err = io.ReadAll(os.Stdin)
+	case 2:
+		data, err = os.ReadFile(os.Args[1])
+	default:
+		fmt.Fprintln(os.Stderr, "usage: obsvalidate [snapshot.json]")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "obsvalidate:", err)
+		os.Exit(1)
+	}
+	if err := obs.ValidateSnapshotJSON(data); err != nil {
+		fmt.Fprintln(os.Stderr, "obsvalidate:", err)
+		os.Exit(1)
+	}
+	fmt.Println("ok")
+}

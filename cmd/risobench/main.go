@@ -10,6 +10,12 @@
 //	risobench motivation     # §3 translation-error reproduction
 //	risobench verify         # §5.4 Theorem-1 sweep over the corpus
 //	risobench all
+//
+// The shared -workers/-fault/-fault-seed flags tune the litmus
+// enumerations behind motivation/verify; -metrics and -trace dump the
+// observability snapshot and span trace after the run. With -csv DIR,
+// fig12 additionally writes BENCH_fig12.json carrying each workload's
+// metric columns from the risotto run's snapshot.
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/cliflags"
 )
 
 func main() {
@@ -33,9 +40,13 @@ func main() {
 	calls := fs.Int("calls", 0, "library invocation count (fig13/fig14; 0 = defaults)")
 	ops := fs.Int("ops", 0, "CAS ops per thread (fig15; 0 = default)")
 	csvDir := fs.String("csv", "", "also write raw results as CSV into this directory")
+	cf := cliflags.Register(fs)
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
+	check(cf.Check())
+	enumOpts, err := cf.LitmusOptions()
+	check(err)
 
 	run := func(name string) {
 		switch name {
@@ -49,6 +60,7 @@ func main() {
 			fmt.Println(bench.RenderFig12(rows))
 			if *csvDir != "" {
 				check(bench.WriteFig12CSV(*csvDir, rows))
+				check(bench.WriteFig12JSON(*csvDir, rows))
 			}
 		case "fig13":
 			rows, err := bench.Fig13(*calls)
@@ -72,9 +84,9 @@ func main() {
 				check(bench.WriteFig15CSV(*csvDir, rows))
 			}
 		case "motivation":
-			fmt.Println(bench.MotivationReport())
+			fmt.Println(bench.MotivationReport(enumOpts...))
 		case "verify":
-			fmt.Println(bench.VerifyReport())
+			fmt.Println(bench.VerifyReport(enumOpts...))
 		default:
 			usage()
 		}
@@ -84,9 +96,10 @@ func main() {
 		for _, name := range []string{"motivation", "verify", "fig12", "fig13", "fig14", "fig15"} {
 			run(name)
 		}
-		return
+	} else {
+		run(cmd)
 	}
-	run(cmd)
+	check(cf.Finish(os.Stdout))
 }
 
 func check(err error) {

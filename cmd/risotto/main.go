@@ -7,7 +7,15 @@
 //	risotto -kernel histogram [-variant risotto] [-threads 4] [-scale 1]
 //	risotto -kernel histogram -emit histogram.riso   # save the guest image
 //	risotto -image histogram.riso                    # run a saved image
+//	risotto -kernel histogram -metrics json          # machine-readable stats
+//	risotto -kernel histogram -trace run.jsonl       # per-stage span trace
+//	risotto -kernel histogram -listen :8090          # live /metrics endpoint
 //	risotto -list
+//
+// With -metrics the human stats block is suppressed and stdout carries only
+// the snapshot document, so the output can be piped straight into
+// obsvalidate or a metrics collector. -listen keeps the process alive after
+// the run serving /metrics (Prometheus text) and /debug/obs (JSON).
 package main
 
 import (
@@ -15,9 +23,9 @@ import (
 	"fmt"
 	"os"
 	"sort"
-	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/cliflags"
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/guestimg"
@@ -35,14 +43,19 @@ func main() {
 	emit := flag.String("emit", "", "write the guest image to a file instead of running")
 	imagePath := flag.String("image", "", "run a saved guest image (.riso)")
 	list := flag.Bool("list", false, "list available kernels")
-	fault := flag.String("fault", "", "inject deterministic faults: comma list of name[@N]\n(names: "+strings.Join(faults.SpecNames(), ", ")+")")
-	faultSeed := flag.Int64("fault-seed", 1, "seed for the fault injector")
 	stepBudget := flag.Uint64("step-budget", 0, "per-vCPU host-instruction watchdog budget (0 = unlimited)")
 	deadline := flag.Duration("deadline", 0, "wall-clock watchdog for the run (0 = none)")
+	cf := cliflags.Register(flag.CommandLine)
+	cf.AddListen(flag.CommandLine)
 	flag.Parse()
+	check(cf.Check())
 
-	inject, err := buildInjector(*fault, *faultSeed)
+	inject, err := cf.Injector()
 	check(err)
+	scope := cf.Scope()
+	// -metrics claims stdout for the snapshot document; suppress the human
+	// report so the output stays machine-parsable.
+	quiet := cf.Metrics != ""
 	runCfg := func(v core.Variant) core.Config {
 		return core.Config{
 			Variant:    v,
@@ -50,6 +63,7 @@ func main() {
 			StepBudget: *stepBudget,
 			Deadline:   *deadline,
 			Inject:     inject,
+			Obs:        scope,
 		}
 	}
 
@@ -58,6 +72,12 @@ func main() {
 			fmt.Printf("%-18s (%s)\n", k.Name, k.Suite)
 		}
 		return
+	}
+
+	listenAddr, err := cf.Serve()
+	check(err)
+	if listenAddr != "" {
+		fmt.Fprintf(os.Stderr, "risotto: serving http://%s/metrics and /debug/obs\n", listenAddr)
 	}
 
 	if *imagePath != "" {
@@ -70,8 +90,11 @@ func main() {
 		rt, err := core.New(runCfg(v), img)
 		check(err)
 		code := runGuest(rt)
-		fmt.Printf("image       %s (entry %#x)\n", *imagePath, img.Entry)
-		printStats(v, code, rt)
+		if !quiet {
+			fmt.Printf("image       %s (entry %#x)\n", *imagePath, img.Entry)
+			printStats(v, code, rt)
+		}
+		finish(cf, listenAddr)
 		return
 	}
 
@@ -102,8 +125,10 @@ func main() {
 	check(err)
 	code := runGuest(rt)
 
-	fmt.Printf("kernel      %s (%s), threads=%d scale=%d\n", k.Name, k.Suite, *threads, *scale)
-	printStats(v, code, rt)
+	if !quiet {
+		fmt.Printf("kernel      %s (%s), threads=%d scale=%d\n", k.Name, k.Suite, *threads, *scale)
+		printStats(v, code, rt)
+	}
 
 	if *dump {
 		pcs := rt.BlockPCs()
@@ -128,20 +153,19 @@ func main() {
 			os.Exit(1)
 		}
 	}
+
+	finish(cf, listenAddr)
 }
 
-// buildInjector arms an injector from the -fault spec list; a nil injector
-// (no specs) disables injection entirely.
-func buildInjector(specList string, seed int64) (*faults.Injector, error) {
-	specs, err := faults.ParseSpecs(specList)
-	if err != nil || len(specs) == 0 {
-		return nil, err
+// finish emits the -metrics and -trace outputs, then parks the process on
+// the -listen endpoint when one is up (a finished run would otherwise tear
+// the scrape target down immediately).
+func finish(cf *cliflags.Set, listenAddr string) {
+	check(cf.Finish(os.Stdout))
+	if listenAddr != "" {
+		fmt.Fprintln(os.Stderr, "risotto: run complete; endpoint stays up (interrupt to exit)")
+		select {}
 	}
-	in := faults.NewInjector(seed)
-	for _, sp := range specs {
-		sp.Arm(in)
-	}
-	return in, nil
 }
 
 // runGuest executes the guest. A structured trap (watchdog, injected or
@@ -176,7 +200,7 @@ func parseVariant(name string) (core.Variant, error) {
 }
 
 func printStats(v core.Variant, code uint64, rt *core.Runtime) {
-	st := rt.Stats
+	st := rt.Stats()
 	cycles := rt.M.MaxCycles()
 	fmt.Printf("variant     %v\n", v)
 	fmt.Printf("checksum    %d\n", code)

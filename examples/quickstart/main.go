@@ -66,7 +66,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		st := rt.Stats
+		st := rt.Stats()
 		fmt.Printf("  %-10v result=%-6d cycles=%-8d fences: FF=%d LD=%d ST=%d\n",
 			v, code, rt.M.MaxCycles(), st.DMBFull, st.DMBLoad, st.DMBStore)
 	}

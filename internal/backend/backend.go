@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/isa/arm"
 	"repro/internal/memmodel"
+	"repro/internal/obs"
 	"repro/internal/tcg"
 )
 
@@ -72,6 +73,9 @@ type Config struct {
 	// CAS selects the atomic lowering (ignored for helper-call RMWs,
 	// which the frontend emits as OpCall).
 	CAS CASLowering
+	// Obs, when non-nil, counts emitted blocks, host instructions and a
+	// code-size histogram under its "backend" child scope.
+	Obs *obs.Scope
 }
 
 // Stats counts what was emitted, for the evaluation's fence accounting.
@@ -230,6 +234,11 @@ func Generate(b *tcg.Block, base uint64, cfg Config) ([]byte, Stats, error) {
 	}
 	g.stats.Insts = len(g.insts)
 	_ = base // blocks are position-independent: all branches are relative
+	if sc := cfg.Obs.Child("backend"); sc != nil {
+		sc.Counter("blocks").Inc()
+		sc.Counter("insts").Add(uint64(len(g.insts)))
+		sc.Histogram("code_bytes", obs.SizeBuckets).Observe(uint64(len(code)))
+	}
 	return code, g.stats, nil
 }
 

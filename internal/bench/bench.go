@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/hostlib"
+	"repro/internal/obs"
 	"repro/internal/portasm"
 	"repro/internal/workloads"
 )
@@ -34,11 +35,18 @@ func RunGuest(b *portasm.Builder, v core.Variant, idl string) (uint64, uint64, c
 
 // RunGuestQuantum is RunGuest with an explicit scheduling quantum.
 func RunGuestQuantum(b *portasm.Builder, v core.Variant, idl string, quantum int) (uint64, uint64, core.Stats, error) {
+	return RunGuestScoped(b, v, idl, quantum, nil)
+}
+
+// RunGuestScoped is RunGuestQuantum with an observability scope threaded
+// into the runtime, so callers can read the full metric/span snapshot of
+// the run rather than only the Stats façade.
+func RunGuestScoped(b *portasm.Builder, v core.Variant, idl string, quantum int, sc *obs.Scope) (uint64, uint64, core.Stats, error) {
 	img, err := b.BuildGuest("main")
 	if err != nil {
 		return 0, 0, core.Stats{}, err
 	}
-	rt, err := core.New(core.Config{Variant: v, IDL: idl, Quantum: quantum}, img)
+	rt, err := core.New(core.Config{Variant: v, IDL: idl, Quantum: quantum, Obs: sc}, img)
 	if err != nil {
 		return 0, 0, core.Stats{}, err
 	}
@@ -46,7 +54,7 @@ func RunGuestQuantum(b *portasm.Builder, v core.Variant, idl string, quantum int
 	if err != nil {
 		return 0, 0, core.Stats{}, err
 	}
-	return rt.M.MaxCycles(), code, rt.Stats, nil
+	return rt.M.MaxCycles(), code, rt.Stats(), nil
 }
 
 // RunNative executes a built program natively and returns (cycles, code).
@@ -65,13 +73,16 @@ func RunNative(b *portasm.Builder) (uint64, uint64, error) {
 // --- Figure 12 ---------------------------------------------------------------
 
 // Fig12Row is one benchmark's result: runtime of each setup relative to
-// QEMU (lower is better), plus QEMU's absolute simulated seconds.
+// QEMU (lower is better), plus QEMU's absolute simulated seconds and the
+// per-workload metric columns sampled from the risotto variant's
+// observability snapshot.
 type Fig12Row struct {
-	Kernel    string
-	Suite     string
-	QemuSecs  float64
-	Relative  map[string]float64 // variant name (or "native") → runtime/qemu
-	Checksums bool               // all setups agreed
+	Kernel    string             `json:"kernel"`
+	Suite     string             `json:"suite"`
+	QemuSecs  float64            `json:"qemu_secs"`
+	Relative  map[string]float64 `json:"relative"` // variant name (or "native") → runtime/qemu
+	Checksums bool               `json:"checksums_agree"`
+	Metrics   map[string]uint64  `json:"metrics,omitempty"`
 }
 
 // Fig12 runs every requested kernel (all registered kernels if names is
@@ -112,7 +123,13 @@ func Fig12(threads, scale int, names []string) ([]Fig12Row, error) {
 			if err != nil {
 				return nil, err
 			}
-			cyc, sum, _, err := RunGuest(b, v, "")
+			// The risotto run carries a scope so its snapshot becomes the
+			// row's metric columns; other variants stay uninstrumented.
+			var sc *obs.Scope
+			if v == core.VariantRisotto {
+				sc = obs.NewScope("")
+			}
+			cyc, sum, _, err := RunGuestScoped(b, v, "", 0, sc)
 			if err != nil {
 				return nil, fmt.Errorf("%s/%v: %w", k.Name, v, err)
 			}
@@ -120,6 +137,9 @@ func Fig12(threads, scale int, names []string) ([]Fig12Row, error) {
 				row.Checksums = false
 			}
 			row.Relative[v.String()] = float64(cyc) / float64(qemuCycles)
+			if sc != nil {
+				row.Metrics = MetricColumns(sc.Snapshot())
+			}
 		}
 
 		b, err = build()
@@ -465,6 +485,22 @@ func mean(xs []float64) float64 {
 		s += x
 	}
 	return s / float64(len(xs))
+}
+
+// MetricColumns flattens a snapshot into the per-workload metric columns
+// exported to BENCH_fig12.json: every counter verbatim, every non-negative
+// gauge under a "gauge." prefix.
+func MetricColumns(snap obs.Snapshot) map[string]uint64 {
+	out := make(map[string]uint64, len(snap.Counters)+len(snap.Gauges))
+	for name, v := range snap.Counters {
+		out[name] = v
+	}
+	for name, v := range snap.Gauges {
+		if v >= 0 {
+			out["gauge."+name] = uint64(v)
+		}
+	}
+	return out
 }
 
 // SortedVariantNames lists fig12 column names for stable output.

@@ -14,8 +14,9 @@ import (
 // MotivationReport reproduces the §3 correctness findings as an executable
 // check: QEMU's translation errors on MPQ and SBQ, the original
 // Armed-Cats casal error on SBAL and its fix, and the FMR counterexample
-// against RAW elimination under Fmr.
-func MotivationReport() string {
+// against RAW elimination under Fmr. opts tune every enumeration the sweep
+// performs (workers, cache, observability, fault injection).
+func MotivationReport(opts ...litmus.Option) string {
 	var sb strings.Builder
 	sb.WriteString("§3 motivation — translation errors found by the model checker\n\n")
 
@@ -37,38 +38,39 @@ func MotivationReport() string {
 	// QEMU's MPQ error (RMW1^AL helper, GCC ≥ 10).
 	mpq := mapping.X86ToArm(litmus.MPQ(), mapping.X86Qemu, mapping.ArmQemu, mapping.RMWHelperCasal)
 	report("QEMU x86→Arm of MPQ (casal helper): expected erroneous",
-		mapping.VerifyTheorem1(litmus.MPQ(), x86tso.New(), mpq, armcats.New()), true)
+		mapping.VerifyTheorem1(litmus.MPQ(), x86tso.New(), mpq, armcats.New(), opts...), true)
 
 	// QEMU's SBQ error (RMW2^AL helper, GCC 9).
 	sbq := mapping.X86ToArm(litmus.SBQ(), mapping.X86Qemu, mapping.ArmQemu, mapping.RMWHelperExclusiveAL)
 	report("QEMU x86→Arm of SBQ (ldaxr/stlxr helper): expected erroneous",
-		mapping.VerifyTheorem1(litmus.SBQ(), x86tso.New(), sbq, armcats.New()), true)
+		mapping.VerifyTheorem1(litmus.SBQ(), x86tso.New(), sbq, armcats.New(), opts...), true)
 
 	// Armed-Cats original-model SBAL error (Figure 3 mapping).
 	report("Figure-3 mapping of SBAL under ORIGINAL Arm-Cats: expected erroneous",
 		mapping.VerifyTheorem1(litmus.SBAL(), x86tso.New(), litmus.SBALArm(),
-			armcats.NewVariant(armcats.Original)), true)
+			armcats.NewVariant(armcats.Original), opts...), true)
 	report("Figure-3 mapping of SBAL under CORRECTED Arm-Cats: expected correct",
 		mapping.VerifyTheorem1(litmus.SBAL(), x86tso.New(), litmus.SBALArm(),
-			armcats.New()), false)
+			armcats.New(), opts...), false)
 
 	// FMR: RAW transformation under Fmr.
 	report("RAW elimination under Fmr (FMR example): expected erroneous",
 		mapping.VerifyTheorem1(litmus.FMRSource(), tcgmm.New(), litmus.FMRTarget(),
-			tcgmm.New()), true)
+			tcgmm.New(), opts...), true)
 
 	// Risotto's verified end-to-end translations of the same programs.
 	for _, p := range []*litmus.Program{litmus.MPQ(), litmus.SBQ(), litmus.SBAL()} {
 		arm := mapping.X86ToArm(p, mapping.X86Verified, mapping.ArmVerified, mapping.RMWCasal)
 		report(fmt.Sprintf("Risotto verified x86→Arm of %s: expected correct", p.Name),
-			mapping.VerifyTheorem1(p, x86tso.New(), arm, armcats.New()), false)
+			mapping.VerifyTheorem1(p, x86tso.New(), arm, armcats.New(), opts...), false)
 	}
 	return sb.String()
 }
 
 // VerifyReport runs Theorem 1 for the verified mapping schemes over the
-// whole corpus — the executable form of §5.4's mechanized proofs.
-func VerifyReport() string {
+// whole corpus — the executable form of §5.4's mechanized proofs. opts
+// tune every enumeration the sweep performs.
+func VerifyReport(opts ...litmus.Option) string {
 	var sb strings.Builder
 	sb.WriteString("§5.4 verified mappings — Theorem 1 over the litmus corpus\n\n")
 	styles := []struct {
@@ -83,10 +85,10 @@ func VerifyReport() string {
 		fmt.Fprintf(&sb, "RMW lowering: %s\n", st.name)
 		for _, p := range litmus.X86Corpus() {
 			ir := mapping.X86ToTCG(p, mapping.X86Verified)
-			v1 := mapping.VerifyTheorem1(p, x86tso.New(), ir, tcgmm.New())
+			v1 := mapping.VerifyTheorem1(p, x86tso.New(), ir, tcgmm.New(), opts...)
 			arm := mapping.TCGToArm(ir, mapping.ArmVerified, st.style)
-			v2 := mapping.VerifyTheorem1(ir, tcgmm.New(), arm, armcats.New())
-			v3 := mapping.VerifyTheorem1(p, x86tso.New(), arm, armcats.New())
+			v2 := mapping.VerifyTheorem1(ir, tcgmm.New(), arm, armcats.New(), opts...)
+			v3 := mapping.VerifyTheorem1(p, x86tso.New(), arm, armcats.New(), opts...)
 			ok := v1.Correct() && v2.Correct() && v3.Correct()
 			if !ok {
 				allOK = false

@@ -1,0 +1,159 @@
+// Package cliflags registers the flags shared by the risotto, litmusctl
+// and risobench commands — one spelling, one default, one help string per
+// flag — and turns the parsed values into the objects the commands need:
+// a fault injector from -fault/-fault-seed, a root observability scope
+// whose snapshot -metrics dumps, and the -trace JSONL writer. Keeping the
+// plumbing here means a flag added for one tool appears in all three with
+// identical semantics.
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+
+	"repro/internal/faults"
+	"repro/internal/litmus"
+	"repro/internal/obs"
+)
+
+// Set holds the parsed values of the shared flags. Zero value is unusable;
+// build one with Register.
+type Set struct {
+	// Workers bounds enumeration parallelism (0 = all CPUs, 1 = serial).
+	Workers int
+	// Fault is the comma-separated fault spec list (name[@N]).
+	Fault string
+	// FaultSeed seeds the deterministic injector.
+	FaultSeed int64
+	// Metrics selects a snapshot dump format ("" = no dump).
+	Metrics string
+	// Trace names a JSONL file for the span ring buffer ("" = no trace).
+	Trace string
+	// Listen is the -listen address ("" = no HTTP endpoint); only
+	// registered by AddListen.
+	Listen string
+
+	scopeOnce sync.Once
+	scope     *obs.Scope
+}
+
+// Register installs the shared flags on fs and returns the Set their
+// parsed values land in. Call before fs.Parse.
+func Register(fs *flag.FlagSet) *Set {
+	s := &Set{}
+	fs.IntVar(&s.Workers, "workers", 0,
+		"enumeration workers (0 = all CPUs, 1 = serial)")
+	fs.StringVar(&s.Fault, "fault", "",
+		"inject deterministic faults: comma list of name[@N]\n(names: "+
+			strings.Join(faults.SpecNames(), ", ")+")")
+	fs.Int64Var(&s.FaultSeed, "fault-seed", 1, "seed for the fault injector")
+	fs.StringVar(&s.Metrics, "metrics", "",
+		"dump the metrics snapshot after the run: json | prom | text")
+	fs.StringVar(&s.Trace, "trace", "",
+		"write the structured trace spans to FILE as JSON lines")
+	return s
+}
+
+// AddListen installs the -listen flag (risotto only): an address for the
+// live /metrics and /debug/obs HTTP endpoints.
+func (s *Set) AddListen(fs *flag.FlagSet) {
+	fs.StringVar(&s.Listen, "listen", "",
+		"serve /metrics (Prometheus) and /debug/obs (JSON) on this address")
+}
+
+// Check validates flag values that can fail before any work starts.
+func (s *Set) Check() error {
+	if s.Metrics != "" && !obs.ValidFormat(s.Metrics) {
+		return fmt.Errorf("-metrics %q: want json, prom or text", s.Metrics)
+	}
+	return nil
+}
+
+// Injector arms a fault injector from the -fault spec list; a nil injector
+// (no specs) disables injection entirely.
+func (s *Set) Injector() (*faults.Injector, error) {
+	specs, err := faults.ParseSpecs(s.Fault)
+	if err != nil || len(specs) == 0 {
+		return nil, err
+	}
+	in := faults.NewInjector(s.FaultSeed)
+	for _, sp := range specs {
+		sp.Arm(in)
+	}
+	return in, nil
+}
+
+// Scope returns the process-root observability scope, creating it on first
+// use. All of a command's metrics and spans hang off this scope, so the
+// -metrics dump and the -listen endpoints see everything.
+func (s *Set) Scope() *obs.Scope {
+	s.scopeOnce.Do(func() { s.scope = obs.NewScope("") })
+	return s.scope
+}
+
+// LitmusOptions assembles the enumeration options the flags describe:
+// workers, the process-wide outcome cache, the root scope, and the
+// injector when -fault armed one. extra options append after (last wins).
+func (s *Set) LitmusOptions(extra ...litmus.Option) ([]litmus.Option, error) {
+	in, err := s.Injector()
+	if err != nil {
+		return nil, err
+	}
+	opts := []litmus.Option{
+		litmus.WithWorkers(s.Workers),
+		litmus.WithCache(litmus.DefaultCache),
+		litmus.WithObs(s.Scope()),
+	}
+	if in != nil {
+		opts = append(opts, litmus.WithInjector(in))
+	}
+	return append(opts, extra...), nil
+}
+
+// Serve starts the -listen HTTP endpoint when one was requested, returning
+// the bound address ("" when -listen is unset). The server runs until the
+// process exits.
+func (s *Set) Serve() (string, error) {
+	if s.Listen == "" {
+		return "", nil
+	}
+	ln, err := net.Listen("tcp", s.Listen)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: obs.Handler(s.Scope())}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "obs listener:", err)
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Finish performs the post-run outputs: the -metrics dump to w and the
+// -trace JSONL file. Safe to call when neither flag was set.
+func (s *Set) Finish(w io.Writer) error {
+	if s.Metrics != "" {
+		if err := obs.Dump(w, s.Scope().Snapshot(), s.Metrics); err != nil {
+			return err
+		}
+	}
+	if s.Trace != "" {
+		f, err := os.Create(s.Trace)
+		if err != nil {
+			return err
+		}
+		if err := s.Scope().Tracer().WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return nil
+}

@@ -31,7 +31,7 @@ func BenchmarkTranslation(b *testing.B) {
 		if _, err := rt.Run(); err != nil {
 			b.Fatal(err)
 		}
-		guestBytes = rt.Stats.GuestBytes
+		guestBytes = rt.Stats().GuestBytes
 	}
 	b.SetBytes(int64(guestBytes))
 }

@@ -50,10 +50,10 @@ func TestChainingPreservesSemantics(t *testing.T) {
 		if code != want {
 			t.Fatalf("chain=%v: exit %d, want %d", chain, code, want)
 		}
-		if chain && rt.Stats.ChainPatches == 0 {
+		if chain && rt.Stats().ChainPatches == 0 {
 			t.Fatal("chaining enabled but no exits were patched")
 		}
-		if !chain && rt.Stats.ChainPatches != 0 {
+		if !chain && rt.Stats().ChainPatches != 0 {
 			t.Fatal("chaining disabled but exits were patched")
 		}
 	}
@@ -162,7 +162,7 @@ func TestChainingLeavesHostCallsTrapping(t *testing.T) {
 	if code != 42 {
 		t.Fatalf("exit = %d, want 42 (host impl)", code)
 	}
-	if rt.Stats.HostCalls != 50 {
-		t.Fatalf("host calls = %d, want 50 (every iteration must trap)", rt.Stats.HostCalls)
+	if rt.Stats().HostCalls != 50 {
+		t.Fatalf("host calls = %d, want 50 (every iteration must trap)", rt.Stats().HostCalls)
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"repro/internal/isa/x86"
 	"repro/internal/machine"
 	"repro/internal/mapping"
+	"repro/internal/obs"
 	"repro/internal/tcg"
 )
 
@@ -100,26 +101,36 @@ type Config struct {
 	// stack: frontend decode, code-cache allocation, memory accesses,
 	// scheduler quanta and host-linked calls.
 	Inject *faults.Injector
+	// Obs, when non-nil, is the observability scope the whole stack
+	// reports into: the runtime threads it through the frontend, the
+	// optimizer, the backend, the machine and the injector, prefixing its
+	// own metrics "core.". When nil, the runtime creates a private scope
+	// so Stats() keeps working; pass one to aggregate several subsystems
+	// (or to dump metrics) instead.
+	Obs *obs.Scope
 }
 
-// Stats aggregates runtime counters.
+// Stats is a plain-struct view of the runtime counters (all uint64; the
+// historical mix of int and uint64 fields is gone). It is produced by
+// Runtime.Stats() from the obs registry — kept as a compatibility façade
+// over the metrics under "core.".
 type Stats struct {
-	Blocks      int
+	Blocks      uint64
 	GuestBytes  uint64
-	HostInsts   int
-	DMBFull     int
-	DMBLoad     int
-	DMBStore    int
-	Casal       int
-	ExclLoop    int
+	HostInsts   uint64
+	DMBFull     uint64
+	DMBLoad     uint64
+	DMBStore    uint64
+	Casal       uint64
+	ExclLoop    uint64
 	HelperCalls uint64
 	HostCalls   uint64
 	Syscalls    uint64
 	// ChainPatches counts block exits rewritten into direct branches.
-	ChainPatches int
+	ChainPatches uint64
 	// CacheFlushes counts full code-cache flush-and-retranslate cycles
 	// taken to recover from cache exhaustion.
-	CacheFlushes int
+	CacheFlushes uint64
 }
 
 // tb is one cached translation block.
@@ -140,8 +151,9 @@ type pltEntry struct {
 type Runtime struct {
 	// M is the underlying simulated host machine.
 	M *machine.Machine
-	// Stats accumulates translation/execution counters.
-	Stats Stats
+
+	obs *obs.Scope
+	met metrics
 
 	cfg        Config
 	feCfg      frontend.Config
@@ -203,7 +215,13 @@ func New(cfg Config, img *guestimg.Image) (*Runtime, error) {
 		cfg.MaxSteps = 2_000_000_000
 	}
 
+	scope := cfg.Obs
+	if scope == nil {
+		scope = obs.NewScope("")
+	}
 	rt := &Runtime{
+		obs:        scope,
+		met:        newMetrics(scope),
 		cfg:        cfg,
 		tbs:        make(map[uint64]*tb),
 		plt:        make(map[uint64]*pltEntry),
@@ -232,8 +250,13 @@ func New(cfg Config, img *guestimg.Image) (*Runtime, error) {
 	}
 	rt.beCfg = backend.Config{CAS: backend.CASCasal}
 	rt.feCfg.Inject = cfg.Inject
+	rt.feCfg.Obs = scope
+	rt.optCfg.Obs = scope
+	rt.beCfg.Obs = scope
+	cfg.Inject.SetObs(scope)
 
 	rt.M = machine.New(cfg.MemSize)
+	rt.M.SetObs(scope)
 	rt.M.Syscall = rt.handleSvc
 	rt.M.OnBLR = rt.handleBLR
 	rt.M.StepBudget = cfg.StepBudget
@@ -336,23 +359,25 @@ func (rt *Runtime) dispatch(c *machine.CPU, guestPC uint64) error {
 // single retranslation attempt (QEMU's tb_flush recovery); only a block
 // that cannot fit an empty cache still reports the typed trap.
 func (rt *Runtime) translate(c *machine.CPU, guestPC uint64) (*tb, error) {
+	tstart := rt.obs.Begin()
 	block, err := frontend.Translate(rt.M.Mem, guestPC, rt.feCfg)
+	rt.obs.Span("frontend.decode", "", c.ID, guestPC, 0, tstart)
 	if err != nil {
 		if t, ok := faults.As(err); ok {
 			t.WithCPU(c.ID).WithGuestPC(guestPC)
 		}
 		return nil, err
 	}
+	ostart := rt.obs.Begin()
 	tcg.Optimize(block, rt.optCfg)
+	rt.obs.Span("tcg.opt", "", c.ID, guestPC, 0, ostart)
 	t, err := rt.emitBlock(c, block, guestPC)
-	if err == nil {
-		return t, nil
+	if err != nil && faults.IsKind(err, faults.TrapCacheExhausted) {
+		rt.flushCodeCache()
+		t, err = rt.emitBlock(c, block, guestPC)
 	}
-	if !faults.IsKind(err, faults.TrapCacheExhausted) {
-		return nil, err
-	}
-	rt.flushCodeCache()
-	return rt.emitBlock(c, block, guestPC)
+	rt.met.translateNS.Observe(uint64(rt.obs.Begin() - tstart))
+	return t, err
 }
 
 // emitBlock generates host code for block at the next free code-cache
@@ -364,6 +389,7 @@ func (rt *Runtime) emitBlock(c *machine.CPU, block *tcg.Block, guestPC uint64) (
 	}
 	base := rt.codeCursor
 	for {
+		estart := rt.obs.Begin()
 		code, st, err := backend.Generate(block, base, rt.beCfg)
 		if err != nil {
 			return nil, fmt.Errorf("core: generating %#x: %w", guestPC, err)
@@ -386,14 +412,16 @@ func (rt *Runtime) emitBlock(c *machine.CPU, block *tcg.Block, guestPC uint64) (
 		rt.codeCursor = (end + 15) &^ 15
 		rt.tbs[guestPC] = t
 
-		rt.Stats.Blocks++
-		rt.Stats.GuestBytes += block.GuestEnd - block.GuestPC
-		rt.Stats.HostInsts += st.Insts
-		rt.Stats.DMBFull += st.DMBFull
-		rt.Stats.DMBLoad += st.DMBLoad
-		rt.Stats.DMBStore += st.DMBStore
-		rt.Stats.Casal += st.Casal
-		rt.Stats.ExclLoop += st.ExclLoop
+		rt.met.blocks.Inc()
+		rt.met.guestBytes.Add(block.GuestEnd - block.GuestPC)
+		rt.met.hostInsts.Add(uint64(st.Insts))
+		rt.met.dmbFull.Add(uint64(st.DMBFull))
+		rt.met.dmbLoad.Add(uint64(st.DMBLoad))
+		rt.met.dmbStore.Add(uint64(st.DMBStore))
+		rt.met.casal.Add(uint64(st.Casal))
+		rt.met.exclLoop.Add(uint64(st.ExclLoop))
+		rt.met.codeBytes.Observe(uint64(len(code)))
+		rt.obs.Span("backend.emit", "", c.ID, guestPC, base, estart)
 		if rt.cfg.Chain {
 			for _, slot := range st.ChainSlots {
 				// Host-linked PLT targets must keep trapping: the host call
@@ -466,7 +494,8 @@ func (rt *Runtime) flushCodeCache() {
 	rt.tbs = make(map[uint64]*tb)
 	rt.codeCursor = rt.cfg.CodeCacheBase
 	rt.M.InvalidateDecodeCache()
-	rt.Stats.CacheFlushes++
+	rt.met.cacheFlushes.Inc()
+	rt.obs.Event("core.cache.flush", fmt.Sprintf("pinned=%d", len(pins)), -1, 0, 0)
 }
 
 // chain patches the exit SVC at svcAddr into a direct branch to the target
@@ -486,7 +515,8 @@ func (rt *Runtime) chain(svcAddr uint64, target *tb) error {
 	rt.M.InvalidateDecodeAt(svcAddr)
 	delete(rt.chainSites, svcAddr)
 	rt.patched[svcAddr] = target.guestPC
-	rt.Stats.ChainPatches++
+	rt.met.chainPatches.Inc()
+	rt.obs.Event("core.chain.patch", "", -1, target.guestPC, svcAddr)
 	return nil
 }
 

@@ -81,7 +81,7 @@ func TestSumLoopAllVariants(t *testing.T) {
 		if got != want {
 			t.Errorf("%v: stored result = %d, want %d", v, got, want)
 		}
-		if rt.Stats.Blocks == 0 {
+		if rt.Stats().Blocks == 0 {
 			t.Errorf("%v: no blocks translated", v)
 		}
 	}
@@ -111,37 +111,37 @@ func TestFenceStatsPerVariant(t *testing.T) {
 	// to Fsc under NoFences? — no: the no-fences variant removes only the
 	// per-access fences; explicit MFENCE still becomes Fsc).
 	rtNF, _ := runImage(t, img, VariantNoFences, Config{})
-	if rtNF.Stats.DMBLoad != 0 || rtNF.Stats.DMBStore != 0 {
-		t.Errorf("no-fences emitted access fences: %+v", rtNF.Stats)
+	if rtNF.Stats().DMBLoad != 0 || rtNF.Stats().DMBStore != 0 {
+		t.Errorf("no-fences emitted access fences: %+v", rtNF.Stats())
 	}
 
 	rtQ, _ := runImage(t, img, VariantQemu, Config{})
-	if rtQ.Stats.DMBLoad == 0 {
-		t.Errorf("qemu should emit DMBLD before loads: %+v", rtQ.Stats)
+	if rtQ.Stats().DMBLoad == 0 {
+		t.Errorf("qemu should emit DMBLD before loads: %+v", rtQ.Stats())
 	}
-	if rtQ.Stats.DMBStore != 0 {
-		t.Errorf("qemu never emits DMBST: %+v", rtQ.Stats)
+	if rtQ.Stats().DMBStore != 0 {
+		t.Errorf("qemu never emits DMBST: %+v", rtQ.Stats())
 	}
-	if rtQ.Stats.DMBFull == 0 {
-		t.Errorf("qemu should emit DMBFF for stores: %+v", rtQ.Stats)
+	if rtQ.Stats().DMBFull == 0 {
+		t.Errorf("qemu should emit DMBFF for stores: %+v", rtQ.Stats())
 	}
 
 	rtV, _ := runImage(t, img, VariantTCGVer, Config{})
-	if rtV.Stats.DMBStore == 0 {
-		t.Errorf("tcg-ver should emit DMBST before the final store: %+v", rtV.Stats)
+	if rtV.Stats().DMBStore == 0 {
+		t.Errorf("tcg-ver should emit DMBST before the final store: %+v", rtV.Stats())
 	}
-	if rtV.Stats.DMBLoad == 0 {
-		t.Errorf("tcg-ver should emit DMBLD after the first load: %+v", rtV.Stats)
+	if rtV.Stats().DMBLoad == 0 {
+		t.Errorf("tcg-ver should emit DMBLD after the first load: %+v", rtV.Stats())
 	}
 	// The inner Frm+Fww merge leaves exactly one full fence; QEMU emits
 	// one DMBFF per store (two total).
-	if rtV.Stats.DMBFull >= rtQ.Stats.DMBFull {
+	if rtV.Stats().DMBFull >= rtQ.Stats().DMBFull {
 		t.Errorf("tcg-ver DMBFF (%d) should be < qemu DMBFF (%d)",
-			rtV.Stats.DMBFull, rtQ.Stats.DMBFull)
+			rtV.Stats().DMBFull, rtQ.Stats().DMBFull)
 	}
 	// And strictly fewer fence cycles overall.
-	vCost := 16*rtV.Stats.DMBFull + 12*rtV.Stats.DMBLoad + 8*rtV.Stats.DMBStore
-	qCost := 16*rtQ.Stats.DMBFull + 12*rtQ.Stats.DMBLoad + 8*rtQ.Stats.DMBStore
+	vCost := 16*rtV.Stats().DMBFull + 12*rtV.Stats().DMBLoad + 8*rtV.Stats().DMBStore
+	qCost := 16*rtQ.Stats().DMBFull + 12*rtQ.Stats().DMBLoad + 8*rtQ.Stats().DMBStore
 	if vCost >= qCost {
 		t.Errorf("tcg-ver fence cost (%d) should be < qemu (%d)", vCost, qCost)
 	}
@@ -229,11 +229,11 @@ func TestCASGuestSemantics(t *testing.T) {
 		if got != 7 {
 			t.Errorf("%v: cell = %d, want 7", v, got)
 		}
-		if v == VariantRisotto && rt.Stats.Casal == 0 {
-			t.Errorf("risotto should translate CAS inline: %+v", rt.Stats)
+		if v == VariantRisotto && rt.Stats().Casal == 0 {
+			t.Errorf("risotto should translate CAS inline: %+v", rt.Stats())
 		}
-		if v == VariantQemu && rt.Stats.HelperCalls == 0 {
-			t.Errorf("qemu should use helper calls for CAS: %+v", rt.Stats)
+		if v == VariantQemu && rt.Stats().HelperCalls == 0 {
+			t.Errorf("qemu should use helper calls for CAS: %+v", rt.Stats())
 		}
 	}
 }
@@ -364,8 +364,8 @@ func TestHostLinker(t *testing.T) {
 	if code != 42 {
 		t.Errorf("risotto+linker: exit = %d, want 42 (host impl)", code)
 	}
-	if rt.Stats.HostCalls != 1 {
-		t.Errorf("risotto+linker: host calls = %d, want 1", rt.Stats.HostCalls)
+	if rt.Stats().HostCalls != 1 {
+		t.Errorf("risotto+linker: host calls = %d, want 1", rt.Stats().HostCalls)
 	}
 
 	// Every other variant translates the guest implementation (43).
@@ -374,7 +374,7 @@ func TestHostLinker(t *testing.T) {
 		if code != 43 {
 			t.Errorf("%v: exit = %d, want 43 (guest impl)", v, code)
 		}
-		if rt.Stats.HostCalls != 0 {
+		if rt.Stats().HostCalls != 0 {
 			t.Errorf("%v: unexpected host calls", v)
 		}
 	}
@@ -382,8 +382,8 @@ func TestHostLinker(t *testing.T) {
 	// Risotto *without* IDL also translates the guest implementation —
 	// the linker has zero effect when unused (§7.3).
 	rt2, code := runImage(t, img, VariantRisotto, Config{})
-	if code != 43 || rt2.Stats.HostCalls != 0 {
-		t.Errorf("risotto w/o IDL: exit=%d hostcalls=%d", code, rt2.Stats.HostCalls)
+	if code != 43 || rt2.Stats().HostCalls != 0 {
+		t.Errorf("risotto w/o IDL: exit=%d hostcalls=%d", code, rt2.Stats().HostCalls)
 	}
 }
 
@@ -448,7 +448,7 @@ func TestTBCacheReuse(t *testing.T) {
 		t.Fatal(err)
 	}
 	rt, _ := runImage(t, img, VariantRisotto, Config{})
-	if rt.Stats.Blocks > 6 {
-		t.Fatalf("blocks translated = %d; cache not reused?", rt.Stats.Blocks)
+	if rt.Stats().Blocks > 6 {
+		t.Fatalf("blocks translated = %d; cache not reused?", rt.Stats().Blocks)
 	}
 }

@@ -61,9 +61,9 @@ func TestFaultCacheExhaustRecovers(t *testing.T) {
 		if code != nblocks {
 			t.Errorf("chain=%v: exit = %d, want %d", chain, code, nblocks)
 		}
-		if rt.Stats.CacheFlushes == 0 {
+		if rt.Stats().CacheFlushes == 0 {
 			t.Errorf("chain=%v: no cache flushes despite overflow working set (blocks=%d)",
-				chain, rt.Stats.Blocks)
+				chain, rt.Stats().Blocks)
 		}
 	}
 }
@@ -143,7 +143,7 @@ func TestFaultCacheExhaustWithThreads(t *testing.T) {
 	if code != workers*iters {
 		t.Errorf("counter = %d, want %d", code, workers*iters)
 	}
-	if rt.Stats.CacheFlushes == 0 {
+	if rt.Stats().CacheFlushes == 0 {
 		t.Error("no cache flushes; test working set too small to exercise pinning")
 	}
 }
@@ -354,8 +354,8 @@ func TestFaultInjectedCacheExhaust(t *testing.T) {
 	if code != nblocks {
 		t.Errorf("exit = %d, want %d", code, nblocks)
 	}
-	if rt.Stats.CacheFlushes != 1 {
-		t.Errorf("cache flushes = %d, want 1", rt.Stats.CacheFlushes)
+	if rt.Stats().CacheFlushes != 1 {
+		t.Errorf("cache flushes = %d, want 1", rt.Stats().CacheFlushes)
 	}
 }
 

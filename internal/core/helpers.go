@@ -30,7 +30,7 @@ func (rt *Runtime) handleBLR(m *machine.Machine, c *machine.CPU, target uint64) 
 	if !ok {
 		return false, nil
 	}
-	rt.Stats.HelperCalls++
+	rt.met.helperCalls.Inc()
 
 	arg0 := c.Regs[18]
 	arg1 := c.Regs[28]
@@ -82,7 +82,7 @@ func (rt *Runtime) handleBLR(m *machine.Machine, c *machine.CPU, target uint64) 
 		return true, nil
 
 	case frontend.HelperSyscall:
-		rt.Stats.Syscalls++
+		rt.met.syscalls.Inc()
 		return true, rt.guestSyscall(m, c)
 	}
 	return false, faults.New(faults.TrapHostCall,
@@ -145,8 +145,8 @@ func (rt *Runtime) guestSyscall(m *machine.Machine, c *machine.CPU) error {
 			if c.Cycles >= m.Cost.Call {
 				c.Cycles -= m.Cost.Call
 			}
-			rt.Stats.Syscalls--
-			rt.Stats.HelperCalls--
+			rt.met.syscalls.Sub(1)
+			rt.met.helperCalls.Sub(1)
 			return nil
 		}
 		*guestReg(c, x86.RAX) = t.ExitCode

@@ -22,7 +22,9 @@ func (rt *Runtime) hostCall(c *machine.CPU, e *pltEntry) error {
 		t.Msg = fmt.Sprintf("host call %s: %s", e.name, t.Msg)
 		return t.WithCPU(c.ID)
 	}
-	rt.Stats.HostCalls++
+	rt.met.hostCalls.Inc()
+	hcStart := rt.obs.Begin()
+	defer func() { rt.obs.Span("core.host_call", e.name, c.ID, 0, 0, hcStart) }()
 
 	// Marshal arguments: guest register values are copied into the host
 	// call (for Arm/x86 both pass the first arguments in registers, so

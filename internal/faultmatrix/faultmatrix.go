@@ -206,7 +206,7 @@ func Run(w Workload, faultName string) (res Result) {
 		return res
 	}
 	code, err := rt.Run()
-	res.Flushes = rt.Stats.CacheFlushes
+	res.Flushes = int(rt.Stats().CacheFlushes)
 	if err == nil {
 		if code != w.Want {
 			res.Outcome = Bad
@@ -258,7 +258,7 @@ func RunLitmus(p *litmus.Program, m memmodel.Model) Result {
 	in.Arm(faults.SiteLitmusShard, 1, faults.TrapWorkerPanic)
 
 	want := litmus.Outcomes(p, m)
-	got, err := litmus.OutcomesChecked(p, m, litmus.Options{Workers: 4, Inject: in})
+	got, err := litmus.Enumerate(p, m, litmus.WithWorkers(4), litmus.WithInjector(in))
 	if err != nil {
 		tr, ok := faults.As(err)
 		if !ok {

@@ -22,6 +22,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // TrapKind classifies a structured runtime trap.
@@ -224,6 +226,24 @@ type Injector struct {
 	rng    *rand.Rand
 	counts map[Site]uint64
 	plans  map[Site][]*plan
+
+	// observability: fired injections are counted under "faults.injected"
+	// and emit a faults.inject trace event naming the site.
+	sc       *obs.Scope
+	injected *obs.Counter
+}
+
+// SetObs points the injector's instrumentation at root's "faults" child
+// scope. Nil-receiver and nil-scope safe; the last scope set wins when an
+// injector is shared across runtimes.
+func (in *Injector) SetObs(root *obs.Scope) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.sc = root.Child("faults")
+	in.injected = in.sc.Counter("injected")
 }
 
 // NewInjector returns an injector whose auto-armed occurrence choices are
@@ -276,6 +296,8 @@ func (in *Injector) Hit(site Site) *Trap {
 			p.fired = true
 			t := New(p.kind, "injected at site %q occurrence %d", site, n)
 			t.Injected = true
+			in.injected.Inc()
+			in.sc.Event("faults.inject", fmt.Sprintf("%s@%d:%s", site, n, p.kind), -1, 0, 0)
 			return t
 		}
 	}

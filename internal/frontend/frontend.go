@@ -12,6 +12,7 @@ import (
 	"repro/internal/isa/x86"
 	"repro/internal/mapping"
 	"repro/internal/memmodel"
+	"repro/internal/obs"
 	"repro/internal/tcg"
 )
 
@@ -39,6 +40,9 @@ type Config struct {
 	// Inject, when non-nil, forces decode traps at instrumented decode
 	// sites (fault-matrix testing).
 	Inject *faults.Injector
+	// Obs, when non-nil, counts decoded blocks and guest instructions
+	// under its "frontend" child scope.
+	Obs *obs.Scope
 }
 
 // translator carries per-block state.
@@ -100,6 +104,13 @@ func Translate(mem []byte, pc uint64, cfg Config) (*tcg.Block, error) {
 	tr := &translator{cfg: cfg, b: tcg.NewBlock()}
 	tr.b.GuestPC = pc
 
+	decoded := 0
+	done := func() {
+		sc := cfg.Obs.Child("frontend")
+		sc.Counter("blocks").Inc()
+		sc.Counter("insts").Add(uint64(decoded))
+	}
+
 	cur := pc
 	for n := 0; n < cfg.MaxInsts; n++ {
 		if cur >= uint64(len(mem)) {
@@ -119,14 +130,17 @@ func Translate(mem []byte, pc uint64, cfg Config) (*tcg.Block, error) {
 			return nil, fmt.Errorf("frontend: at %#x (%v): %w", cur, inst, err)
 		}
 		cur = next
+		decoded++
 		if inst.IsBranch() {
 			tr.b.GuestEnd = cur
+			done()
 			return tr.b, nil
 		}
 	}
 	// Block limit reached: fall through to the next guest pc.
 	tr.b.Exit(cur)
 	tr.b.GuestEnd = cur
+	done()
 	return tr.b, nil
 }
 

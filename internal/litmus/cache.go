@@ -126,12 +126,19 @@ func (c *Cache) Outcomes(p *Program, m memmodel.Model, opt Options) OutcomeSet {
 	return out
 }
 
-// OutcomesChecked is Outcomes with explicit error reporting. The body of
-// the once.Do never panics (OutcomesChecked captures worker panics), so a
-// failed first enumeration memoizes its error rather than silently marking
-// the entry done with a nil set; racing callers for the same key all
-// observe the same (set, error) pair.
+// OutcomesChecked is Outcomes with explicit error reporting.
 func (c *Cache) OutcomesChecked(p *Program, m memmodel.Model, opt Options) (OutcomeSet, error) {
+	return c.outcomes(p, m, opt)
+}
+
+// outcomes is the memoizing path behind Enumerate(..., WithCache(c)). The
+// body of the once.Do never panics (enumerate captures worker panics), so
+// a failed first enumeration memoizes its error rather than silently
+// marking the entry done with a nil set; racing callers for the same key
+// all observe the same (set, error) pair. A call counts as a cache miss
+// when it performed the enumeration itself and a hit otherwise — racing
+// callers that block on the once are hits.
+func (c *Cache) outcomes(p *Program, m memmodel.Model, opt Options) (OutcomeSet, error) {
 	key := cacheKey{prog: p.Fingerprint(), model: m.Name()}
 	c.mu.Lock()
 	e, ok := c.entries[key]
@@ -141,14 +148,22 @@ func (c *Cache) OutcomesChecked(p *Program, m memmodel.Model, opt Options) (Outc
 	}
 	c.mu.Unlock()
 
+	enumerated := false
 	e.once.Do(func() {
+		enumerated = true
 		if c.onEnumerate != nil {
 			c.onEnumerate(key.prog, key.model)
 		}
 		uncached := opt
 		uncached.Cache = nil
-		e.out, e.err = OutcomesChecked(p, m, uncached)
+		e.out, e.err = enumerate(p, m, uncached)
 	})
+	sc := opt.Obs.Child("litmus")
+	if enumerated {
+		sc.Counter("cache.misses").Inc()
+	} else {
+		sc.Counter("cache.hits").Inc()
+	}
 	return e.out, e.err
 }
 

@@ -43,9 +43,9 @@ allow a@0=0 b@1=0
 }
 
 // ExampleEnumerate counts MP's candidate executions.
-func ExampleEnumerate() {
+func ExampleEnumerateCandidates() {
 	n := 0
-	litmus.Enumerate(litmus.MP(), func(c *litmus.Candidate) bool {
+	litmus.EnumerateCandidates(litmus.MP(), func(c *litmus.Candidate) bool {
 		n++
 		return true
 	})

@@ -285,9 +285,10 @@ type Candidate struct {
 	Regs []map[Reg]int64
 }
 
-// Enumerate produces every well-formed candidate execution of p.
-// fn is called for each; enumeration stops if fn returns false.
-func Enumerate(p *Program, fn func(*Candidate) bool) {
+// EnumerateCandidates produces every well-formed candidate execution of
+// p. fn is called for each; enumeration stops if fn returns false. (The
+// name Enumerate belongs to the model-level outcome API in enumerate.go.)
+func EnumerateCandidates(p *Program, fn func(*Candidate) bool) {
 	locs := p.Locations()
 	perThread := skeletonsPerThread(p)
 
@@ -849,7 +850,7 @@ type OutcomeSet map[Outcome]bool
 // Outcomes computes the set of outcomes of p admitted by model m.
 func Outcomes(p *Program, m memmodel.Model) OutcomeSet {
 	out := make(OutcomeSet)
-	Enumerate(p, func(c *Candidate) bool {
+	EnumerateCandidates(p, func(c *Candidate) bool {
 		if m.Consistent(c.X) {
 			out[outcomeOf(c)] = true
 		}

@@ -24,7 +24,7 @@ func (coherentModel) Consistent(x *memmodel.Execution) bool {
 
 func countCandidates(p *Program) int {
 	n := 0
-	Enumerate(p, func(*Candidate) bool { n++; return true })
+	EnumerateCandidates(p, func(*Candidate) bool { n++; return true })
 	return n
 }
 
@@ -166,7 +166,7 @@ func TestMovImmClearsProvenance(t *testing.T) {
 		t.Fatalf("MovImm value must flow: %v", out.Sorted())
 	}
 	// No data dependency should be produced.
-	Enumerate(p, func(c *Candidate) bool {
+	EnumerateCandidates(p, func(c *Candidate) bool {
 		if !c.X.Data.IsEmpty() {
 			t.Fatal("MovImm must not create data dependencies")
 		}
@@ -183,7 +183,7 @@ func TestDependencyExtraction(t *testing.T) {
 		},
 	}}
 	sawData, sawCtrl := false, false
-	Enumerate(p, func(c *Candidate) bool {
+	EnumerateCandidates(p, func(c *Candidate) bool {
 		if !c.X.Data.IsEmpty() {
 			sawData = true
 		}
@@ -220,7 +220,7 @@ func TestThinAirRejected(t *testing.T) {
 
 func TestEnumerateEarlyStop(t *testing.T) {
 	n := 0
-	Enumerate(MP(), func(*Candidate) bool {
+	EnumerateCandidates(MP(), func(*Candidate) bool {
 		n++
 		return n < 2
 	})
@@ -254,7 +254,7 @@ func TestLocations(t *testing.T) {
 
 func TestFenceEventsGenerated(t *testing.T) {
 	p := SBFenced()
-	Enumerate(p, func(c *Candidate) bool {
+	EnumerateCandidates(p, func(c *Candidate) bool {
 		fences := c.X.Fences(memmodel.FenceMFENCE)
 		if len(fences) != 2 {
 			t.Fatalf("expected 2 MFENCE events, got %d", len(fences))

@@ -1,15 +1,16 @@
 // Parallel candidate-execution enumeration.
 //
-// The search space of Enumerate factors into independent shards: the outer
-// Cartesian product over per-thread skeletons (control path × choice bits)
-// partitions the space exactly, and within one skeleton the reads-from
-// enumeration is a tree whose first levels partition it further. A shard is
-// therefore (skeletonJob, rf prefix); two distinct shards can never produce
-// the same candidate, and the union over all shards is the full space. Shards
-// are fanned out to a bounded worker pool and the per-shard OutcomeSets are
-// merged in shard order, so OutcomesOpt is equal to the serial Outcomes for
-// every worker count — set union is order-insensitive and consistency checks
-// are pure functions of each candidate.
+// The search space of EnumerateCandidates factors into independent shards:
+// the outer Cartesian product over per-thread skeletons (control path ×
+// choice bits) partitions the space exactly, and within one skeleton the
+// reads-from enumeration is a tree whose first levels partition it further.
+// A shard is therefore (skeletonJob, rf prefix); two distinct shards can
+// never produce the same candidate, and the union over all shards is the
+// full space. Shards are fanned out to a bounded worker pool and the
+// per-shard OutcomeSets are merged in shard order, so Enumerate is equal to
+// the serial Outcomes for every worker count — set union is
+// order-insensitive and consistency checks are pure functions of each
+// candidate.
 
 package litmus
 
@@ -20,9 +21,12 @@ import (
 
 	"repro/internal/faults"
 	"repro/internal/memmodel"
+	"repro/internal/obs"
 )
 
-// Options configures outcome computation.
+// Options configures outcome computation. Prefer building it through the
+// Option funcs passed to Enumerate; the struct remains exported for the
+// deprecated Outcomes* entrypoints.
 type Options struct {
 	// Workers bounds enumeration parallelism: 0 (or negative) uses
 	// runtime.NumCPU(); 1 selects the serial enumeration path (useful when
@@ -36,6 +40,10 @@ type Options struct {
 	// parallel enumerator (faults.SiteLitmusShard fires inside a worker
 	// shard, exercising the panic-capture and serial-fallback paths).
 	Inject *faults.Injector
+	// Obs, when non-nil, receives enumeration metrics and trace spans
+	// under its "litmus" child scope. Nil disables instrumentation at the
+	// cost of a pointer check.
+	Obs *obs.Scope
 }
 
 func (o Options) workerCount() int {
@@ -51,15 +59,18 @@ const shardsPerWorker = 4
 
 // OutcomesParallel computes Outcomes(p, m) on every available CPU. The
 // result is always equal to the serial set.
+//
+// Deprecated: use Enumerate(p, m).
 func OutcomesParallel(p *Program, m memmodel.Model) OutcomeSet {
 	return OutcomesOpt(p, m, Options{})
 }
 
 // OutcomesOpt computes the set of outcomes of p admitted by model m with
-// explicit worker-count and caching options. Worker panics are captured
-// and degraded to a serial re-enumeration (see OutcomesChecked); only a
-// failure of both paths — an enumerator bug, not a scheduling artifact —
-// escapes, as a panic carrying a faults.TrapWorkerPanic.
+// explicit worker-count and caching options, panicking on enumeration
+// failure.
+//
+// Deprecated: use Enumerate with Option funcs; it reports errors instead
+// of panicking.
 func OutcomesOpt(p *Program, m memmodel.Model, opt Options) OutcomeSet {
 	out, err := OutcomesChecked(p, m, opt)
 	if err != nil {
@@ -69,31 +80,11 @@ func OutcomesOpt(p *Program, m memmodel.Model, opt Options) OutcomeSet {
 }
 
 // OutcomesChecked is OutcomesOpt with explicit error reporting and graceful
-// degradation: a panic in any parallel worker shard is recover()ed into a
-// faults.TrapWorkerPanic naming the program and shard, and the enumeration
-// is retried once on the serial Workers:1 path (whose result is the
-// definition of correctness for the parallel one). An error is returned
-// only when the serial retry fails too.
+// degradation (worker panics are captured and retried serially).
+//
+// Deprecated: use Enumerate with Option funcs.
 func OutcomesChecked(p *Program, m memmodel.Model, opt Options) (OutcomeSet, error) {
-	if opt.Cache != nil {
-		return opt.Cache.OutcomesChecked(p, m, opt)
-	}
-	workers := opt.workerCount()
-	if workers == 1 {
-		return outcomesSerial(p, m)
-	}
-	out, perr := outcomesSharded(p, m, opt, workers)
-	if perr == nil {
-		return out, nil
-	}
-	out, serr := outcomesSerial(p, m)
-	if serr != nil {
-		t := faults.Wrap(faults.TrapWorkerPanic, serr,
-			"litmus %q: parallel enumeration failed (%v) and serial fallback also failed",
-			p.Name, perr)
-		return nil, t
-	}
-	return out, nil
+	return enumerate(p, m, opt)
 }
 
 // outcomesSerial runs the reference serial enumerator with panic capture.
@@ -110,11 +101,12 @@ func outcomesSerial(p *Program, m memmodel.Model) (out OutcomeSet, err error) {
 // outcomesSharded fans the shard list out to a bounded worker pool. Each
 // shard runs under its own recover(), so one faulty shard poisons only its
 // slot; the first captured panic is reported after the pool drains.
-func outcomesSharded(p *Program, m memmodel.Model, opt Options, workers int) (OutcomeSet, error) {
+func outcomesSharded(p *Program, m memmodel.Model, opt Options, workers int, sc *obs.Scope) (OutcomeSet, error) {
 	shards := buildShards(p, workers*shardsPerWorker)
 	if workers > len(shards) {
 		workers = len(shards)
 	}
+	sc.Counter("shards").Add(uint64(len(shards)))
 
 	// Workers claim shard indices from an atomic cursor; each writes only
 	// its own results/errs slot, so the merge below needs no locking.
@@ -188,7 +180,8 @@ type shard struct {
 
 // buildShards partitions p's search space into at least target shards where
 // possible. It starts from the skeleton combinations (the outer loop of
-// Enumerate) and, while too coarse, refines every shard one rf level deeper:
+// EnumerateCandidates) and, while too coarse, refines every shard one rf
+// level deeper:
 // a shard with prefix length d splits into one child per candidate writer of
 // read d. Programs whose space is genuinely smaller than target (few
 // skeletons, few reads) yield fewer shards.

@@ -97,7 +97,7 @@ func TestOutcomesParallelDefault(t *testing.T) {
 func TestBuildShardsPartition(t *testing.T) {
 	for _, p := range []*Program{MP(), SBQ(), MPQ(), IRIW()} {
 		var serialCount int
-		Enumerate(p, func(*Candidate) bool { serialCount++; return true })
+		EnumerateCandidates(p, func(*Candidate) bool { serialCount++; return true })
 
 		for _, target := range []int{1, 4, 16, 64} {
 			shards := buildShards(p, target)

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/faults"
 	"repro/internal/isa/arm"
+	"repro/internal/obs"
 )
 
 // Machine is one simulated host: memory plus a set of CPUs.
@@ -77,6 +78,13 @@ type Machine struct {
 	// weak, when non-nil, enables the operational weak-memory mode
 	// (store buffers with out-of-order drain; see weak.go).
 	weak *weakState
+
+	// sc/quanta are the observability hooks installed by SetObs: quanta
+	// is bumped once per scheduler quantum (one atomic add per `quantum`
+	// instructions, cheap enough for the hot loop), and the dynamic
+	// execution counters are published as gauges when RunAll returns.
+	sc     *obs.Scope
+	quanta *obs.Counter
 }
 
 // CPU is one simulated hardware thread.
@@ -114,6 +122,28 @@ func New(memSize int) *Machine {
 	}
 	m.AddCPU()
 	return m
+}
+
+// SetObs points the machine's instrumentation at root's "machine" child
+// scope: scheduler quanta are counted under "machine.sched.quanta", and
+// RunAll publishes the dynamic execution counters (instructions, atomics,
+// per-flavour DMBs, CPU count) as gauges on exit. Nil-scope safe.
+func (m *Machine) SetObs(root *obs.Scope) {
+	m.sc = root.Child("machine")
+	m.quanta = m.sc.Counter("sched.quanta")
+}
+
+// publishObs mirrors the dynamic execution counters into gauges.
+func (m *Machine) publishObs() {
+	if m.sc == nil {
+		return
+	}
+	m.sc.Gauge("insts").Set(int64(m.TotalInsts()))
+	m.sc.Gauge("atomics").Set(int64(m.AtomicExec))
+	m.sc.Gauge("dmb_exec.full").Set(int64(m.DMBExec[arm.BarrierFull]))
+	m.sc.Gauge("dmb_exec.load").Set(int64(m.DMBExec[arm.BarrierLoad]))
+	m.sc.Gauge("dmb_exec.store").Set(int64(m.DMBExec[arm.BarrierStore]))
+	m.sc.Gauge("cpus").Set(int64(len(m.CPUs)))
 }
 
 // AddCPU starts a new (halted=false, PC=0) CPU and returns it.
@@ -321,10 +351,16 @@ func (m *Machine) Run(c *CPU, maxSteps uint64) error {
 // structured faults.TrapBudget, so a runaway or livelocked guest degrades
 // to a typed, reportable halt instead of an unbounded spin. CPUs added
 // during execution (spawn) join the rotation.
-func (m *Machine) RunAll(quantum int, maxSteps uint64) error {
+func (m *Machine) RunAll(quantum int, maxSteps uint64) (err error) {
 	if quantum <= 0 {
 		quantum = 64
 	}
+	defer func() {
+		m.publishObs()
+		if err != nil {
+			m.sc.Event("machine.trap", err.Error(), -1, 0, 0)
+		}
+	}()
 	var start time.Time
 	if m.Deadline > 0 {
 		start = time.Now()
@@ -338,6 +374,7 @@ func (m *Machine) RunAll(quantum int, maxSteps uint64) error {
 				continue
 			}
 			alive = true
+			m.quanta.Inc()
 			if t := m.Inject.Hit(faults.SiteStep); t != nil {
 				t.Steps = c.Insts
 				return t.WithCPU(c.ID).WithHostPC(c.PC)

@@ -272,20 +272,23 @@ func (v Verification) Correct() bool { return v.Err == nil && len(v.NewBehaviour
 // program against several candidate translations enumerates it only once.
 // Enumeration failures (a panicked worker shard whose serial retry also
 // failed) surface in the result's Err instead of crashing the sweep.
-func VerifyTheorem1(src *litmus.Program, ms memmodel.Model, tgt *litmus.Program, mt memmodel.Model) Verification {
+// Additional litmus options (worker count, a different cache, an
+// observability scope) may be appended; they are applied on top of the
+// default cache.
+func VerifyTheorem1(src *litmus.Program, ms memmodel.Model, tgt *litmus.Program, mt memmodel.Model, opts ...litmus.Option) Verification {
 	v := Verification{
 		Source:      src.Name,
 		Target:      tgt.Name,
 		SourceModel: ms.Name(),
 		TargetModel: mt.Name(),
 	}
-	opt := litmus.Options{Cache: litmus.DefaultCache}
-	srcOut, err := litmus.OutcomesChecked(src, ms, opt)
+	all := append([]litmus.Option{litmus.WithCache(litmus.DefaultCache)}, opts...)
+	srcOut, err := litmus.Enumerate(src, ms, all...)
 	if err != nil {
 		v.Err = fmt.Errorf("mapping: enumerating source %q under %s: %w", src.Name, ms.Name(), err)
 		return v
 	}
-	tgtOut, err := litmus.OutcomesChecked(tgt, mt, opt)
+	tgtOut, err := litmus.Enumerate(tgt, mt, all...)
 	if err != nil {
 		v.Err = fmt.Errorf("mapping: enumerating target %q under %s: %w", tgt.Name, mt.Name(), err)
 		return v

@@ -1,0 +1,37 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler serves the scope over HTTP — the target of risotto's -listen
+// flag. Routes:
+//
+//	/metrics    Prometheus text exposition of the registry
+//	/debug/obs  full JSON snapshot plus the retained trace spans
+//
+// A nil scope serves empty documents rather than erroring, so the
+// endpoint can be wired unconditionally.
+func Handler(s *Scope) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := s.Snapshot().WriteProm(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/obs", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		doc := struct {
+			Snapshot Snapshot `json:"snapshot"`
+			Spans    []Span   `json:"trace_spans"`
+		}{Snapshot: s.Snapshot(), Spans: s.Tracer().Spans()}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	return mux
+}

@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Formats accepted by Dump (and the CLIs' -metrics flag).
+const (
+	FormatJSON = "json"
+	FormatProm = "prom"
+	FormatText = "text"
+)
+
+// ValidFormat reports whether f is an accepted -metrics format.
+func ValidFormat(f string) bool {
+	return f == FormatJSON || f == FormatProm || f == FormatText
+}
+
+// Dump renders the snapshot to w in the given format.
+func Dump(w io.Writer, s Snapshot, format string) error {
+	switch format {
+	case FormatJSON:
+		return s.WriteJSON(w)
+	case FormatProm:
+		return s.WriteProm(w)
+	case FormatText:
+		return s.WriteText(w)
+	}
+	return fmt.Errorf("obs: unknown metrics format %q (want %s, %s or %s)",
+		format, FormatJSON, FormatProm, FormatText)
+}
+
+// WriteJSON renders the snapshot as indented JSON. encoding/json sorts
+// map keys, so the output is deterministic for a given metric set.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// promName rewrites a dotted metric name into the Prometheus charset.
+func promName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WriteProm renders the snapshot in the Prometheus text exposition
+// format (counters, gauges, and histograms with cumulative _bucket
+// series), suitable for the /metrics endpoint.
+func (s Snapshot) WriteProm(w io.Writer) error {
+	var b strings.Builder
+	for _, name := range sortedKeys(s.Counters) {
+		p := promName(name)
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", p, p, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		p := promName(name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", p, p, s.Gauges[name])
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		p := promName(name)
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", p)
+		var cum uint64
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			fmt.Fprintf(&b, "%s_bucket{le=\"%d\"} %d\n", p, bound, cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", p, h.Count)
+		fmt.Fprintf(&b, "%s_sum %d\n%s_count %d\n", p, h.Sum, p, h.Count)
+	}
+	for _, phase := range sortedKeys(s.Spans.ByPhase) {
+		fmt.Fprintf(&b, "# TYPE spans_total counter\nspans_total{phase=%q} %d\n",
+			phase, s.Spans.ByPhase[phase])
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteText renders a human-readable aligned listing.
+func (s Snapshot) WriteText(w io.Writer) error {
+	var b strings.Builder
+	for _, name := range sortedKeys(s.Counters) {
+		fmt.Fprintf(&b, "%-40s %d\n", name, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		fmt.Fprintf(&b, "%-40s %d\n", name, s.Gauges[name])
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		avg := uint64(0)
+		if h.Count > 0 {
+			avg = h.Sum / h.Count
+		}
+		fmt.Fprintf(&b, "%-40s count=%d sum=%d avg=%d\n", name, h.Count, h.Sum, avg)
+	}
+	fmt.Fprintf(&b, "%-40s total=%d dropped=%d\n", "spans", s.Spans.Total, s.Spans.Dropped)
+	for _, phase := range sortedKeys(s.Spans.ByPhase) {
+		fmt.Fprintf(&b, "%-40s %d\n", "spans."+phase, s.Spans.ByPhase[phase])
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// --- JSON schema check -------------------------------------------------------
+
+// ValidateSnapshotJSON checks that data is a well-formed -metrics json
+// document: the structural schema the check.sh gate enforces, written in
+// plain Go so the repo stays dependency-free. It verifies the four
+// top-level sections, numeric metric values, histogram bucket/count
+// arity, and span-summary consistency.
+func ValidateSnapshotJSON(data []byte) error {
+	var doc struct {
+		Counters   *map[string]float64 `json:"counters"`
+		Gauges     *map[string]float64 `json:"gauges"`
+		Histograms *map[string]struct {
+			Bounds *[]float64 `json:"bounds"`
+			Counts *[]float64 `json:"counts"`
+			Count  *float64   `json:"count"`
+			Sum    *float64   `json:"sum"`
+		} `json:"histograms"`
+		Spans *struct {
+			Total   *float64            `json:"total"`
+			Dropped *float64            `json:"dropped"`
+			ByPhase *map[string]float64 `json:"by_phase"`
+		} `json:"spans"`
+	}
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return fmt.Errorf("obs: metrics json does not match schema: %w", err)
+	}
+	if doc.Counters == nil || doc.Gauges == nil || doc.Histograms == nil || doc.Spans == nil {
+		return fmt.Errorf("obs: metrics json missing a required section (counters/gauges/histograms/spans)")
+	}
+	for name, v := range *doc.Counters {
+		if v < 0 || v != float64(uint64(v)) {
+			return fmt.Errorf("obs: counter %q has non-integral or negative value %v", name, v)
+		}
+	}
+	for name, h := range *doc.Histograms {
+		if h.Bounds == nil || h.Counts == nil || h.Count == nil || h.Sum == nil {
+			return fmt.Errorf("obs: histogram %q missing bounds/counts/count/sum", name)
+		}
+		if len(*h.Counts) != len(*h.Bounds)+1 {
+			return fmt.Errorf("obs: histogram %q has %d counts for %d bounds (want bounds+1)",
+				name, len(*h.Counts), len(*h.Bounds))
+		}
+		var total float64
+		for _, c := range *h.Counts {
+			total += c
+		}
+		if total != *h.Count {
+			return fmt.Errorf("obs: histogram %q bucket counts sum to %v, count says %v",
+				name, total, *h.Count)
+		}
+		for i := 1; i < len(*h.Bounds); i++ {
+			if (*h.Bounds)[i] <= (*h.Bounds)[i-1] {
+				return fmt.Errorf("obs: histogram %q bounds not ascending at %d", name, i)
+			}
+		}
+	}
+	sp := *doc.Spans
+	if sp.Total == nil || sp.Dropped == nil || sp.ByPhase == nil {
+		return fmt.Errorf("obs: spans section missing total/dropped/by_phase")
+	}
+	var phaseSum float64
+	for _, n := range *sp.ByPhase {
+		phaseSum += n
+	}
+	if phaseSum != *sp.Total {
+		return fmt.Errorf("obs: span phase totals sum to %v, total says %v", phaseSum, *sp.Total)
+	}
+	if *sp.Dropped > *sp.Total {
+		return fmt.Errorf("obs: spans dropped %v exceeds total %v", *sp.Dropped, *sp.Total)
+	}
+	return nil
+}

@@ -1,0 +1,129 @@
+package obs
+
+// Scope is the instrumentation handle threaded through the stack: a
+// registry plus a tracer, with an optional name prefix for metrics.
+// Child scopes share both and extend the prefix. A nil *Scope disables
+// everything (all methods are nil-safe no-ops), so subsystems can accept
+// one unconditionally.
+type Scope struct {
+	prefix string
+	reg    *Registry
+	tr     *Tracer
+}
+
+// NewScope returns a root scope with a fresh registry and a tracer of
+// DefaultTraceCapacity. An empty name means metric names are used
+// verbatim; otherwise they are prefixed "name.".
+func NewScope(name string) *Scope {
+	return NewScopeCapacity(name, DefaultTraceCapacity)
+}
+
+// NewScopeCapacity is NewScope with an explicit trace-ring capacity.
+func NewScopeCapacity(name string, traceCapacity int) *Scope {
+	return &Scope{prefix: prefixOf(name), reg: NewRegistry(), tr: NewTracer(traceCapacity)}
+}
+
+func prefixOf(name string) string {
+	if name == "" {
+		return ""
+	}
+	return name + "."
+}
+
+// Child returns a scope sharing this scope's registry and tracer, with
+// name appended to the metric prefix. Nil-safe (returns nil).
+func (s *Scope) Child(name string) *Scope {
+	if s == nil {
+		return nil
+	}
+	return &Scope{prefix: s.prefix + prefixOf(name), reg: s.reg, tr: s.tr}
+}
+
+// Registry exposes the underlying registry (nil on a nil scope).
+func (s *Scope) Registry() *Registry {
+	if s == nil {
+		return nil
+	}
+	return s.reg
+}
+
+// Tracer exposes the underlying tracer (nil on a nil scope).
+func (s *Scope) Tracer() *Tracer {
+	if s == nil {
+		return nil
+	}
+	return s.tr
+}
+
+// Counter returns the scoped counter handle. Nil-safe.
+func (s *Scope) Counter(name string) *Counter {
+	if s == nil {
+		return nil
+	}
+	return s.reg.Counter(s.prefix + name)
+}
+
+// Gauge returns the scoped gauge handle. Nil-safe.
+func (s *Scope) Gauge(name string) *Gauge {
+	if s == nil {
+		return nil
+	}
+	return s.reg.Gauge(s.prefix + name)
+}
+
+// Histogram returns the scoped histogram handle. Nil-safe.
+func (s *Scope) Histogram(name string, bounds []uint64) *Histogram {
+	if s == nil {
+		return nil
+	}
+	return s.reg.Histogram(s.prefix+name, bounds)
+}
+
+// Begin returns a span start timestamp for a later Span call. Nil-safe.
+func (s *Scope) Begin() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.tr.Now()
+}
+
+// Span records a span that started at start (from Begin) and ends now,
+// returning its duration in nanoseconds. Nil-safe (returns 0).
+func (s *Scope) Span(phase, detail string, cpu int, guestPC, hostPC uint64, start int64) int64 {
+	if s == nil {
+		return 0
+	}
+	dur := s.tr.Now() - start
+	if dur < 0 {
+		dur = 0
+	}
+	s.tr.Append(Span{
+		Phase: phase, Detail: detail, CPU: cpu,
+		GuestPC: guestPC, HostPC: hostPC,
+		StartNS: start, DurNS: dur,
+	})
+	return dur
+}
+
+// Event records a zero-duration point span. Nil-safe.
+func (s *Scope) Event(phase, detail string, cpu int, guestPC, hostPC uint64) {
+	if s == nil {
+		return
+	}
+	s.tr.Append(Span{
+		Phase: phase, Detail: detail, CPU: cpu,
+		GuestPC: guestPC, HostPC: hostPC,
+		StartNS: s.tr.Now(),
+	})
+}
+
+// Snapshot freezes the scope's registry and trace summary. Nil-safe: a
+// nil scope yields an empty snapshot.
+func (s *Scope) Snapshot() Snapshot {
+	if s == nil {
+		return (*Registry)(nil).Snapshot()
+	}
+	snap := s.reg.Snapshot()
+	snap.Spans = s.tr.Stats()
+	return snap
+}

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Span is one structured trace event: a pipeline phase execution with
+// attribution (CPU, guest/host PC) and duration. Zero-duration spans are
+// point events (a cache flush, an injected fault).
+type Span struct {
+	// Seq is the global 1-based sequence number of the span.
+	Seq uint64 `json:"seq"`
+	// Phase names the pipeline stage, e.g. "frontend.decode",
+	// "backend.emit", "litmus.enumerate" (see DESIGN.md §7 for the
+	// catalogue).
+	Phase string `json:"phase"`
+	// Detail is optional free-form context (program name, fault site…).
+	Detail string `json:"detail,omitempty"`
+	// CPU is the vCPU the span is attributed to, or -1.
+	CPU int `json:"cpu"`
+	// GuestPC / HostPC attribute the span to an address when known.
+	GuestPC uint64 `json:"guest_pc,omitempty"`
+	HostPC  uint64 `json:"host_pc,omitempty"`
+	// StartNS is the span start in nanoseconds since tracer creation.
+	StartNS int64 `json:"start_ns"`
+	// DurNS is the span duration in nanoseconds (0 for point events).
+	DurNS int64 `json:"dur_ns"`
+}
+
+// DefaultTraceCapacity is the span ring size used by NewScope.
+const DefaultTraceCapacity = 4096
+
+// Tracer is a fixed-capacity ring buffer of spans. When full, the oldest
+// spans are overwritten; per-phase totals and the global count survive
+// wraparound. Safe for concurrent use.
+type Tracer struct {
+	mu      sync.Mutex
+	ring    []Span
+	total   uint64 // spans ever appended
+	byPhase map[string]uint64
+	epoch   time.Time
+}
+
+// NewTracer returns a tracer retaining at most capacity spans
+// (DefaultTraceCapacity if capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{
+		ring:    make([]Span, 0, capacity),
+		byPhase: make(map[string]uint64),
+		epoch:   time.Now(),
+	}
+}
+
+// Now returns nanoseconds since the tracer's epoch — the time base for
+// span StartNS. Nil-safe (returns 0).
+func (t *Tracer) Now() int64 {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.epoch).Nanoseconds()
+}
+
+// Append records a span, stamping its sequence number. Nil-safe.
+func (t *Tracer) Append(s Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.total++
+	s.Seq = t.total
+	t.byPhase[s.Phase]++
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, s)
+	} else {
+		// Overwrite the slot the (total-1)th span hashes to: with a
+		// monotonically assigned Seq this walks the ring in order, so the
+		// retained window is always the most recent cap(ring) spans.
+		t.ring[(t.total-1)%uint64(cap(t.ring))] = s
+	}
+}
+
+// Spans returns the retained spans, oldest first. Nil-safe.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, 0, len(t.ring))
+	if t.total <= uint64(cap(t.ring)) {
+		return append(out, t.ring...)
+	}
+	start := t.total % uint64(cap(t.ring))
+	out = append(out, t.ring[start:]...)
+	return append(out, t.ring[:start]...)
+}
+
+// Stats summarizes the stream. Nil-safe.
+func (t *Tracer) Stats() SpanStats {
+	s := SpanStats{ByPhase: make(map[string]uint64)}
+	if t == nil {
+		return s
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s.Total = t.total
+	if t.total > uint64(cap(t.ring)) {
+		s.Dropped = t.total - uint64(cap(t.ring))
+	}
+	for phase, n := range t.byPhase {
+		s.ByPhase[phase] = n
+	}
+	return s
+}
+
+// WriteJSONL writes the retained spans as one JSON object per line — the
+// format behind the CLIs' -trace FILE flag. Nil-safe (writes nothing).
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	for _, s := range t.Spans() {
+		line, err := json.Marshal(s)
+		if err != nil {
+			return fmt.Errorf("obs: marshaling span %d: %w", s.Seq, err)
+		}
+		line = append(line, '\n')
+		if _, err := w.Write(line); err != nil {
+			return err
+		}
+	}
+	return nil
+}

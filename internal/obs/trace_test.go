@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestTracerWraparound fills a small ring past capacity and checks that
+// the retained window is exactly the most recent spans, in order, while
+// totals and per-phase counts keep the full history.
+func TestTracerWraparound(t *testing.T) {
+	const capacity = 4
+	const appended = 11
+	tr := NewTracer(capacity)
+	for i := 1; i <= appended; i++ {
+		tr.Append(Span{Phase: fmt.Sprintf("p%d", i%2)})
+	}
+	spans := tr.Spans()
+	if len(spans) != capacity {
+		t.Fatalf("retained %d spans, want %d", len(spans), capacity)
+	}
+	// The survivors must be the last `capacity` appends, oldest first.
+	for i, s := range spans {
+		want := uint64(appended - capacity + 1 + i)
+		if s.Seq != want {
+			t.Errorf("span[%d].Seq = %d, want %d", i, s.Seq, want)
+		}
+	}
+	st := tr.Stats()
+	if st.Total != appended {
+		t.Errorf("total = %d, want %d", st.Total, appended)
+	}
+	if st.Dropped != appended-capacity {
+		t.Errorf("dropped = %d, want %d", st.Dropped, appended-capacity)
+	}
+	if st.ByPhase["p0"]+st.ByPhase["p1"] != appended {
+		t.Errorf("per-phase totals %v do not sum to %d", st.ByPhase, appended)
+	}
+}
+
+func TestTracerBelowCapacity(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Append(Span{Phase: "a"})
+	tr.Append(Span{Phase: "b"})
+	spans := tr.Spans()
+	if len(spans) != 2 || spans[0].Seq != 1 || spans[1].Seq != 2 {
+		t.Errorf("unexpected spans %+v", spans)
+	}
+	if st := tr.Stats(); st.Dropped != 0 {
+		t.Errorf("dropped = %d, want 0", st.Dropped)
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Append(Span{Phase: "frontend.decode", CPU: 1, GuestPC: 0x401000, DurNS: 1200})
+	tr.Append(Span{Phase: "backend.emit", CPU: -1})
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var lines int
+	for sc.Scan() {
+		lines++
+		var s Span
+		if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+			t.Fatalf("line %d not valid JSON: %v", lines, err)
+		}
+		if s.Seq == 0 || s.Phase == "" {
+			t.Errorf("line %d missing seq/phase: %s", lines, sc.Text())
+		}
+	}
+	if lines != 2 {
+		t.Errorf("wrote %d lines, want 2", lines)
+	}
+}
+
+func TestHTTPHandler(t *testing.T) {
+	sc := NewScope("")
+	sc.Counter("core.blocks").Add(7)
+	sc.Event("machine.trap", "svc", 0, 0x400000, 0)
+	srv := httptest.NewServer(Handler(sc))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	var body bytes.Buffer
+	if _, err := body.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !strings.Contains(body.String(), "core_blocks 7") {
+		t.Errorf("/metrics missing counter:\n%s", body.String())
+	}
+
+	resp, err = srv.Client().Get(srv.URL + "/debug/obs")
+	if err != nil {
+		t.Fatalf("GET /debug/obs: %v", err)
+	}
+	var doc struct {
+		Snapshot Snapshot `json:"snapshot"`
+		Spans    []Span   `json:"trace_spans"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("decoding /debug/obs: %v", err)
+	}
+	resp.Body.Close()
+	if doc.Snapshot.Counters["core.blocks"] != 7 {
+		t.Errorf("snapshot counter = %d, want 7", doc.Snapshot.Counters["core.blocks"])
+	}
+	if len(doc.Spans) != 1 || doc.Spans[0].Phase != "machine.trap" {
+		t.Errorf("unexpected spans %+v", doc.Spans)
+	}
+}

@@ -241,7 +241,10 @@ func CheckSound(p *litmus.Program, m memmodel.Model, seeds int) ([]litmus.Outcom
 	if err != nil {
 		return nil, err
 	}
-	admitted := litmus.OutcomesOpt(p, m, litmus.Options{Cache: litmus.DefaultCache})
+	admitted, err := litmus.Enumerate(p, m, litmus.WithCache(litmus.DefaultCache))
+	if err != nil {
+		return nil, fmt.Errorf("opcheck: enumerating %q under %s: %w", p.Name, m.Name(), err)
+	}
 	var bad []litmus.Outcome
 	for o := range observed {
 		if !admitted[o] {

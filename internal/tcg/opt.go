@@ -1,6 +1,9 @@
 package tcg
 
-import "repro/internal/memmodel"
+import (
+	"repro/internal/memmodel"
+	"repro/internal/obs"
+)
 
 // OptConfig selects optimizer passes. The zero value disables everything;
 // DefaultOpt enables the full verified pipeline.
@@ -17,6 +20,11 @@ type OptConfig struct {
 	// DeadCode enables dead code elimination (never removes memory
 	// accesses or fences; see Inst.HasSideEffects).
 	DeadCode bool
+	// Obs, when non-nil, receives per-pass effect counters under its
+	// "tcg" child scope (const_folds, accesses_forwarded,
+	// stores_eliminated, fences_merged, dead_insts). Nil skips the
+	// bookkeeping entirely.
+	Obs *obs.Scope
 }
 
 // DefaultOpt enables every verified pass.
@@ -27,19 +35,80 @@ func DefaultOpt() OptConfig {
 // Optimize runs the configured passes in order. All passes assume the
 // frontend's invariant that intra-block branches only jump forward.
 func Optimize(b *Block, cfg OptConfig) {
+	if cfg.Obs == nil {
+		if cfg.ConstProp {
+			constProp(b)
+		}
+		if cfg.AccessElim {
+			accessElim(b)
+		}
+		if cfg.FenceMerge {
+			mergeFences(b)
+		}
+		if cfg.DeadCode {
+			deadCode(b)
+		}
+		removeNops(b)
+		return
+	}
+	// Instrumented path: every pass rewrites b.Insts in place (length is
+	// only changed by the final removeNops), so each pass's effect is the
+	// diff of the instruction stream around it.
+	sc := cfg.Obs.Child("tcg")
 	if cfg.ConstProp {
+		before := opcodesOf(b)
 		constProp(b)
+		sc.Counter("const_folds").Add(rewriteCount(before, b))
 	}
 	if cfg.AccessElim {
+		lds, sts := countOp(b, OpLd), countOp(b, OpSt)
 		accessElim(b)
+		sc.Counter("accesses_forwarded").Add(lds - countOp(b, OpLd))
+		sc.Counter("stores_eliminated").Add(sts - countOp(b, OpSt))
 	}
 	if cfg.FenceMerge {
+		fences := countOp(b, OpMb)
 		mergeFences(b)
+		sc.Counter("fences_merged").Add(fences - countOp(b, OpMb))
 	}
 	if cfg.DeadCode {
+		nops := countOp(b, OpNop)
 		deadCode(b)
+		sc.Counter("dead_insts").Add(countOp(b, OpNop) - nops)
 	}
 	removeNops(b)
+}
+
+// countOp counts instructions with the given opcode.
+func countOp(b *Block, op Opcode) uint64 {
+	var n uint64
+	for i := range b.Insts {
+		if b.Insts[i].Op == op {
+			n++
+		}
+	}
+	return n
+}
+
+// opcodesOf snapshots the opcode stream for rewriteCount.
+func opcodesOf(b *Block) []Opcode {
+	ops := make([]Opcode, len(b.Insts))
+	for i := range b.Insts {
+		ops[i] = b.Insts[i].Op
+	}
+	return ops
+}
+
+// rewriteCount counts instructions whose opcode a length-preserving pass
+// changed.
+func rewriteCount(before []Opcode, b *Block) uint64 {
+	var n uint64
+	for i := range before {
+		if i < len(b.Insts) && b.Insts[i].Op != before[i] {
+			n++
+		}
+	}
+	return n
 }
 
 // --- Constant propagation and folding --------------------------------------

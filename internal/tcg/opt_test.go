@@ -7,16 +7,6 @@ import (
 	"repro/internal/memmodel"
 )
 
-func countOp(b *Block, op Opcode) int {
-	n := 0
-	for _, in := range b.Insts {
-		if in.Op == op {
-			n++
-		}
-	}
-	return n
-}
-
 func fenceKinds(b *Block) []memmodel.Fence {
 	var out []memmodel.Fence
 	for _, in := range b.Insts {

@@ -18,8 +18,11 @@ go build ./...
 echo "==> go test ./..."
 go test ./...
 
-echo "==> go test -race ./internal/litmus/... ./internal/mapping/..."
-go test -race ./internal/litmus/... ./internal/mapping/...
+echo "==> go vet ./internal/obs/ ./internal/cliflags/"
+go vet ./internal/obs/ ./internal/cliflags/
+
+echo "==> go test -race ./internal/obs/ ./internal/litmus/... ./internal/mapping/..."
+go test -race ./internal/obs/ ./internal/litmus/... ./internal/mapping/...
 
 echo "==> fault matrix: go test ./... -run Fault -count=1"
 go test ./... -run Fault -count=1
@@ -30,5 +33,8 @@ go test -race ./internal/faultmatrix/ ./internal/core/ -run Fault -count=1
 echo "==> litmusctl fault smoke"
 go run ./cmd/litmusctl -workers 4 -fault cache-exhaust corpus >/dev/null
 go run ./cmd/litmusctl -workers 4 -fault shard-panic corpus >/dev/null
+
+echo "==> metrics snapshot validates (risotto -metrics json | obsvalidate)"
+go run ./cmd/risotto -kernel histogram -threads 2 -metrics json | go run ./cmd/obsvalidate >/dev/null
 
 echo "OK"
