@@ -209,7 +209,10 @@ func BenchmarkOutcomesParallel(b *testing.B) {
 		w := w
 		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				out := litmus.OutcomesOpt(prog, m, litmus.Options{Workers: w})
+				out, err := litmus.Enumerate(prog, m, litmus.WithWorkers(w))
+				if err != nil {
+					b.Fatal(err)
+				}
 				if len(out) != len(serial) {
 					b.Fatalf("workers=%d: %d outcomes, serial has %d", w, len(out), len(serial))
 				}

@@ -115,22 +115,6 @@ func NewCache() *Cache {
 // opcheck packages and by litmusctl.
 var DefaultCache = NewCache()
 
-// Outcomes returns the memoized outcome set of p under m, computing it with
-// opt's worker count on first use. The returned set is shared between all
-// callers for the key and must not be mutated.
-func (c *Cache) Outcomes(p *Program, m memmodel.Model, opt Options) OutcomeSet {
-	out, err := c.OutcomesChecked(p, m, opt)
-	if err != nil {
-		panic(err)
-	}
-	return out
-}
-
-// OutcomesChecked is Outcomes with explicit error reporting.
-func (c *Cache) OutcomesChecked(p *Program, m memmodel.Model, opt Options) (OutcomeSet, error) {
-	return c.outcomes(p, m, opt)
-}
-
 // outcomes is the memoizing path behind Enumerate(..., WithCache(c)). The
 // body of the once.Do never panics (enumerate captures worker panics), so
 // a failed first enumeration memoizes its error rather than silently

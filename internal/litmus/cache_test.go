@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"repro/internal/memmodel"
 	"repro/internal/models/tcgmm"
 	"repro/internal/models/x86tso"
 )
@@ -29,7 +30,12 @@ func TestCacheEnumeratesOnce(t *testing.T) {
 		go func(i int) {
 			defer done.Done()
 			start.Wait() // line everyone up on the same cold entry
-			results[i] = c.Outcomes(p, m, Options{})
+			r, err := Enumerate(p, m, WithCache(c))
+			if err != nil {
+				t.Errorf("goroutine %d: %v", i, err)
+				return
+			}
+			results[i] = r
 		}(i)
 	}
 	start.Done()
@@ -39,7 +45,11 @@ func TestCacheEnumeratesOnce(t *testing.T) {
 		t.Fatalf("cache enumerated %d times; want exactly 1", n)
 	}
 	for i, r := range results {
-		assertSameOutcomes(t, p.Name, m.Name(), "cached", OutcomesParallel(p, m), r)
+		fresh, err := Enumerate(p, m)
+		if err != nil {
+			t.Fatalf("fresh enumeration: %v", err)
+		}
+		assertSameOutcomes(t, p.Name, m.Name(), "cached", fresh, r)
 		if len(r.Sorted()) != len(want) {
 			t.Fatalf("goroutine %d: wrong outcome count", i)
 		}
@@ -57,9 +67,17 @@ func TestCacheKeying(t *testing.T) {
 	var enumerations atomic.Int32
 	c.onEnumerate = func(_, _ string) { enumerations.Add(1) }
 
+	mustEnumerate := func(p *Program, m memmodel.Model) OutcomeSet {
+		t.Helper()
+		out, err := Enumerate(p, m, WithCache(c))
+		if err != nil {
+			t.Fatalf("%s/%s: %v", p.Name, m.Name(), err)
+		}
+		return out
+	}
 	mp := MP()
-	outX86 := c.Outcomes(mp, x86tso.New(), Options{})
-	outIR := c.Outcomes(mp, tcgmm.New(), Options{})
+	outX86 := mustEnumerate(mp, x86tso.New())
+	outIR := mustEnumerate(mp, tcgmm.New())
 	if enumerations.Load() != 2 {
 		t.Fatalf("same program under two models must enumerate twice; got %d", enumerations.Load())
 	}
@@ -73,7 +91,7 @@ func TestCacheKeying(t *testing.T) {
 	// Same name, different structure: must be distinct entries.
 	sbAlias := SB()
 	sbAlias.Name = mp.Name
-	outSB := c.Outcomes(sbAlias, x86tso.New(), Options{})
+	outSB := mustEnumerate(sbAlias, x86tso.New())
 	if enumerations.Load() != 3 {
 		t.Fatalf("structurally different program with a shared name must miss; got %d enumerations",
 			enumerations.Load())
@@ -85,7 +103,7 @@ func TestCacheKeying(t *testing.T) {
 	// Different name, same structure: must hit.
 	mpTwin := MP()
 	mpTwin.Name = "MP-renamed"
-	c.Outcomes(mpTwin, x86tso.New(), Options{})
+	mustEnumerate(mpTwin, x86tso.New())
 	if enumerations.Load() != 3 {
 		t.Fatalf("structural twin should hit the cache; got %d enumerations", enumerations.Load())
 	}
@@ -124,10 +142,16 @@ func TestFingerprintDistinguishesStructure(t *testing.T) {
 // mapping and opcheck packages) serves sets equal to fresh enumeration.
 func TestDefaultCacheConsistency(t *testing.T) {
 	p, m := SBAL(), x86tso.New()
-	got := OutcomesOpt(p, m, Options{Cache: DefaultCache})
+	got, err := Enumerate(p, m, WithCache(DefaultCache))
+	if err != nil {
+		t.Fatal(err)
+	}
 	assertSameOutcomes(t, p.Name, m.Name(), "DefaultCache", Outcomes(p, m), got)
 	// A second call must return the identical shared set.
-	again := OutcomesOpt(p, m, Options{Cache: DefaultCache})
+	again, err := Enumerate(p, m, WithCache(DefaultCache))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(again) != len(got) {
 		t.Fatal("repeated cached call diverged")
 	}

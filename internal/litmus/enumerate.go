@@ -1,8 +1,7 @@
 // The canonical outcome-enumeration entrypoint. Earlier revisions grew
 // three near-identical entrypoints (OutcomesParallel, OutcomesOpt,
 // OutcomesChecked); Enumerate collapses them into one functional-options
-// API, and the old names survive as thin deprecated wrappers in
-// parallel.go.
+// API, and the old names are gone.
 
 package litmus
 

@@ -16,7 +16,7 @@ func TestFaultShardPanicFallsBackToSerial(t *testing.T) {
 		in := faults.NewInjector(1)
 		in.Arm(faults.SiteLitmusShard, 1, faults.TrapWorkerPanic)
 
-		out, err := OutcomesChecked(p, m, Options{Workers: 4, Inject: in})
+		out, err := Enumerate(p, m, WithWorkers(4), WithInjector(in))
 		if err != nil {
 			t.Fatalf("%s: fallback did not absorb injected panic: %v", p.Name, err)
 		}
@@ -59,13 +59,13 @@ func TestFaultCacheSurvivesInjectedPanic(t *testing.T) {
 	in := faults.NewInjector(1)
 	in.Arm(faults.SiteLitmusShard, 1, faults.TrapWorkerPanic)
 
-	first, err := c.OutcomesChecked(p, m, Options{Workers: 4, Inject: in})
+	first, err := Enumerate(p, m, WithCache(c), WithWorkers(4), WithInjector(in))
 	if err != nil {
 		t.Fatalf("first enumeration: %v", err)
 	}
 	assertSameOutcomes(t, p.Name, m.Name(), "cache-first", Outcomes(p, m), first)
 
-	again, err := c.OutcomesChecked(p, m, Options{Workers: 4})
+	again, err := Enumerate(p, m, WithCache(c), WithWorkers(4))
 	if err != nil {
 		t.Fatalf("cached re-read: %v", err)
 	}

@@ -1,0 +1,118 @@
+package litmus
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// corpusLitFiles returns every .lit file shipped as model test data, the
+// natural seed corpus for the parser fuzzers.
+func corpusLitFiles(t testing.TB) []string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.FromSlash("../models/*/testdata/*.lit"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no corpus .lit files found; did testdata move?")
+	}
+	return paths
+}
+
+// FuzzParse throws mutated litmus-test text at the parser. The property is
+// total safety plus round-trip sanity: Parse never panics, and whenever it
+// accepts an input, the resulting program is well-formed enough for the
+// structural walkers (Locations, Fingerprint, skeleton construction) to run
+// without panicking — the rest of the pipeline trusts parser output.
+func FuzzParse(f *testing.F) {
+	for _, path := range corpusLitFiles(f) {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(src))
+	}
+	// Hand-picked seeds poking parser corners the corpus doesn't: nesting,
+	// cas arrows, attribute stacking, comments, malformed directives.
+	f.Add("test T\nthread 0\nif a == 1\nif b != 0\nstore X 1\nendif\nendif\nallow X=1")
+	f.Add("test T\nthread 0\ncas X 0 1 -> r amo acq rel sc\nforbid r@0=1")
+	f.Add("test T\nmodel arm\nthread 0\nloadidx a i X Y acqpc\nstoreidx i X Y 2 rel")
+	f.Add("test T # trailing\nthread 0\n# full-line comment\nmov r 0x10\nstorereg X r sc")
+	f.Add("thread 0\nstore X 1")
+	f.Add("test T\nthread 1\nstore X 1")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		pt, err := Parse(src)
+		if err != nil {
+			if pt != nil {
+				t.Fatalf("Parse returned both a test and error %v", err)
+			}
+			return
+		}
+		if pt.Program.Name == "" {
+			t.Fatal("accepted program has no name")
+		}
+		if len(pt.Program.Threads) == 0 {
+			t.Fatal("accepted program has no threads")
+		}
+		// Structural walkers must handle anything the parser accepts.
+		pt.Program.Locations()
+		pt.Program.Fingerprint()
+		for _, e := range pt.Expectations {
+			if len(e.Fragments) == 0 {
+				t.Fatal("accepted expectation with no fragments")
+			}
+			for _, frag := range e.Fragments {
+				if frag == "" || strings.ContainsAny(frag, " \t\n") {
+					t.Fatalf("fragment %q is not a single outcome token", frag)
+				}
+			}
+		}
+	})
+}
+
+// FuzzContainsToken checks the allocation-free token scanner against an
+// obvious split-on-space reference on arbitrary inputs. (Outcome strings
+// are space-joined, so the scanner deliberately treats only ' ' as a
+// delimiter — strings.Fields would disagree on tabs/newlines.)
+func FuzzContainsToken(f *testing.F) {
+	f.Add("0:a=1 1:b=0 X=2", "1:b=0")
+	f.Add("0:a=1 1:b=0", "b=0")
+	f.Add("11:a=1", "1:a=1")
+	f.Add("a=10", "a=1")
+	f.Add("  a=1   b=2  ", "b=2")
+	f.Add("", "")
+	f.Add("a=1", "a=1 b=2")
+	f.Fuzz(func(t *testing.T, s, tok string) {
+		got := containsToken(s, tok)
+		want := false
+		if tok != "" && !strings.Contains(tok, " ") {
+			for _, field := range strings.Split(s, " ") {
+				if field == tok {
+					want = true
+					break
+				}
+			}
+		}
+		if got != want {
+			t.Fatalf("containsToken(%q, %q) = %v, want %v", s, tok, got, want)
+		}
+	})
+}
+
+// TestFuzzSeedsParse pins that every corpus seed actually parses — the
+// fuzzers above only require non-panic, so a silently broken corpus file
+// would otherwise go unnoticed.
+func TestFuzzSeedsParse(t *testing.T) {
+	for _, path := range corpusLitFiles(t) {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Parse(string(src)); err != nil {
+			t.Errorf("%s: %v", path, err)
+		}
+	}
+}

@@ -289,10 +289,18 @@ type Candidate struct {
 // p. fn is called for each; enumeration stops if fn returns false. (The
 // name Enumerate belongs to the model-level outcome API in enumerate.go.)
 func EnumerateCandidates(p *Program, fn func(*Candidate) bool) {
+	forEachJob(p, func(j *skeletonJob) bool {
+		return j.enumerate(nil, fn)
+	})
+}
+
+// forEachJob builds the skeleton job for every skeleton combination (the
+// Cartesian product of per-thread control paths × choice bits) and invokes
+// fn on each, stopping early if fn returns false.
+func forEachJob(p *Program, fn func(*skeletonJob) bool) {
 	locs := p.Locations()
 	perThread := skeletonsPerThread(p)
 
-	// Cartesian product over threads.
 	choice := make([]int, len(p.Threads))
 	var rec func(t int) bool
 	rec = func(t int) bool {
@@ -301,7 +309,7 @@ func EnumerateCandidates(p *Program, fn func(*Candidate) bool) {
 			for i, c := range choice {
 				skels[i] = perThread[i][c]
 			}
-			return newSkeletonJob(locs, skels).enumerate(nil, fn)
+			return fn(newSkeletonJob(locs, skels))
 		}
 		for i := range perThread[t] {
 			choice[t] = i
@@ -335,7 +343,7 @@ func skeletonsPerThread(p *Program) [][]threadSkel {
 // skeletonJob is the prepared event structure for one skeleton combination
 // (fixed control paths and choice bits across all threads). It is immutable
 // once built: enumerate may be called concurrently from several goroutines
-// with disjoint rf prefixes, which is how OutcomesOpt shards the search.
+// with disjoint rf prefixes, which is how Enumerate shards the search.
 type skeletonJob struct {
 	locs      []Loc
 	skels     []threadSkel
@@ -345,6 +353,16 @@ type skeletonJob struct {
 	eventIDs  [][]int
 	reads     []int
 	writersOf map[string][]int
+	// rfSlot[id] is the index into reads of read event id, -1 otherwise.
+	rfSlot []int
+	// data, addr, ctrl are the syntactic dependency relations. They are
+	// structural: provenance tracking depends only on the fixed path and
+	// choice bits, never on resolved values, so the relations are computed
+	// once here instead of per candidate.
+	data, addr, ctrl *rel.Relation
+	// skel is the candidate-invariant part shared by every Execution this
+	// job emits; prepared model checkers hoist per-skeleton work off it.
+	skel *memmodel.Skeleton
 }
 
 // newSkeletonJob builds the event set for fixed paths/success bits and
@@ -473,8 +491,16 @@ func newSkeletonJob(locs []Loc, skels []threadSkel) *skeletonJob {
 			writersOf[e.Loc] = append(writersOf[e.Loc], e.ID)
 		}
 	}
+	rfSlot := make([]int, len(events))
+	for i := range rfSlot {
+		rfSlot[i] = -1
+	}
+	for i, r := range reads {
+		rfSlot[r] = i
+	}
 
-	return &skeletonJob{
+	data, addrRel, ctrl := buildDeps(skels, eventIDs)
+	j := &skeletonJob{
 		locs:      locs,
 		skels:     skels,
 		events:    events,
@@ -484,7 +510,100 @@ func newSkeletonJob(locs []Loc, skels []threadSkel) *skeletonJob {
 		eventIDs:  eventIDs,
 		reads:     reads,
 		writersOf: writersOf,
+		rfSlot:    rfSlot,
+		data:      data,
+		addr:      addrRel,
+		ctrl:      ctrl,
 	}
+	j.skel = &memmodel.Skeleton{
+		Events: events,
+		Po:     po,
+		Rmw:    rmw,
+		Data:   data,
+		Addr:   addrRel,
+		Ctrl:   ctrl,
+	}
+	return j
+}
+
+// buildDeps extracts the data/addr/ctrl dependency relations by walking
+// each thread's path tracking load provenance only — no values. Replay
+// performs the identical provenance updates (MovImm clears, loads
+// overwrite), so the dependency edges of every accepted candidate equal
+// this structural set; see TestDepsMatchReplay.
+func buildDeps(skels []threadSkel, eventIDs [][]int) (data, addrRel, ctrl *rel.Relation) {
+	data, addrRel, ctrl = rel.New(), rel.New(), rel.New()
+	for t := range skels {
+		prov := make(map[Reg][]int)
+		var ctrlSrcs []int
+		choiceIdx := 0
+		nextBit := func() bool {
+			b := skels[t].bits[choiceIdx]
+			choiceIdx++
+			return b
+		}
+		evPos := 0
+		nextEvent := func() int {
+			id := eventIDs[t][evPos]
+			evPos++
+			return id
+		}
+		addCtrl := func(id int) {
+			for _, s := range ctrlSrcs {
+				ctrl.Add(s, id)
+			}
+		}
+		for _, lo := range skels[t].path {
+			if lo.assume != nil {
+				ctrlSrcs = append(ctrlSrcs, prov[lo.assume.reg]...)
+				continue
+			}
+			switch o := lo.op.(type) {
+			case Store:
+				addCtrl(nextEvent())
+			case StoreReg:
+				id := nextEvent()
+				addCtrl(id)
+				for _, s := range prov[o.Src] {
+					data.Add(s, id)
+				}
+			case Load:
+				id := nextEvent()
+				addCtrl(id)
+				prov[o.Dst] = []int{id}
+			case LoadIdx:
+				nextBit()
+				id := nextEvent()
+				addCtrl(id)
+				for _, s := range prov[o.Idx] {
+					addrRel.Add(s, id)
+				}
+				prov[o.Dst] = []int{id}
+			case StoreIdx:
+				nextBit()
+				id := nextEvent()
+				addCtrl(id)
+				for _, s := range prov[o.Idx] {
+					addrRel.Add(s, id)
+				}
+			case CAS:
+				success := nextBit()
+				rid := nextEvent()
+				addCtrl(rid)
+				if o.Dst != "" {
+					prov[o.Dst] = []int{rid}
+				}
+				if success {
+					addCtrl(nextEvent())
+				}
+			case Fence:
+				addCtrl(nextEvent())
+			case MovImm:
+				prov[o.Dst] = nil
+			}
+		}
+	}
+	return data, addrRel, ctrl
 }
 
 // enumerate walks every rf assignment extending the fixed prefix (rfPrefix[i]
@@ -511,24 +630,32 @@ func (j *skeletonJob) enumerate(rfPrefix []int, fn func(*Candidate) bool) bool {
 }
 
 // enumerateCO resolves values for the chosen rf, validates the candidate,
-// then enumerates coherence orders.
+// then enumerates coherence orders. Dependency relations are not touched
+// here: they are structural and already hoisted onto the job.
 func (j *skeletonJob) enumerateCO(rfChoice []int, fn func(*Candidate) bool) bool {
 	events, sev, skels := j.events, j.sev, j.skels
-	eventIDs, po, rmw := j.eventIDs, j.po, j.rmw
+	eventIDs := j.eventIDs
 	reads, locs := j.reads, j.locs
 
-	rfOf := make(map[int]int) // read -> writer
+	rfOf := make([]int, len(events)) // read event ID -> writer event ID
 	for i, r := range reads {
 		rfOf[r] = rfChoice[i]
 	}
 
-	// Value resolution to fixpoint + validation + dependency extraction.
-	vals := make(map[int]int64)
-	known := make(map[int]bool)
+	// Value resolution to fixpoint + validation.
+	vals := make([]int64, len(events))
+	known := make([]bool, len(events))
+	nKnown := 0
+	setKnown := func(id int, v int64) {
+		vals[id] = v
+		if !known[id] {
+			known[id] = true
+			nKnown++
+		}
+	}
 	for _, se := range sev {
 		if se.constVal {
-			vals[se.ev.ID] = se.ev.Val
-			known[se.ev.ID] = true
+			setKnown(se.ev.ID, se.ev.Val)
 		}
 	}
 
@@ -536,15 +663,11 @@ func (j *skeletonJob) enumerateCO(rfChoice []int, fn func(*Candidate) bool) bool
 		ok       bool // assumptions/choice bits hold so far
 		complete bool // all values resolved
 		regs     map[Reg]int64
-		data     []rel.Pair
-		addr     []rel.Pair
-		ctrl     []rel.Pair
 	}
 
 	replayThread := func(t int) replayResult {
 		res := replayResult{ok: true, complete: true, regs: make(map[Reg]int64)}
 		prov := make(map[Reg][]int) // load provenance per register
-		var ctrlSrcs []int          // loads controlling all later events
 		choiceIdx := 0
 		nextBit := func() bool {
 			b := skels[t].bits[choiceIdx]
@@ -556,11 +679,6 @@ func (j *skeletonJob) enumerateCO(rfChoice []int, fn func(*Candidate) bool) bool
 			id := eventIDs[t][evPos]
 			evPos++
 			return id
-		}
-		addCtrl := func(id int) {
-			for _, s := range ctrlSrcs {
-				res.ctrl = append(res.ctrl, rel.Pair{From: s, To: id})
-			}
 		}
 		for _, lo := range skels[t].path {
 			if lo.assume != nil {
@@ -576,25 +694,17 @@ func (j *skeletonJob) enumerateCO(rfChoice []int, fn func(*Candidate) bool) bool
 					res.complete = false
 					return res
 				}
-				holds := (v == a.val) == a.eq
-				if !holds {
+				if (v == a.val) != a.eq {
 					res.ok = false
 					return res
 				}
-				ctrlSrcs = append(ctrlSrcs, prov[a.reg]...)
 				continue
 			}
 			switch o := lo.op.(type) {
 			case Store:
-				addCtrl(nextEvent())
+				nextEvent()
 			case StoreReg:
 				id := nextEvent()
-				addCtrl(id)
-				if srcs, ok := prov[o.Src]; ok {
-					for _, s := range srcs {
-						res.data = append(res.data, rel.Pair{From: s, To: id})
-					}
-				}
 				v, haveVal := res.regs[o.Src]
 				allKnown := haveVal
 				for _, s := range prov[o.Src] {
@@ -603,18 +713,15 @@ func (j *skeletonJob) enumerateCO(rfChoice []int, fn func(*Candidate) bool) bool
 					}
 				}
 				if allKnown {
-					vals[id] = v
-					known[id] = true
+					setKnown(id, v)
 				} else {
 					res.complete = false
 				}
 			case Load:
 				id := nextEvent()
-				addCtrl(id)
 				w := rfOf[id]
 				if known[w] {
-					vals[id] = vals[w]
-					known[id] = true
+					setKnown(id, vals[w])
 					res.regs[o.Dst] = vals[w]
 				} else {
 					res.complete = false
@@ -623,10 +730,6 @@ func (j *skeletonJob) enumerateCO(rfChoice []int, fn func(*Candidate) bool) bool
 			case LoadIdx:
 				chosen := nextBit()
 				id := nextEvent()
-				addCtrl(id)
-				for _, s := range prov[o.Idx] {
-					res.addr = append(res.addr, rel.Pair{From: s, To: id})
-				}
 				idxVal, haveIdx := res.regs[o.Idx]
 				idxKnown := haveIdx
 				for _, s := range prov[o.Idx] {
@@ -642,8 +745,7 @@ func (j *skeletonJob) enumerateCO(rfChoice []int, fn func(*Candidate) bool) bool
 				}
 				w := rfOf[id]
 				if known[w] {
-					vals[id] = vals[w]
-					known[id] = true
+					setKnown(id, vals[w])
 					res.regs[o.Dst] = vals[w]
 				} else {
 					res.complete = false
@@ -651,11 +753,7 @@ func (j *skeletonJob) enumerateCO(rfChoice []int, fn func(*Candidate) bool) bool
 				prov[o.Dst] = []int{id}
 			case StoreIdx:
 				chosen := nextBit()
-				id := nextEvent()
-				addCtrl(id)
-				for _, s := range prov[o.Idx] {
-					res.addr = append(res.addr, rel.Pair{From: s, To: id})
-				}
+				nextEvent()
 				idxVal, haveIdx := res.regs[o.Idx]
 				idxKnown := haveIdx
 				for _, s := range prov[o.Idx] {
@@ -672,11 +770,9 @@ func (j *skeletonJob) enumerateCO(rfChoice []int, fn func(*Candidate) bool) bool
 			case CAS:
 				success := nextBit()
 				rid := nextEvent()
-				addCtrl(rid)
 				w := rfOf[rid]
 				if known[w] {
-					vals[rid] = vals[w]
-					known[rid] = true
+					setKnown(rid, vals[w])
 					if (vals[w] == o.Expect) != success {
 						res.ok = false
 						return res
@@ -692,10 +788,10 @@ func (j *skeletonJob) enumerateCO(rfChoice []int, fn func(*Candidate) bool) bool
 				}
 				if success {
 					// Write value is the constant o.New, already known.
-					addCtrl(nextEvent())
+					nextEvent()
 				}
 			case Fence:
-				addCtrl(nextEvent())
+				nextEvent()
 			case MovImm:
 				res.regs[o.Dst] = o.Val
 				prov[o.Dst] = nil
@@ -709,7 +805,7 @@ func (j *skeletonJob) enumerateCO(rfChoice []int, fn func(*Candidate) bool) bool
 	for iter := 0; ; iter++ {
 		results = results[:0]
 		allOK, allComplete := true, true
-		knownBefore := len(known)
+		knownBefore := nKnown
 		for t := range skels {
 			r := replayThread(t)
 			results = append(results, r)
@@ -726,7 +822,7 @@ func (j *skeletonJob) enumerateCO(rfChoice []int, fn func(*Candidate) bool) bool
 		if allComplete {
 			break
 		}
-		if len(known) == knownBefore {
+		if nKnown == knownBefore {
 			// Cyclic value dependency (thin air) — not generated.
 			return true
 		}
@@ -743,25 +839,9 @@ func (j *skeletonJob) enumerateCO(rfChoice []int, fn func(*Candidate) bool) bool
 	}
 
 	// rf relation (value consistency holds by construction).
-	rf := rel.New()
-	for r, w := range rfOf {
-		rf.Add(w, r)
-	}
-
-	// Dependencies.
-	data := rel.New()
-	addrRel := rel.New()
-	ctrl := rel.New()
-	for _, rr := range results {
-		for _, pr := range rr.data {
-			data.Add(pr.From, pr.To)
-		}
-		for _, pr := range rr.addr {
-			addrRel.Add(pr.From, pr.To)
-		}
-		for _, pr := range rr.ctrl {
-			ctrl.Add(pr.From, pr.To)
-		}
+	rf := rel.NewSized(len(events))
+	for i, r := range reads {
+		rf.Add(rfChoice[i], r)
 	}
 
 	regs := make([]map[Reg]int64, len(results))
@@ -792,14 +872,18 @@ func (j *skeletonJob) enumerateCO(rfChoice []int, fn func(*Candidate) bool) bool
 	var recCO func(li int) bool
 	recCO = func(li int) bool {
 		if li == len(locList) {
-			x := memmodel.NewExecution(resolved)
-			x.Po = po
-			x.Rf = rf
-			x.Co = co.Clone()
-			x.Rmw = rmw
-			x.Data = data
-			x.Addr = addrRel
-			x.Ctrl = ctrl
+			// Candidate-invariant relations are shared from the job; only
+			// the events (values), rf and co are per-candidate.
+			x := &memmodel.Execution{
+				Events: resolved,
+				Po:     j.po,
+				Rf:     rf,
+				Co:     co.Clone(),
+				Rmw:    j.rmw,
+				Data:   j.data,
+				Addr:   j.addr,
+				Ctrl:   j.ctrl,
+			}
 			return fn(&Candidate{X: x, Regs: regs})
 		}
 		loc := locList[li]
@@ -847,14 +931,20 @@ func outcomeOf(c *Candidate) Outcome {
 // OutcomeSet is a set of observable outcomes.
 type OutcomeSet map[Outcome]bool
 
-// Outcomes computes the set of outcomes of p admitted by model m.
+// Outcomes computes the set of outcomes of p admitted by model m. Each
+// skeleton job gets a model checker prepared once (hoisting the
+// candidate-invariant relations) and reused across its whole rf×co
+// product.
 func Outcomes(p *Program, m memmodel.Model) OutcomeSet {
 	out := make(OutcomeSet)
-	EnumerateCandidates(p, func(c *Candidate) bool {
-		if m.Consistent(c.X) {
-			out[outcomeOf(c)] = true
-		}
-		return true
+	forEachJob(p, func(j *skeletonJob) bool {
+		ck := memmodel.NewChecker(m, j.skel)
+		return j.enumerate(nil, func(c *Candidate) bool {
+			if ck.Consistent(c.X) {
+				out[outcomeOf(c)] = true
+			}
+			return true
+		})
 	})
 	return out
 }

@@ -24,9 +24,8 @@ import (
 	"repro/internal/obs"
 )
 
-// Options configures outcome computation. Prefer building it through the
-// Option funcs passed to Enumerate; the struct remains exported for the
-// deprecated Outcomes* entrypoints.
+// Options configures outcome computation; build it through the Option
+// funcs passed to Enumerate.
 type Options struct {
 	// Workers bounds enumeration parallelism: 0 (or negative) uses
 	// runtime.NumCPU(); 1 selects the serial enumeration path (useful when
@@ -56,36 +55,6 @@ func (o Options) workerCount() int {
 // shardsPerWorker oversubscribes the shard list relative to the pool so that
 // uneven shards (rf subtrees prune at very different depths) still balance.
 const shardsPerWorker = 4
-
-// OutcomesParallel computes Outcomes(p, m) on every available CPU. The
-// result is always equal to the serial set.
-//
-// Deprecated: use Enumerate(p, m).
-func OutcomesParallel(p *Program, m memmodel.Model) OutcomeSet {
-	return OutcomesOpt(p, m, Options{})
-}
-
-// OutcomesOpt computes the set of outcomes of p admitted by model m with
-// explicit worker-count and caching options, panicking on enumeration
-// failure.
-//
-// Deprecated: use Enumerate with Option funcs; it reports errors instead
-// of panicking.
-func OutcomesOpt(p *Program, m memmodel.Model, opt Options) OutcomeSet {
-	out, err := OutcomesChecked(p, m, opt)
-	if err != nil {
-		panic(err)
-	}
-	return out
-}
-
-// OutcomesChecked is OutcomesOpt with explicit error reporting and graceful
-// degradation (worker panics are captured and retried serially).
-//
-// Deprecated: use Enumerate with Option funcs.
-func OutcomesChecked(p *Program, m memmodel.Model, opt Options) (OutcomeSet, error) {
-	return enumerate(p, m, opt)
-}
 
 // outcomesSerial runs the reference serial enumerator with panic capture.
 func outcomesSerial(p *Program, m memmodel.Model) (out OutcomeSet, err error) {
@@ -159,9 +128,13 @@ func runShard(p *Program, m memmodel.Model, s shard, idx int, inj *faults.Inject
 	if t := inj.Hit(faults.SiteLitmusShard); t != nil {
 		panic(t)
 	}
+	// Each shard gets its own prepared checker: checkers carry reusable
+	// scratch state and must not be shared across goroutines, but shards
+	// over the same job still share the job's immutable skeleton.
+	ck := memmodel.NewChecker(m, s.job.skel)
 	out = make(OutcomeSet)
 	s.job.enumerate(s.rfPrefix, func(c *Candidate) bool {
-		if m.Consistent(c.X) {
+		if ck.Consistent(c.X) {
 			out[outcomeOf(c)] = true
 		}
 		return true
@@ -186,27 +159,11 @@ type shard struct {
 // read d. Programs whose space is genuinely smaller than target (few
 // skeletons, few reads) yield fewer shards.
 func buildShards(p *Program, target int) []shard {
-	locs := p.Locations()
-	perThread := skeletonsPerThread(p)
-
 	var shards []shard
-	choice := make([]int, len(p.Threads))
-	var rec func(t int)
-	rec = func(t int) {
-		if t == len(p.Threads) {
-			skels := make([]threadSkel, len(p.Threads))
-			for i, c := range choice {
-				skels[i] = perThread[i][c]
-			}
-			shards = append(shards, shard{job: newSkeletonJob(locs, skels)})
-			return
-		}
-		for i := range perThread[t] {
-			choice[t] = i
-			rec(t + 1)
-		}
-	}
-	rec(0)
+	forEachJob(p, func(j *skeletonJob) bool {
+		shards = append(shards, shard{job: j})
+		return true
+	})
 
 	for len(shards) < target {
 		refined := make([]shard, 0, len(shards))

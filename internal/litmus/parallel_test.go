@@ -64,7 +64,10 @@ func TestParallelMatchesSerial(t *testing.T) {
 		for _, m := range testModels() {
 			serial := Outcomes(p, m)
 			for _, w := range workerCounts {
-				par := OutcomesOpt(p, m, Options{Workers: w})
+				par, err := Enumerate(p, m, WithWorkers(w))
+				if err != nil {
+					t.Fatalf("%s under %s: %v", p.Name, m.Name(), err)
+				}
 				assertSameOutcomes(t, p.Name, m.Name(),
 					workersLabel(w), serial, par)
 			}
@@ -79,13 +82,17 @@ func workersLabel(w int) string {
 	return fmt.Sprintf("parallel(%d)", w)
 }
 
-// TestOutcomesParallelDefault exercises the convenience wrapper on a couple
-// of representative programs.
-func TestOutcomesParallelDefault(t *testing.T) {
+// TestEnumerateDefault exercises the no-option entrypoint on a couple of
+// representative programs.
+func TestEnumerateDefault(t *testing.T) {
 	for _, p := range []*Program{MPQ(), SBQ()} {
 		for _, m := range testModels() {
-			assertSameOutcomes(t, p.Name, m.Name(), "OutcomesParallel",
-				Outcomes(p, m), OutcomesParallel(p, m))
+			got, err := Enumerate(p, m)
+			if err != nil {
+				t.Fatalf("%s under %s: %v", p.Name, m.Name(), err)
+			}
+			assertSameOutcomes(t, p.Name, m.Name(), "Enumerate",
+				Outcomes(p, m), got)
 		}
 	}
 }

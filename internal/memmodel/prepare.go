@@ -1,0 +1,168 @@
+package memmodel
+
+import "repro/internal/rel"
+
+// Skeleton is the candidate-invariant part of a program's executions: the
+// event set and every relation fixed by program structure alone. During
+// enumeration the rf×co product varies only Rf and Co (and relations
+// derived from them), so anything computable from a Skeleton can be built
+// once per skeleton and reused across all of its candidates.
+type Skeleton struct {
+	Events []Event
+	// Po, Rmw and the syntactic dependencies are fixed by the program text
+	// and the skeleton's branch choices; they never vary with rf or co.
+	Po, Rmw, Data, Addr, Ctrl *rel.Relation
+}
+
+// Exec0 returns a pseudo-execution with the skeleton's invariant relations
+// and empty rf/co. Model Prepare implementations run their existing
+// relation builders on it to extract the candidate-invariant part of a
+// derived relation (e.g. the fence and dependency components of an
+// ordering base).
+func (sk *Skeleton) Exec0() *Execution {
+	return &Execution{
+		Events: sk.Events,
+		Po:     sk.Po,
+		Rf:     rel.New(),
+		Co:     rel.New(),
+		Rmw:    sk.Rmw,
+		Data:   sk.Data,
+		Addr:   sk.Addr,
+		Ctrl:   sk.Ctrl,
+	}
+}
+
+// SkeletonOf extracts the invariant part of an execution, sharing the
+// relation pointers (callers must not mutate them afterwards).
+func SkeletonOf(x *Execution) *Skeleton {
+	return &Skeleton{
+		Events: x.Events,
+		Po:     x.Po,
+		Rmw:    x.Rmw,
+		Data:   x.Data,
+		Addr:   x.Addr,
+		Ctrl:   x.Ctrl,
+	}
+}
+
+// Checker is a per-skeleton consistency predicate. A Checker may keep
+// reusable scratch state between calls, so a single Checker must not be
+// shared across goroutines; create one per worker via NewChecker.
+type Checker interface {
+	// Consistent reports whether the candidate execution — which must be a
+	// candidate of the skeleton the checker was prepared for — satisfies
+	// every axiom of the model.
+	Consistent(x *Execution) bool
+}
+
+// PreparedModel is implemented by models that can hoist candidate-invariant
+// work into a per-skeleton Checker.
+type PreparedModel interface {
+	Model
+	// Prepare builds a Checker specialized to the skeleton.
+	Prepare(sk *Skeleton) Checker
+}
+
+// NewChecker returns the model's prepared checker for the skeleton, or a
+// plain adapter calling m.Consistent per candidate when the model does not
+// implement PreparedModel.
+func NewChecker(m Model, sk *Skeleton) Checker {
+	if pm, ok := m.(PreparedModel); ok {
+		return pm.Prepare(sk)
+	}
+	return plainChecker{m}
+}
+
+type plainChecker struct{ m Model }
+
+func (c plainChecker) Consistent(x *Execution) bool { return c.m.Consistent(x) }
+
+// Prep precomputes the skeleton relations every model's checker needs —
+// po|loc, the po-internality mask, and the common axioms — plus an arena
+// of scratch relations so the per-candidate work is allocation-free.
+// Model checkers embed or wrap a Prep.
+type Prep struct {
+	Sk *Skeleton
+	// PoLoc is po restricted to same-location memory accesses.
+	PoLoc *rel.Relation
+	// PoSym is po ∪ po⁻¹: the edges internal to a thread. rf/co/fr edges
+	// are external exactly when absent from PoSym (init-write edges are
+	// never po-related, hence always external).
+	PoSym *rel.Relation
+	// Arena sizes scratch relations to the skeleton's event universe.
+	Arena *rel.Arena
+
+	rmwEmpty bool
+	// Per-candidate scratch, overwritten by each Derive call.
+	rfInv, fr, rfe, coe, fre, acc, atom *rel.Relation
+}
+
+// Derived bundles the candidate-varying relations computed by Derive. The
+// relations are owned by the Prep and valid until the next Derive call.
+type Derived struct {
+	Fr, Rfe, Coe, Fre *rel.Relation
+}
+
+// NewPrep builds the shared per-skeleton state.
+func NewPrep(sk *Skeleton) *Prep {
+	n := len(sk.Events)
+	ar := rel.NewArena(n)
+	p := &Prep{
+		Sk:       sk,
+		Arena:    ar,
+		rmwEmpty: sk.Rmw.IsEmpty(),
+		rfInv:    ar.Get(),
+		fr:       ar.Get(),
+		rfe:      ar.Get(),
+		coe:      ar.Get(),
+		fre:      ar.Get(),
+		acc:      ar.Get(),
+		atom:     ar.Get(),
+	}
+	p.PoLoc = sk.Exec0().PoLoc()
+	p.PoSym = sk.Po.Union(sk.Po.Inverse())
+	return p
+}
+
+// Derive computes fr, rfe, coe and fre for the candidate, reusing the
+// prep's scratch relations.
+func (p *Prep) Derive(x *Execution) Derived {
+	p.rfInv.InverseOf(x.Rf)
+	p.fr.SeqOf(p.rfInv, x.Co)
+	p.rfe.CopyFrom(x.Rf)
+	p.rfe.MinusWith(p.PoSym)
+	p.coe.CopyFrom(x.Co)
+	p.coe.MinusWith(p.PoSym)
+	p.fre.CopyFrom(p.fr)
+	p.fre.MinusWith(p.PoSym)
+	return Derived{Fr: p.fr, Rfe: p.rfe, Coe: p.coe, Fre: p.fre}
+}
+
+// SCPerLoc checks the coherence axiom with precomputed po|loc and fr:
+// acyclic(po|loc ∪ rf ∪ co ∪ fr).
+func (p *Prep) SCPerLoc(x *Execution, d Derived) bool {
+	p.acc.CopyFrom(p.PoLoc)
+	p.acc.UnionWith(x.Rf)
+	p.acc.UnionWith(x.Co)
+	p.acc.UnionWith(d.Fr)
+	return p.Arena.Acyclic(p.acc)
+}
+
+// Atomicity checks the RMW axiom rmw ∩ (fre ; coe) = ∅, skipping the
+// composition entirely for the common rmw-free skeletons.
+func (p *Prep) Atomicity(d Derived) bool {
+	if p.rmwEmpty {
+		return true
+	}
+	p.atom.SeqOf(d.Fre, d.Coe)
+	p.atom.IntersectWith(p.Sk.Rmw)
+	return p.atom.IsEmpty()
+}
+
+// Scratch returns the prep's accumulator relation, reset. Model checkers
+// build their ordering union in it; its contents are invalidated by the
+// next SCPerLoc or Scratch call.
+func (p *Prep) Scratch() *rel.Relation {
+	p.acc.Reset()
+	return p.acc
+}

@@ -1,0 +1,70 @@
+package armcats
+
+import (
+	"repro/internal/memmodel"
+	"repro/internal/rel"
+)
+
+// checker is the per-skeleton Armed-Cats consistency predicate.
+//
+// Of lob's components, lws, aob, bob and most of dob are fixed by the
+// skeleton (po, po|loc, fences, acquire/release flags, rmw, syntactic
+// dependencies); only dob's (ctrl ∪ data);coi and (addr ∪ data);rfi terms
+// vary with the candidate. The static union is computed once by running
+// the exported builders on the skeleton's pseudo-execution (empty rf/co
+// makes coi and rfi vanish, leaving exactly the static part of dob).
+//
+// The (external) axiom asks for acyclicity of rfe ∪ coe ∪ fre ∪ lob with
+// lob = (lws ∪ dob ∪ aob ∪ bob)+. A union with a transitive closure is
+// acyclic iff the union with the unclosed relation is — every closure edge
+// expands to a path of base edges — so the checker skips the closure
+// entirely. The exported Lob keeps closure semantics for direct callers.
+type checker struct {
+	p *memmodel.Prep
+	// lobStatic = lws ∪ dob|static ∪ aob ∪ bob (unclosed).
+	lobStatic *rel.Relation
+	// ctrlData = ctrl ∪ data, addrData = addr ∪ data: the left factors of
+	// dob's candidate-varying terms.
+	ctrlData, addrData *rel.Relation
+	// Per-candidate scratch.
+	coi, rfi, comp *rel.Relation
+}
+
+// Prepare implements memmodel.PreparedModel.
+func (m Model) Prepare(sk *memmodel.Skeleton) memmodel.Checker {
+	p := memmodel.NewPrep(sk)
+	x0 := sk.Exec0()
+	return &checker{
+		p:         p,
+		lobStatic: rel.Union(Lws(x0), Dob(x0), Aob(x0), Bob(x0, m.variant)),
+		ctrlData:  sk.Ctrl.Union(sk.Data),
+		addrData:  sk.Addr.Union(sk.Data),
+		coi:       p.Arena.Get(),
+		rfi:       p.Arena.Get(),
+		comp:      p.Arena.Get(),
+	}
+}
+
+// Consistent implements memmodel.Checker.
+func (c *checker) Consistent(x *memmodel.Execution) bool {
+	d := c.p.Derive(x)
+	if !c.p.SCPerLoc(x, d) || !c.p.Atomicity(d) {
+		return false
+	}
+	// coi = co ∩ (po ∪ po⁻¹), rfi = rf ∩ (po ∪ po⁻¹).
+	c.coi.CopyFrom(x.Co)
+	c.coi.IntersectWith(c.p.PoSym)
+	c.rfi.CopyFrom(x.Rf)
+	c.rfi.IntersectWith(c.p.PoSym)
+
+	s := c.p.Scratch()
+	s.CopyFrom(c.lobStatic)
+	c.comp.SeqOf(c.ctrlData, c.coi)
+	s.UnionWith(c.comp)
+	c.comp.SeqOf(c.addrData, c.rfi)
+	s.UnionWith(c.comp)
+	s.UnionWith(d.Rfe)
+	s.UnionWith(d.Coe)
+	s.UnionWith(d.Fre)
+	return c.p.Arena.Acyclic(s)
+}

@@ -1,0 +1,38 @@
+package tcgmm
+
+import (
+	"repro/internal/memmodel"
+	"repro/internal/rel"
+)
+
+// checker is the per-skeleton TCG-IR consistency predicate. The ord
+// relation of Figure 6 is built entirely from po, fence placement, SC
+// access flags and the rmw pairing — nothing candidate-varying — so it is
+// computed once per skeleton; each candidate unions in rfe/coe/fre and
+// runs the acyclicity DFS.
+type checker struct {
+	p   *memmodel.Prep
+	ord *rel.Relation
+}
+
+// Prepare implements memmodel.PreparedModel.
+func (Model) Prepare(sk *memmodel.Skeleton) memmodel.Checker {
+	return &checker{
+		p:   memmodel.NewPrep(sk),
+		ord: Ord(sk.Exec0()),
+	}
+}
+
+// Consistent implements memmodel.Checker.
+func (c *checker) Consistent(x *memmodel.Execution) bool {
+	d := c.p.Derive(x)
+	if !c.p.SCPerLoc(x, d) || !c.p.Atomicity(d) {
+		return false
+	}
+	s := c.p.Scratch()
+	s.CopyFrom(c.ord)
+	s.UnionWith(d.Rfe)
+	s.UnionWith(d.Coe)
+	s.UnionWith(d.Fre)
+	return c.p.Arena.Acyclic(s)
+}

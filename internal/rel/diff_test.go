@@ -1,0 +1,297 @@
+package rel
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// pairSet is a test-local reference model: a relation as a flat set of
+// edges, with every operator written as brute-force set arithmetic. The
+// randomized differential below checks whichever engine is compiled in
+// (bitset by default, nested maps under -tags relmap) against it.
+type pairSet map[Pair]bool
+
+func (s pairSet) rel() *Relation {
+	r := New()
+	for p := range s {
+		r.Add(p.From, p.To)
+	}
+	return r
+}
+
+func (s pairSet) sorted() []Pair {
+	out := make([]Pair, 0, len(s))
+	for p := range s {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+func (s pairSet) union(o pairSet) pairSet {
+	out := pairSet{}
+	for p := range s {
+		out[p] = true
+	}
+	for p := range o {
+		out[p] = true
+	}
+	return out
+}
+
+func (s pairSet) intersect(o pairSet) pairSet {
+	out := pairSet{}
+	for p := range s {
+		if o[p] {
+			out[p] = true
+		}
+	}
+	return out
+}
+
+func (s pairSet) minus(o pairSet) pairSet {
+	out := pairSet{}
+	for p := range s {
+		if !o[p] {
+			out[p] = true
+		}
+	}
+	return out
+}
+
+func (s pairSet) seq(o pairSet) pairSet {
+	out := pairSet{}
+	for p := range s {
+		for q := range o {
+			if p.To == q.From {
+				out[Pair{p.From, q.To}] = true
+			}
+		}
+	}
+	return out
+}
+
+func (s pairSet) inverse() pairSet {
+	out := pairSet{}
+	for p := range s {
+		out[Pair{p.To, p.From}] = true
+	}
+	return out
+}
+
+func (s pairSet) closure() pairSet {
+	out := pairSet{}
+	for p := range s {
+		out[p] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for p := range out {
+			for q := range out {
+				if p.To == q.From && !out[Pair{p.From, q.To}] {
+					out[Pair{p.From, q.To}] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+func (s pairSet) acyclic() bool {
+	for p := range s.closure() {
+		if p.From == p.To {
+			return false
+		}
+	}
+	return true
+}
+
+func randPairSet(rng *rand.Rand, universe, edges int) pairSet {
+	s := pairSet{}
+	for i := 0; i < edges; i++ {
+		s[Pair{rng.Intn(universe), rng.Intn(universe)}] = true
+	}
+	return s
+}
+
+func wantPairs(t *testing.T, op string, got *Relation, want pairSet) {
+	t.Helper()
+	gp := got.Pairs()
+	wp := want.sorted()
+	if len(gp) != len(wp) {
+		t.Fatalf("%s: got %d edges %v, want %d edges %v", op, len(gp), gp, len(wp), wp)
+	}
+	for i := range gp {
+		if gp[i] != wp[i] {
+			t.Fatalf("%s: edge %d: got %v, want %v", op, i, gp[i], wp[i])
+		}
+	}
+}
+
+// TestDifferentialOps cross-checks every relation operator against the
+// brute-force pairSet reference on randomized inputs of varying density,
+// including the in-place kernel forms the hot paths use.
+func TestDifferentialOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 60; trial++ {
+		universe := 1 + rng.Intn(70) // crosses the 64-bit word boundary
+		sa := randPairSet(rng, universe, rng.Intn(2*universe))
+		sb := randPairSet(rng, universe, rng.Intn(2*universe))
+		ra, rb := sa.rel(), sb.rel()
+
+		wantPairs(t, "Union", ra.Union(rb), sa.union(sb))
+		wantPairs(t, "Intersect", ra.Intersect(rb), sa.intersect(sb))
+		wantPairs(t, "Minus", ra.Minus(rb), sa.minus(sb))
+		wantPairs(t, "Seq", ra.Seq(rb), sa.seq(sb))
+		wantPairs(t, "Inverse", ra.Inverse(), sa.inverse())
+		wantPairs(t, "TransitiveClosure", ra.TransitiveClosure(), sa.closure())
+
+		if got, want := ra.Acyclic(), sa.acyclic(); got != want {
+			t.Fatalf("Acyclic: got %v, want %v for %v", got, want, sa.sorted())
+		}
+		ar := NewArena(universe)
+		if got, want := ar.Acyclic(ra), sa.acyclic(); got != want {
+			t.Fatalf("Arena.Acyclic: got %v, want %v for %v", got, want, sa.sorted())
+		}
+
+		// In-place forms must agree with the functional ones.
+		u := ra.Clone()
+		u.UnionWith(rb)
+		wantPairs(t, "UnionWith", u, sa.union(sb))
+		in := ra.Clone()
+		in.IntersectWith(rb)
+		wantPairs(t, "IntersectWith", in, sa.intersect(sb))
+		mi := ra.Clone()
+		mi.MinusWith(rb)
+		wantPairs(t, "MinusWith", mi, sa.minus(sb))
+		sq := New()
+		sq.SeqOf(ra, rb)
+		wantPairs(t, "SeqOf", sq, sa.seq(sb))
+		iv := New()
+		iv.InverseOf(ra)
+		wantPairs(t, "InverseOf", iv, sa.inverse())
+		cl := ra.Clone()
+		cl.CloseTransitive()
+		wantPairs(t, "CloseTransitive", cl, sa.closure())
+		cp := NewSized(universe)
+		cp.CopyFrom(ra)
+		wantPairs(t, "CopyFrom", cp, sa)
+		cp.Reset()
+		if !cp.IsEmpty() {
+			t.Fatalf("Reset left edges: %v", cp.Pairs())
+		}
+
+		// Arena recycling must hand back fully cleared storage.
+		got := ar.Get()
+		if !got.IsEmpty() {
+			t.Fatalf("Arena.Get returned non-empty relation: %v", got.Pairs())
+		}
+		got.UnionWith(ra)
+		ar.Put(got)
+		again := ar.Get()
+		if !again.IsEmpty() {
+			t.Fatalf("Arena.Get after Put returned stale edges: %v", again.Pairs())
+		}
+		ar.Put(again)
+
+		// Point queries.
+		for i := 0; i < 20; i++ {
+			a, b := rng.Intn(universe), rng.Intn(universe)
+			if got, want := ra.Has(a, b), sa[Pair{a, b}]; got != want {
+				t.Fatalf("Has(%d,%d): got %v, want %v", a, b, got, want)
+			}
+		}
+		if got, want := ra.Size(), len(sa); got != want {
+			t.Fatalf("Size: got %d, want %d", got, want)
+		}
+	}
+}
+
+// TestMixedCapacity pins the kernels against operands whose allocated
+// capacity exceeds their logical universe (growth doubling can leave a
+// relation with more row words than a fresh peer over the same elements).
+func TestMixedCapacity(t *testing.T) {
+	// wide: capacity for 256 elements, but only [0,70) used.
+	wide := New()
+	wide.Add(200, 200) // force capacity past 192
+	wide2 := New()
+	wide2.Add(200, 200)
+	sw := pairSet{}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 60; i++ {
+		p := Pair{rng.Intn(70), rng.Intn(70)}
+		sw[p] = true
+		wide.Add(p.From, p.To)
+		wide2.Add(p.From, p.To)
+	}
+	// narrow: tight capacity over the same universe.
+	narrow := NewSized(70)
+	sn := pairSet{}
+	for i := 0; i < 60; i++ {
+		p := Pair{rng.Intn(70), rng.Intn(70)}
+		sn[p] = true
+		narrow.Add(p.From, p.To)
+	}
+	swOnly := pairSet{}
+	for p := range sw {
+		swOnly[p] = true
+	}
+	swOnly[Pair{200, 200}] = true
+
+	u := narrow.Clone()
+	u.UnionWith(wide)
+	wantPairs(t, "UnionWith(wide into narrow)", u, sn.union(swOnly))
+	sq := New()
+	sq.SeqOf(narrow, wide)
+	wantPairs(t, "SeqOf(narrow;wide)", sq, sn.seq(swOnly))
+	cp := NewSized(70)
+	cp.CopyFrom(wide)
+	wantPairs(t, "CopyFrom(wide into narrow)", cp, swOnly)
+	in := narrow.Clone()
+	in.IntersectWith(wide)
+	wantPairs(t, "IntersectWith(wide into narrow)", in, sn.intersect(swOnly))
+	mi := narrow.Clone()
+	mi.MinusWith(wide)
+	wantPairs(t, "MinusWith(wide from narrow)", mi, sn.minus(swOnly))
+	if !wide.Equal(wide2) {
+		t.Fatal("Equal: identical wide relations reported unequal")
+	}
+	if wide.Equal(narrow) {
+		t.Fatal("Equal: distinct relations reported equal")
+	}
+}
+
+// TestPairsSorted is the regression test for the Pairs determinism
+// guarantee: edges inserted in adversarial order must come back in
+// ascending (From, To) order, as the doc comment promises.
+func TestPairsSorted(t *testing.T) {
+	r := New()
+	ins := []Pair{{67, 3}, {0, 65}, {5, 5}, {0, 2}, {67, 0}, {5, 1}, {0, 64}}
+	for _, p := range ins {
+		r.Add(p.From, p.To)
+	}
+	want := []Pair{{0, 2}, {0, 64}, {0, 65}, {5, 1}, {5, 5}, {67, 0}, {67, 3}}
+	got := r.Pairs()
+	if len(got) != len(want) {
+		t.Fatalf("Pairs: got %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("Pairs[%d]: got %v, want %v (full: %v)", i, got[i], want[i], got)
+		}
+	}
+
+	// Must hold for randomized insertion orders too.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		s := randPairSet(rng, 1+rng.Intn(100), rng.Intn(200))
+		wantPairs(t, "Pairs", s.rel(), s)
+	}
+}

@@ -1,0 +1,387 @@
+//go:build relmap
+
+package rel
+
+import "sort"
+
+// Relation is the reference nested-map implementation, selected by the
+// "relmap" build tag. It is deliberately naive: every operator is written
+// as the obvious set manipulation, and the in-place forms are thin wrappers
+// over the functional ones. Running the test suite (golden corpus files
+// included) under this tag and under the default bitset engine is the
+// differential proof that both compute identical relations.
+type Relation struct {
+	succ map[int]map[int]struct{}
+}
+
+// New returns an empty relation.
+func New() *Relation {
+	return &Relation{succ: make(map[int]map[int]struct{})}
+}
+
+// NewSized returns an empty relation; the size hint is ignored by the
+// map engine.
+func NewSized(n int) *Relation { return New() }
+
+// Add inserts the edge (a, b). Adding an existing edge is a no-op.
+// Elements must be non-negative.
+func (r *Relation) Add(a, b int) {
+	if a < 0 || b < 0 {
+		panic("rel: negative element")
+	}
+	s, ok := r.succ[a]
+	if !ok {
+		s = make(map[int]struct{})
+		r.succ[a] = s
+	}
+	s[b] = struct{}{}
+}
+
+// Has reports whether the edge (a, b) is present.
+func (r *Relation) Has(a, b int) bool {
+	s, ok := r.succ[a]
+	if !ok {
+		return false
+	}
+	_, ok = s[b]
+	return ok
+}
+
+// Size returns the number of edges.
+func (r *Relation) Size() int {
+	n := 0
+	for _, s := range r.succ {
+		n += len(s)
+	}
+	return n
+}
+
+// IsEmpty reports whether the relation has no edges.
+func (r *Relation) IsEmpty() bool { return r.Size() == 0 }
+
+// AnyFrom reports whether a has at least one outgoing edge.
+func (r *Relation) AnyFrom(a int) bool { return len(r.succ[a]) > 0 }
+
+// Pairs returns all edges in deterministic ascending (From, To) order.
+func (r *Relation) Pairs() []Pair {
+	var out []Pair
+	for a, s := range r.succ {
+		for b := range s {
+			out = append(out, Pair{a, b})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// Clone returns a deep copy of r.
+func (r *Relation) Clone() *Relation {
+	c := New()
+	for a, s := range r.succ {
+		cs := make(map[int]struct{}, len(s))
+		for b := range s {
+			cs[b] = struct{}{}
+		}
+		c.succ[a] = cs
+	}
+	return c
+}
+
+// Reset removes every edge.
+func (r *Relation) Reset() {
+	r.succ = make(map[int]map[int]struct{})
+}
+
+// CopyFrom makes r an exact copy of o.
+func (r *Relation) CopyFrom(o *Relation) {
+	if r == o {
+		return
+	}
+	r.succ = o.Clone().succ
+}
+
+// UnionWith adds every edge of o to r (r ∪= o).
+func (r *Relation) UnionWith(o *Relation) {
+	for a, s := range o.succ {
+		for b := range s {
+			r.Add(a, b)
+		}
+	}
+}
+
+// IntersectWith removes every edge of r not in o (r ∩= o).
+func (r *Relation) IntersectWith(o *Relation) {
+	r.succ = r.Intersect(o).succ
+}
+
+// MinusWith removes every edge of o from r (r \= o).
+func (r *Relation) MinusWith(o *Relation) {
+	r.succ = r.Minus(o).succ
+}
+
+// SeqOf sets r to the relational composition p ; q. r must not alias p or q.
+func (r *Relation) SeqOf(p, q *Relation) {
+	if r == p || r == q {
+		panic("rel: SeqOf receiver aliases an operand")
+	}
+	r.succ = p.Seq(q).succ
+}
+
+// InverseOf sets r to o^-1. r must not alias o.
+func (r *Relation) InverseOf(o *Relation) {
+	if r == o {
+		panic("rel: InverseOf receiver aliases the operand")
+	}
+	r.succ = o.Inverse().succ
+}
+
+// CloseTransitive replaces r with its transitive closure r+ in place.
+func (r *Relation) CloseTransitive() {
+	r.succ = r.TransitiveClosure().succ
+}
+
+// Union returns r ∪ others.
+func (r *Relation) Union(others ...*Relation) *Relation {
+	out := r.Clone()
+	for _, o := range others {
+		out.UnionWith(o)
+	}
+	return out
+}
+
+// Intersect returns r ∩ o.
+func (r *Relation) Intersect(o *Relation) *Relation {
+	out := New()
+	for a, s := range r.succ {
+		for b := range s {
+			if o.Has(a, b) {
+				out.Add(a, b)
+			}
+		}
+	}
+	return out
+}
+
+// Minus returns r \ o.
+func (r *Relation) Minus(o *Relation) *Relation {
+	out := New()
+	for a, s := range r.succ {
+		for b := range s {
+			if !o.Has(a, b) {
+				out.Add(a, b)
+			}
+		}
+	}
+	return out
+}
+
+// Seq returns the relational composition r ; o:
+// (a, c) ∈ r;o iff ∃b. (a, b) ∈ r ∧ (b, c) ∈ o.
+func (r *Relation) Seq(o *Relation) *Relation {
+	out := New()
+	for a, s := range r.succ {
+		for b := range s {
+			if t, ok := o.succ[b]; ok {
+				for c := range t {
+					out.Add(a, c)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Inverse returns r^-1: (b, a) for every (a, b) in r.
+func (r *Relation) Inverse() *Relation {
+	out := New()
+	for a, s := range r.succ {
+		for b := range s {
+			out.Add(b, a)
+		}
+	}
+	return out
+}
+
+// Domain returns the set of elements with at least one outgoing edge,
+// in sorted order.
+func (r *Relation) Domain() []int {
+	var out []int
+	for a, s := range r.succ {
+		if len(s) > 0 {
+			out = append(out, a)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Codomain returns the set of elements with at least one incoming edge,
+// in sorted order.
+func (r *Relation) Codomain() []int {
+	seen := make(map[int]struct{})
+	for _, s := range r.succ {
+		for b := range s {
+			seen[b] = struct{}{}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for b := range seen {
+		out = append(out, b)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// TransitiveClosure returns r+, the least transitive relation containing r.
+func (r *Relation) TransitiveClosure() *Relation {
+	out := r.Clone()
+	// Gather all vertices mentioned by the relation.
+	verts := make(map[int]struct{})
+	for a, s := range r.succ {
+		verts[a] = struct{}{}
+		for b := range s {
+			verts[b] = struct{}{}
+		}
+	}
+	// Floyd–Warshall style closure; fine for litmus-scale graphs.
+	for k := range verts {
+		for a := range verts {
+			if !out.Has(a, k) {
+				continue
+			}
+			if s, ok := out.succ[k]; ok {
+				for b := range s {
+					out.Add(a, b)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Irreflexive reports whether no element is related to itself.
+func (r *Relation) Irreflexive() bool {
+	for a, s := range r.succ {
+		if _, ok := s[a]; ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Acyclic reports whether r+ is irreflexive, i.e. the directed graph induced
+// by r has no cycle.
+func (r *Relation) Acyclic() bool {
+	// DFS-based cycle detection avoids building the full closure.
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[int]int)
+	var stack []int
+	for a := range r.succ {
+		if color[a] != white {
+			continue
+		}
+		// Iterative DFS with an explicit "post" marker.
+		stack = stack[:0]
+		stack = append(stack, a)
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			if color[n] == white {
+				color[n] = grey
+				for b := range r.succ[n] {
+					switch color[b] {
+					case grey:
+						return false
+					case white:
+						stack = append(stack, b)
+					}
+				}
+			} else {
+				if color[n] == grey {
+					color[n] = black
+				}
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	return true
+}
+
+// RestrictDomain returns r with edges limited to those whose source is in set.
+func (r *Relation) RestrictDomain(set map[int]bool) *Relation {
+	out := New()
+	for a, s := range r.succ {
+		if !set[a] {
+			continue
+		}
+		for b := range s {
+			out.Add(a, b)
+		}
+	}
+	return out
+}
+
+// RestrictCodomain returns r with edges limited to those whose target is in set.
+func (r *Relation) RestrictCodomain(set map[int]bool) *Relation {
+	out := New()
+	for a, s := range r.succ {
+		for b := range s {
+			if set[b] {
+				out.Add(a, b)
+			}
+		}
+	}
+	return out
+}
+
+// Filter returns the edges of r satisfying keep.
+func (r *Relation) Filter(keep func(a, b int) bool) *Relation {
+	out := New()
+	for a, s := range r.succ {
+		for b := range s {
+			if keep(a, b) {
+				out.Add(a, b)
+			}
+		}
+	}
+	return out
+}
+
+// Equal reports whether r and o contain exactly the same edges.
+func (r *Relation) Equal(o *Relation) bool {
+	if r.Size() != o.Size() {
+		return false
+	}
+	for a, s := range r.succ {
+		for b := range s {
+			if !o.Has(a, b) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Arena matches the bitset engine's pooling API. The map engine has no
+// fixed-capacity storage to recycle, so Get simply allocates.
+type Arena struct{ n int }
+
+// NewArena returns an arena whose relations hold elements [0, n).
+func NewArena(n int) *Arena { return &Arena{n: n} }
+
+// Get returns an empty relation.
+func (ar *Arena) Get() *Relation { return New() }
+
+// Put discards the relation.
+func (ar *Arena) Put(r *Relation) {}
+
+// Acyclic reports whether r has no cycle.
+func (ar *Arena) Acyclic(r *Relation) bool { return r.Acyclic() }

@@ -5,30 +5,32 @@
 // closure (+), reflexive-transitive closure (*), and the acyclicity and
 // irreflexivity tests that consistency axioms are built from.
 //
-// Relations are mutable adjacency-set structures; all operators return a
-// fresh relation and never alias the operands' internal state.
+// Two interchangeable engines implement the Relation API:
+//
+//   - The default engine (bitset.go) stores a relation as a dense []uint64
+//     adjacency-bit matrix. Event IDs in candidate executions are small
+//     contiguous ints, so every operator runs as a word-wise kernel and an
+//     Arena lets hot paths (per-candidate consistency checks) reuse storage
+//     without allocating.
+//   - The reference engine (mapref.go, build tag "relmap") keeps the
+//     original nested-map representation. It is retained as the obviously
+//     correct implementation: `go test -tags relmap ./...` runs the whole
+//     corpus — golden outcome files included — through it, which is the
+//     differential proof that the bitset engine computes identical sets.
+//
+// Functional operators (Union, Seq, Inverse, …) return a fresh relation and
+// never alias the operands' internal state; the *With/*Of in-place forms
+// mutate their receiver and exist for allocation-free inner loops.
 package rel
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 )
-
-// Relation is a finite binary relation over elements identified by int IDs.
-// The zero value is not ready for use; call New.
-type Relation struct {
-	succ map[int]map[int]struct{}
-}
 
 // Pair is one ordered edge of a relation.
 type Pair struct {
 	From, To int
-}
-
-// New returns an empty relation.
-func New() *Relation {
-	return &Relation{succ: make(map[int]map[int]struct{})}
 }
 
 // FromPairs builds a relation containing exactly the given edges.
@@ -40,125 +42,11 @@ func FromPairs(pairs ...Pair) *Relation {
 	return r
 }
 
-// Add inserts the edge (a, b). Adding an existing edge is a no-op.
-func (r *Relation) Add(a, b int) {
-	s, ok := r.succ[a]
-	if !ok {
-		s = make(map[int]struct{})
-		r.succ[a] = s
-	}
-	s[b] = struct{}{}
-}
-
-// Has reports whether the edge (a, b) is present.
-func (r *Relation) Has(a, b int) bool {
-	s, ok := r.succ[a]
-	if !ok {
-		return false
-	}
-	_, ok = s[b]
-	return ok
-}
-
-// Size returns the number of edges.
-func (r *Relation) Size() int {
-	n := 0
-	for _, s := range r.succ {
-		n += len(s)
-	}
-	return n
-}
-
-// IsEmpty reports whether the relation has no edges.
-func (r *Relation) IsEmpty() bool { return r.Size() == 0 }
-
-// Pairs returns all edges in deterministic (sorted) order.
-func (r *Relation) Pairs() []Pair {
-	var out []Pair
-	for a, s := range r.succ {
-		for b := range s {
-			out = append(out, Pair{a, b})
-		}
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].From != out[j].From {
-			return out[i].From < out[j].From
-		}
-		return out[i].To < out[j].To
-	})
-	return out
-}
-
-// Clone returns a deep copy of r.
-func (r *Relation) Clone() *Relation {
-	c := New()
-	for a, s := range r.succ {
-		cs := make(map[int]struct{}, len(s))
-		for b := range s {
-			cs[b] = struct{}{}
-		}
-		c.succ[a] = cs
-	}
-	return c
-}
-
-// Union returns r ∪ others.
-func (r *Relation) Union(others ...*Relation) *Relation {
-	out := r.Clone()
-	for _, o := range others {
-		for a, s := range o.succ {
-			for b := range s {
-				out.Add(a, b)
-			}
-		}
-	}
-	return out
-}
-
 // Union returns the union of all given relations (empty if none).
 func Union(rs ...*Relation) *Relation {
 	out := New()
-	return out.Union(rs...)
-}
-
-// Intersect returns r ∩ o.
-func (r *Relation) Intersect(o *Relation) *Relation {
-	out := New()
-	for a, s := range r.succ {
-		for b := range s {
-			if o.Has(a, b) {
-				out.Add(a, b)
-			}
-		}
-	}
-	return out
-}
-
-// Minus returns r \ o.
-func (r *Relation) Minus(o *Relation) *Relation {
-	out := New()
-	for a, s := range r.succ {
-		for b := range s {
-			if !o.Has(a, b) {
-				out.Add(a, b)
-			}
-		}
-	}
-	return out
-}
-
-// Seq returns the relational composition r ; o:
-// (a, c) ∈ r;o iff ∃b. (a, b) ∈ r ∧ (b, c) ∈ o.
-func (r *Relation) Seq(o *Relation) *Relation {
-	out := New()
-	for a, s := range r.succ {
-		for b := range s {
-			if t, ok := o.succ[b]; ok {
-				for c := range t {
-					out.Add(a, c)
-				}
-			}
-		}
+	for _, o := range rs {
+		out.UnionWith(o)
 	}
 	return out
 }
@@ -176,79 +64,11 @@ func Seq(rs ...*Relation) *Relation {
 	return out
 }
 
-// Inverse returns r^-1: (b, a) for every (a, b) in r.
-func (r *Relation) Inverse() *Relation {
-	out := New()
-	for a, s := range r.succ {
-		for b := range s {
-			out.Add(b, a)
-		}
-	}
-	return out
-}
-
 // Identity returns [A], the identity relation on the given set of elements.
 func Identity(set []int) *Relation {
 	out := New()
 	for _, a := range set {
 		out.Add(a, a)
-	}
-	return out
-}
-
-// Domain returns the set of elements with at least one outgoing edge,
-// in sorted order.
-func (r *Relation) Domain() []int {
-	var out []int
-	for a, s := range r.succ {
-		if len(s) > 0 {
-			out = append(out, a)
-		}
-	}
-	sort.Ints(out)
-	return out
-}
-
-// Codomain returns the set of elements with at least one incoming edge,
-// in sorted order.
-func (r *Relation) Codomain() []int {
-	seen := make(map[int]struct{})
-	for _, s := range r.succ {
-		for b := range s {
-			seen[b] = struct{}{}
-		}
-	}
-	out := make([]int, 0, len(seen))
-	for b := range seen {
-		out = append(out, b)
-	}
-	sort.Ints(out)
-	return out
-}
-
-// TransitiveClosure returns r+, the least transitive relation containing r.
-func (r *Relation) TransitiveClosure() *Relation {
-	out := r.Clone()
-	// Gather all vertices mentioned by the relation.
-	verts := make(map[int]struct{})
-	for a, s := range r.succ {
-		verts[a] = struct{}{}
-		for b := range s {
-			verts[b] = struct{}{}
-		}
-	}
-	// Floyd–Warshall style closure; fine for litmus-scale graphs.
-	for k := range verts {
-		for a := range verts {
-			if !out.Has(a, k) {
-				continue
-			}
-			if s, ok := out.succ[k]; ok {
-				for b := range s {
-					out.Add(a, b)
-				}
-			}
-		}
 	}
 	return out
 }
@@ -260,112 +80,6 @@ func (r *Relation) ReflexiveTransitiveClosure(carrier []int) *Relation {
 		out.Add(a, a)
 	}
 	return out
-}
-
-// Irreflexive reports whether no element is related to itself.
-func (r *Relation) Irreflexive() bool {
-	for a, s := range r.succ {
-		if _, ok := s[a]; ok {
-			return false
-		}
-	}
-	return true
-}
-
-// Acyclic reports whether r+ is irreflexive, i.e. the directed graph induced
-// by r has no cycle.
-func (r *Relation) Acyclic() bool {
-	// DFS-based cycle detection avoids building the full closure.
-	const (
-		white = 0
-		grey  = 1
-		black = 2
-	)
-	color := make(map[int]int)
-	var stack []int
-	for a := range r.succ {
-		if color[a] != white {
-			continue
-		}
-		// Iterative DFS with an explicit "post" marker.
-		stack = stack[:0]
-		stack = append(stack, a)
-		for len(stack) > 0 {
-			n := stack[len(stack)-1]
-			if color[n] == white {
-				color[n] = grey
-				for b := range r.succ[n] {
-					switch color[b] {
-					case grey:
-						return false
-					case white:
-						stack = append(stack, b)
-					}
-				}
-			} else {
-				if color[n] == grey {
-					color[n] = black
-				}
-				stack = stack[:len(stack)-1]
-			}
-		}
-	}
-	return true
-}
-
-// RestrictDomain returns r with edges limited to those whose source is in set.
-func (r *Relation) RestrictDomain(set map[int]bool) *Relation {
-	out := New()
-	for a, s := range r.succ {
-		if !set[a] {
-			continue
-		}
-		for b := range s {
-			out.Add(a, b)
-		}
-	}
-	return out
-}
-
-// RestrictCodomain returns r with edges limited to those whose target is in set.
-func (r *Relation) RestrictCodomain(set map[int]bool) *Relation {
-	out := New()
-	for a, s := range r.succ {
-		for b := range s {
-			if set[b] {
-				out.Add(a, b)
-			}
-		}
-	}
-	return out
-}
-
-// Filter returns the edges of r satisfying keep.
-func (r *Relation) Filter(keep func(a, b int) bool) *Relation {
-	out := New()
-	for a, s := range r.succ {
-		for b := range s {
-			if keep(a, b) {
-				out.Add(a, b)
-			}
-		}
-	}
-	return out
-}
-
-// Equal reports whether r and o contain exactly the same edges.
-func (r *Relation) Equal(o *Relation) bool {
-	if r.Size() != o.Size() {
-		return false
-	}
-	for a, s := range r.succ {
-		for b := range s {
-			if !o.Has(a, b) {
-				return false
-			}
-		}
-	}
-	return true
 }
 
 // TotalOrders enumerates every strict total order over elems as a relation,

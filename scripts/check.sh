@@ -5,7 +5,11 @@
 #
 # It runs vet, a full build, the full test suite, and — because the litmus
 # enumerator and its memoization cache are concurrent subsystems — the race
-# detector over the packages that exercise them.
+# detector over the packages that exercise them. Two rel-engine stages ride
+# along: the -tags relmap differential run proves the reference map engine
+# still satisfies the whole memmodel/models/litmus stack (so the default
+# bitset engine is pinned against it), and a one-iteration bench smoke keeps
+# scripts/bench_snapshot.sh and the benchmarks it snapshots compiling.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -36,5 +40,12 @@ go run ./cmd/litmusctl -workers 4 -fault shard-panic corpus >/dev/null
 
 echo "==> metrics snapshot validates (risotto -metrics json | obsvalidate)"
 go run ./cmd/risotto -kernel histogram -threads 2 -metrics json | go run ./cmd/obsvalidate >/dev/null
+
+echo "==> rel engine differential: go test -tags relmap (map engine over the full stack)"
+go test -tags relmap ./internal/rel/ ./internal/memmodel/ ./internal/models/... \
+	./internal/litmus/ ./internal/mapping/... ./internal/opcheck/
+
+echo "==> bench smoke: scripts/bench_snapshot.sh (one short iteration)"
+BENCHTIME=1x ./scripts/bench_snapshot.sh "$(mktemp)"
 
 echo "OK"
