@@ -141,14 +141,26 @@ func models() []memmodel.Model {
 
 // enumerate computes an outcome set with the global options; an enumeration
 // failure that survived the serial fallback (a real enumerator fault)
-// prints the trap and exits with code 3.
+// prints the unified one-line trap report and exits with
+// cliflags.TrapExitCode, exactly like a trapped risotto guest.
 func enumerate(p *litmus.Program, m memmodel.Model) litmus.OutcomeSet {
 	out, err := litmus.Enumerate(p, m, enumOpts...)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "litmusctl: %v\n", err)
-		os.Exit(3)
+		exitTrap(err)
 	}
 	return out
+}
+
+// exitTrap ends the process on an unrecovered enumeration error: structured
+// traps print the shared one-line report and exit with TrapExitCode;
+// anything else is an internal error (exit 1).
+func exitTrap(err error) {
+	if line, ok := cliflags.TrapReport("litmusctl", err); ok {
+		fmt.Fprintln(os.Stderr, line)
+		os.Exit(cliflags.TrapExitCode)
+	}
+	fmt.Fprintf(os.Stderr, "litmusctl: %v\n", err)
+	os.Exit(1)
 }
 
 func corpus() {
@@ -202,8 +214,7 @@ func sbal() {
 		}
 		ver := mapping.VerifyTheorem1(src, x86tso.New(), tgt, m, enumOpts...)
 		if ver.Err != nil {
-			fmt.Fprintf(os.Stderr, "litmusctl: %v\n", ver.Err)
-			os.Exit(3)
+			exitTrap(ver.Err)
 		}
 		if ver.Correct() {
 			fmt.Println("→ mapping correct under this model")

@@ -10,12 +10,26 @@
 //	risotto -kernel histogram -metrics json          # machine-readable stats
 //	risotto -kernel histogram -trace run.jsonl       # per-stage span trace
 //	risotto -kernel histogram -listen :8090          # live /metrics endpoint
+//	risotto -kernel histogram -selfcheck             # verify every block
+//	risotto -kernel histogram -bundle crash.json     # triage doc on a trap
+//	risotto -replay crash.json                       # reproduce a bundle
 //	risotto -list
 //
 // With -metrics the human stats block is suppressed and stdout carries only
 // the snapshot document, so the output can be piped straight into
 // obsvalidate or a metrics collector. -listen keeps the process alive after
 // the run serving /metrics (Prometheus text) and /debug/obs (JSON).
+//
+// -selfheal turns on tiered recovery: a trap attributed to a translated
+// block quarantines it and retranslates one optimization tier lower
+// (full → no fence merging → no optimization → interpreter) instead of
+// killing the run. -selfcheck (implies -selfheal) additionally
+// shadow-executes every freshly translated block against the TCG
+// interpreter and quarantines on divergence. An unrecovered trap with
+// -bundle set writes a deterministic crash-triage bundle; -replay rebuilds
+// the exact run from such a bundle and exits 0 only when the recorded trap
+// reproduces (with -bundle naming the re-bundle to write for byte-level
+// comparison).
 package main
 
 import (
@@ -29,6 +43,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/guestimg"
+	"repro/internal/selfheal"
 	"repro/internal/workloads"
 )
 
@@ -45,6 +60,10 @@ func main() {
 	list := flag.Bool("list", false, "list available kernels")
 	stepBudget := flag.Uint64("step-budget", 0, "per-vCPU host-instruction watchdog budget (0 = unlimited)")
 	deadline := flag.Duration("deadline", 0, "wall-clock watchdog for the run (0 = none)")
+	selfHeal := flag.Bool("selfheal", false, "quarantine trapping blocks and retranslate one tier lower instead of dying")
+	selfCheck := flag.Bool("selfcheck", false, "shadow-verify every translated block against the TCG interpreter (implies -selfheal)")
+	bundlePath := flag.String("bundle", "", "write a crash-triage bundle to FILE on an unrecovered trap (with -replay: the re-bundle)")
+	replayPath := flag.String("replay", "", "replay a crash-triage bundle and verify the recorded trap reproduces")
 	cf := cliflags.Register(flag.CommandLine)
 	cf.AddListen(flag.CommandLine)
 	flag.Parse()
@@ -62,6 +81,11 @@ func main() {
 			Chain:      *chain,
 			StepBudget: *stepBudget,
 			Deadline:   *deadline,
+			SelfHeal:   *selfHeal,
+			SelfCheck:  *selfCheck,
+			Kernel:     *kernel,
+			FaultSpec:  cf.Fault,
+			FaultSeed:  cf.FaultSeed,
 			Inject:     inject,
 			Obs:        scope,
 		}
@@ -80,16 +104,22 @@ func main() {
 		fmt.Fprintf(os.Stderr, "risotto: serving http://%s/metrics and /debug/obs\n", listenAddr)
 	}
 
+	if *replayPath != "" {
+		replay(cf, *replayPath, *bundlePath, quiet)
+		finish(cf, listenAddr)
+		return
+	}
+
 	if *imagePath != "" {
 		data, err := os.ReadFile(*imagePath)
 		check(err)
 		img, err := guestimg.Decode(data)
 		check(err)
-		v, err := parseVariant(*variant)
+		v, err := core.ParseVariant(*variant)
 		check(err)
 		rt, err := core.New(runCfg(v), img)
 		check(err)
-		code := runGuest(rt)
+		code := runGuest(rt, *bundlePath)
 		if !quiet {
 			fmt.Printf("image       %s (entry %#x)\n", *imagePath, img.Entry)
 			printStats(v, code, rt)
@@ -103,7 +133,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	v, err := parseVariant(*variant)
+	v, err := core.ParseVariant(*variant)
 	check(err)
 
 	k, err := workloads.KernelByName(*kernel)
@@ -123,7 +153,7 @@ func main() {
 	check(err)
 	rt, err := core.New(runCfg(v), img)
 	check(err)
-	code := runGuest(rt)
+	code := runGuest(rt, *bundlePath)
 
 	if !quiet {
 		fmt.Printf("kernel      %s (%s), threads=%d scale=%d\n", k.Name, k.Suite, *threads, *scale)
@@ -157,6 +187,49 @@ func main() {
 	finish(cf, listenAddr)
 }
 
+// replay rebuilds the run a crash bundle describes and verifies the
+// recorded trap reproduces: exit 0 only when the re-run traps and the trap
+// matches the bundle's (same kind, PC, CPU); a clean completion or a
+// different trap is a divergence (exit 1). With rebundle set, the re-run's
+// own crash bundle is written for byte-level comparison with the original.
+func replay(cf *cliflags.Set, path, rebundle string, quiet bool) {
+	data, err := os.ReadFile(path)
+	check(err)
+	b, err := selfheal.DecodeBundle(data)
+	check(err)
+	cfg, img, err := core.ReplayConfig(b)
+	check(err)
+	cfg.Obs = cf.Scope()
+	rt, err := core.New(cfg, img)
+	check(err)
+	_, runErr := rt.Run()
+
+	tr, trapped := faults.As(runErr)
+	if !trapped {
+		if runErr != nil {
+			check(runErr)
+		}
+		fmt.Fprintf(os.Stderr, "risotto: replay diverged: run completed cleanly, bundle recorded trap[%s]\n",
+			b.Trap.Kind)
+		os.Exit(1)
+	}
+	if rebundle != "" {
+		nb, err := rt.CrashBundle(b.Tool, runErr)
+		check(err)
+		enc, err := nb.Encode()
+		check(err)
+		check(os.WriteFile(rebundle, enc, 0o644))
+	}
+	if !b.Trap.Matches(tr) {
+		fmt.Fprintf(os.Stderr, "risotto: replay diverged: got %s, bundle recorded trap[%s] cpu=%d pc=%#x\n",
+			tr.Error(), b.Trap.Kind, b.Trap.CPU, b.Trap.PC)
+		os.Exit(1)
+	}
+	if !quiet {
+		fmt.Printf("replay      %s reproduced: %s\n", path, tr.Error())
+	}
+}
+
 // finish emits the -metrics and -trace outputs, then parks the process on
 // the -listen endpoint when one is up (a finished run would otherwise tear
 // the scrape target down immediately).
@@ -169,34 +242,40 @@ func finish(cf *cliflags.Set, listenAddr string) {
 }
 
 // runGuest executes the guest. A structured trap (watchdog, injected or
-// natural fault) prints a one-line report and exits with code 3, distinct
-// from usage (2) and internal (1) errors, so scripted callers can tell a
-// trapped guest from a broken tool.
-func runGuest(rt *core.Runtime) uint64 {
+// natural fault) prints the unified one-line report and exits with
+// cliflags.TrapExitCode, distinct from usage (2) and internal (1) errors;
+// with bundlePath set the trap is first serialized as a crash-triage
+// bundle for -replay.
+func runGuest(rt *core.Runtime, bundlePath string) uint64 {
 	code, err := rt.Run()
 	if err == nil {
 		return code
 	}
-	if tr, ok := faults.As(err); ok {
-		fmt.Fprintf(os.Stderr, "risotto: %s\n", tr.Error())
-		os.Exit(3)
+	if line, ok := cliflags.TrapReport("risotto", err); ok {
+		if bundlePath != "" {
+			if enc, berr := encodeCrashBundle(rt, err); berr != nil {
+				fmt.Fprintln(os.Stderr, "risotto: crash bundle:", berr)
+			} else if werr := os.WriteFile(bundlePath, enc, 0o644); werr != nil {
+				fmt.Fprintln(os.Stderr, "risotto: crash bundle:", werr)
+			} else {
+				fmt.Fprintf(os.Stderr, "risotto: wrote crash bundle %s\n", bundlePath)
+			}
+		}
+		fmt.Fprintln(os.Stderr, line)
+		os.Exit(cliflags.TrapExitCode)
 	}
 	check(err)
 	return 0
 }
 
-func parseVariant(name string) (core.Variant, error) {
-	switch name {
-	case "qemu":
-		return core.VariantQemu, nil
-	case "no-fences":
-		return core.VariantNoFences, nil
-	case "tcg-ver":
-		return core.VariantTCGVer, nil
-	case "risotto":
-		return core.VariantRisotto, nil
+// encodeCrashBundle builds and serializes the crash-triage bundle for an
+// unrecovered trap.
+func encodeCrashBundle(rt *core.Runtime, runErr error) ([]byte, error) {
+	b, err := rt.CrashBundle("risotto", runErr)
+	if err != nil {
+		return nil, err
 	}
-	return 0, fmt.Errorf("unknown variant %q", name)
+	return b.Encode()
 }
 
 func printStats(v core.Variant, code uint64, rt *core.Runtime) {
@@ -217,6 +296,11 @@ func printStats(v core.Variant, code uint64, rt *core.Runtime) {
 		st.Syscalls, st.HostCalls, st.ChainPatches)
 	if st.CacheFlushes > 0 {
 		fmt.Printf("degradation %d code-cache flush-and-retranslate cycles\n", st.CacheFlushes)
+	}
+	if st.Quarantines > 0 || st.Divergences > 0 || st.Heals > 0 {
+		fmt.Printf("selfheal    quarantines=%d demotions=%d divergences=%d heals=%d (selfchecks=%d, interp blocks=%d)\n",
+			st.Quarantines, st.Demotions, st.Divergences, st.Heals,
+			st.SelfChecks, st.InterpBlocks)
 	}
 }
 

@@ -92,6 +92,12 @@ func TestStatsFacadeMatchesRegistry(t *testing.T) {
 		{"core.syscalls", st.Syscalls},
 		{"core.chain_patches", st.ChainPatches},
 		{"core.cache_flushes", st.CacheFlushes},
+		{"core.selfheal.quarantines", st.Quarantines},
+		{"core.selfheal.demotions", st.Demotions},
+		{"core.selfheal.divergences", st.Divergences},
+		{"core.selfheal.heals", st.Heals},
+		{"core.selfheal.selfchecks", st.SelfChecks},
+		{"core.selfheal.interp_blocks", st.InterpBlocks},
 	} {
 		if got := snap.Counter(c.name); got != c.facade {
 			t.Errorf("%s: registry %d, Stats façade %d", c.name, got, c.facade)

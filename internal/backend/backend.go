@@ -35,6 +35,14 @@ const (
 	SvcTBExit = 0xF000
 	// SvcHalt ends the block and halts the vCPU.
 	SvcHalt = 0xF001
+	// SvcInterp is the whole body of an interpreter-tier stub block: the
+	// runtime intercepts it and executes the block's IR through the TCG
+	// interpreter (the bottom rung of the self-healing tier ladder).
+	SvcInterp = 0xF002
+	// SvcMiscompile is the marker the miscompile fault injector writes
+	// over a block's first instruction — a deliberately corrupted
+	// translation that traps the moment it is executed.
+	SvcMiscompile = 0xF003
 )
 
 // HelperBase is the fake address region for helper calls: helper i is

@@ -22,6 +22,24 @@ import (
 	"repro/internal/obs"
 )
 
+// TrapExitCode is the process exit code every command uses for a run that
+// halted with a structured trap — distinct from usage errors (2) and
+// internal errors (1), so scripted callers can tell a trapped guest from a
+// broken tool.
+const TrapExitCode = 3
+
+// TrapReport renders the unified one-line trap report for err when it
+// carries a structured faults.Trap ("<tool>: trap[kind] ...") and reports
+// whether it did. Commands print the line to stderr and exit with
+// TrapExitCode; non-trap errors take their usual path.
+func TrapReport(tool string, err error) (string, bool) {
+	tr, ok := faults.As(err)
+	if !ok {
+		return "", false
+	}
+	return fmt.Sprintf("%s: %s", tool, tr.Error()), true
+}
+
 // Set holds the parsed values of the shared flags. Zero value is unusable;
 // build one with Register.
 type Set struct {

@@ -124,3 +124,29 @@ func TestServe(t *testing.T) {
 		t.Fatalf("Serve without -listen = %q, %v; want empty, nil", addr, err)
 	}
 }
+
+// TestTrapReport pins the unified trap-exit contract both CLIs share: a
+// structured trap renders as one "<tool>: trap[...]" line bound for exit
+// code TrapExitCode; anything else is not a trap report.
+func TestTrapReport(t *testing.T) {
+	tr := faults.New(faults.TrapDecode, "bad opcode").WithCPU(0).WithGuestPC(0x10040)
+	line, ok := TrapReport("risotto", tr)
+	if !ok {
+		t.Fatal("structured trap not recognized")
+	}
+	if !strings.HasPrefix(line, "risotto: trap[decode]") {
+		t.Errorf("report = %q, want risotto: trap[decode] prefix", line)
+	}
+	if line2, _ := TrapReport("litmusctl", tr); !strings.HasPrefix(line2, "litmusctl: ") {
+		t.Errorf("tool name not propagated: %q", line2)
+	}
+	if _, ok := TrapReport("risotto", os.ErrNotExist); ok {
+		t.Error("plain error reported as a trap")
+	}
+	if _, ok := TrapReport("risotto", nil); ok {
+		t.Error("nil error reported as a trap")
+	}
+	if TrapExitCode != 3 {
+		t.Errorf("TrapExitCode = %d; scripted callers pin 3", TrapExitCode)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/mapping"
 	"repro/internal/obs"
+	"repro/internal/selfheal"
 	"repro/internal/tcg"
 )
 
@@ -99,8 +100,29 @@ type Config struct {
 	Deadline time.Duration
 	// Inject, when non-nil, arms deterministic fault injection across the
 	// stack: frontend decode, code-cache allocation, memory accesses,
-	// scheduler quanta and host-linked calls.
+	// scheduler quanta, host-linked calls and emitted-code corruption.
 	Inject *faults.Injector
+	// SelfHeal enables the tiered self-healing layer: a trap attributed
+	// to a translated block quarantines it — the block is invalidated in
+	// the code cache, its tier demoted one rung (full opts → no fence
+	// merging → no opts → TCG interpreter), and execution resumes — with
+	// at most MaxHeals recoveries per run. Off by default so the fault
+	// matrix keeps pinning every injected fault's undisguised trap.
+	SelfHeal bool
+	// SelfCheck additionally shadow-executes every freshly translated
+	// block once against the TCG interpreter on a snapshot of CPU and
+	// memory state, and quarantines the block on any register, memory or
+	// exit divergence — runtime translation validation. Implies SelfHeal.
+	SelfCheck bool
+	// MaxHeals caps quarantine recoveries per run (default 16 when
+	// SelfHeal is on).
+	MaxHeals int
+	// Kernel, FaultSpec and FaultSeed record run provenance for crash
+	// bundles (the CLI inputs that produced this config). They do not
+	// affect execution — Inject carries the armed injector itself.
+	Kernel    string
+	FaultSpec string
+	FaultSeed int64
 	// Obs, when non-nil, is the observability scope the whole stack
 	// reports into: the runtime threads it through the frontend, the
 	// optimizer, the backend, the machine and the injector, prefixing its
@@ -131,6 +153,20 @@ type Stats struct {
 	// CacheFlushes counts full code-cache flush-and-retranslate cycles
 	// taken to recover from cache exhaustion.
 	CacheFlushes uint64
+	// Quarantines counts blocks quarantined for the first time;
+	// Demotions counts tier downgrades (a block demoted twice counts
+	// once in Quarantines, twice in Demotions).
+	Quarantines uint64
+	Demotions   uint64
+	// Divergences counts selfcheck shadow runs whose effects disagreed
+	// with the TCG interpreter oracle.
+	Divergences uint64
+	// Heals counts traps absorbed by quarantine-and-retranslate.
+	Heals uint64
+	// SelfChecks counts shadow verifications performed; InterpBlocks
+	// counts interpreter-tier block executions.
+	SelfChecks   uint64
+	InterpBlocks uint64
 }
 
 // tb is one cached translation block.
@@ -138,6 +174,8 @@ type tb struct {
 	guestPC  uint64
 	hostAddr uint64
 	codeLen  int
+	// tier is the self-healing ladder rung the block was translated at.
+	tier selfheal.Tier
 }
 
 // pltEntry is a host-linked import.
@@ -176,6 +214,16 @@ type Runtime struct {
 	// because a CPU was still executing inside them; the allocator skips
 	// them until the next flush re-evaluates liveness.
 	pinned []extent
+
+	// heal is the quarantine registry (nil unless SelfHeal); heals counts
+	// recoveries consumed against Config.MaxHeals.
+	heal  *selfheal.State
+	heals int
+	// irCache holds the frontend IR of interpreter-tier blocks, keyed by
+	// guest PC; interpStubs maps each interp stub's host address back to
+	// its guest PC (stubs pinned across a cache flush stay resolvable).
+	irCache     map[uint64]*tcg.Block
+	interpStubs map[uint64]uint64
 }
 
 // extent is a half-open host-code byte range [start, end).
@@ -214,19 +262,30 @@ func New(cfg Config, img *guestimg.Image) (*Runtime, error) {
 	if cfg.MaxSteps == 0 {
 		cfg.MaxSteps = 2_000_000_000
 	}
+	if cfg.SelfCheck {
+		cfg.SelfHeal = true
+	}
+	if cfg.SelfHeal && cfg.MaxHeals == 0 {
+		cfg.MaxHeals = 16
+	}
 
 	scope := cfg.Obs
 	if scope == nil {
 		scope = obs.NewScope("")
 	}
 	rt := &Runtime{
-		obs:        scope,
-		met:        newMetrics(scope),
-		cfg:        cfg,
-		tbs:        make(map[uint64]*tb),
-		plt:        make(map[uint64]*pltEntry),
-		chainSites: make(map[uint64]uint64),
-		patched:    make(map[uint64]uint64),
+		obs:         scope,
+		met:         newMetrics(scope),
+		cfg:         cfg,
+		tbs:         make(map[uint64]*tb),
+		plt:         make(map[uint64]*pltEntry),
+		chainSites:  make(map[uint64]uint64),
+		patched:     make(map[uint64]uint64),
+		irCache:     make(map[uint64]*tcg.Block),
+		interpStubs: make(map[uint64]uint64),
+	}
+	if cfg.SelfHeal {
+		rt.heal = selfheal.NewState()
 	}
 
 	switch cfg.Variant {
@@ -322,14 +381,17 @@ func (rt *Runtime) startThread(c *machine.CPU, entry uint64) error {
 }
 
 // Run executes the guest from its entry point to completion and returns
-// the main thread's exit code.
+// the main thread's exit code. With SelfHeal enabled, traps attributable
+// to a translated block are absorbed: the block is quarantined, demoted
+// one tier and retranslated, and execution resumes — up to MaxHeals times.
 func (rt *Runtime) Run() (uint64, error) {
 	c := rt.M.CPUs[0]
 	*guestReg(c, x86.RSP) = rt.newStack()
-	if err := rt.startThread(c, rt.img.Entry); err != nil {
-		return 0, err
+	err := rt.runHealed(func() error { return rt.startThread(c, rt.img.Entry) })
+	if err == nil {
+		err = rt.runHealed(func() error { return rt.M.RunAll(rt.cfg.Quantum, rt.cfg.MaxSteps) })
 	}
-	if err := rt.M.RunAll(rt.cfg.Quantum, rt.cfg.MaxSteps); err != nil {
+	if err != nil {
 		return 0, err
 	}
 	return c.ExitCode, nil
@@ -354,11 +416,45 @@ func (rt *Runtime) dispatch(c *machine.CPU, guestPC uint64) error {
 	return nil
 }
 
-// translate builds, optimizes and emits one block. Code-cache exhaustion
-// is not fatal: it triggers a full cache flush plus chain reset and a
-// single retranslation attempt (QEMU's tb_flush recovery); only a block
-// that cannot fit an empty cache still reports the typed trap.
+// translate builds, optimizes and emits one block at the tier the
+// quarantine registry prescribes for it. In -selfcheck mode every freshly
+// compiled block is shadow-verified against the TCG interpreter before it
+// is trusted; a divergence quarantines the block and retries one tier
+// down, and only an exhausted ladder surfaces the miscompile as a trap.
 func (rt *Runtime) translate(c *machine.CPU, guestPC uint64) (*tb, error) {
+	for {
+		tier := rt.heal.TierOf(guestPC)
+		t, ir, err := rt.translateAtTier(c, guestPC, tier)
+		if err != nil {
+			return nil, err
+		}
+		if rt.cfg.SelfCheck && tier != selfheal.TierInterp {
+			div := rt.shadowVerify(c, t, ir)
+			if div != nil {
+				rt.met.divergences.Inc()
+				rt.obs.Event("core.selfheal.divergence", div.Summary(), c.ID, guestPC, t.hostAddr)
+				if rt.quarantinePC(c, guestPC, div.Summary()) {
+					continue
+				}
+				trap := faults.New(faults.TrapMiscompile, "%s", div.Summary())
+				return nil, trap.WithCPU(c.ID).WithGuestPC(guestPC)
+			}
+		}
+		return t, nil
+	}
+}
+
+// translateAtTier builds one block at the given tier. For compiled tiers
+// it also returns the unoptimized frontend IR when -selfcheck needs an
+// oracle input. Code-cache exhaustion is not fatal: it triggers a full
+// cache flush plus chain reset and a single retranslation attempt (QEMU's
+// tb_flush recovery); only a block that cannot fit an empty cache still
+// reports the typed trap.
+func (rt *Runtime) translateAtTier(c *machine.CPU, guestPC uint64, tier selfheal.Tier) (*tb, *tcg.Block, error) {
+	if tier == selfheal.TierInterp {
+		t, err := rt.translateInterp(c, guestPC)
+		return t, nil, err
+	}
 	tstart := rt.obs.Begin()
 	block, err := frontend.Translate(rt.M.Mem, guestPC, rt.feCfg)
 	rt.obs.Span("frontend.decode", "", c.ID, guestPC, 0, tstart)
@@ -366,18 +462,93 @@ func (rt *Runtime) translate(c *machine.CPU, guestPC uint64) (*tb, error) {
 		if t, ok := faults.As(err); ok {
 			t.WithCPU(c.ID).WithGuestPC(guestPC)
 		}
-		return nil, err
+		return nil, nil, err
+	}
+	var ir *tcg.Block
+	if rt.cfg.SelfCheck {
+		ir = block.Clone()
 	}
 	ostart := rt.obs.Begin()
-	tcg.Optimize(block, rt.optCfg)
+	tcg.Optimize(block, rt.optCfg.Degrade(tier.OptLevel()))
 	rt.obs.Span("tcg.opt", "", c.ID, guestPC, 0, ostart)
 	t, err := rt.emitBlock(c, block, guestPC)
 	if err != nil && faults.IsKind(err, faults.TrapCacheExhausted) {
 		rt.flushCodeCache()
 		t, err = rt.emitBlock(c, block, guestPC)
 	}
+	if t != nil {
+		t.tier = tier
+	}
 	rt.met.translateNS.Observe(uint64(rt.obs.Begin() - tstart))
-	return t, err
+	return t, ir, err
+}
+
+// translateInterp installs the interpreter-tier "translation" of guestPC:
+// a single SVC #SvcInterp stub in the code cache plus the block's literal
+// frontend IR in the IR cache. handleSvc recognizes the stub and runs the
+// IR through the TCG interpreter — no code generation is trusted at all.
+// The frontend runs with SyscallBarrier so a blocked syscall (join) can
+// retry the whole block from its stub.
+func (rt *Runtime) translateInterp(c *machine.CPU, guestPC uint64) (*tb, error) {
+	if t := rt.cfg.Inject.Hit(faults.SiteCacheAlloc); t != nil {
+		return nil, t.WithCPU(c.ID).WithGuestPC(guestPC)
+	}
+	fe := rt.feCfg
+	fe.SyscallBarrier = true
+	tstart := rt.obs.Begin()
+	block, err := frontend.Translate(rt.M.Mem, guestPC, fe)
+	rt.obs.Span("frontend.decode", "interp", c.ID, guestPC, 0, tstart)
+	if err != nil {
+		if t, ok := faults.As(err); ok {
+			t.WithCPU(c.ID).WithGuestPC(guestPC)
+		}
+		return nil, err
+	}
+	w, err := arm.Encode(arm.Inst{Op: arm.SVC, Imm: backend.SvcInterp})
+	if err != nil {
+		return nil, err
+	}
+	base, aerr := rt.allocCode(c, arm.InstBytes, guestPC)
+	if aerr != nil && faults.IsKind(aerr, faults.TrapCacheExhausted) {
+		rt.flushCodeCache()
+		base, aerr = rt.allocCode(c, arm.InstBytes, guestPC)
+	}
+	if aerr != nil {
+		return nil, aerr
+	}
+	binary.LittleEndian.PutUint32(rt.M.Mem[base:], w)
+	rt.M.InvalidateDecodeAt(base)
+	t := &tb{guestPC: guestPC, hostAddr: base, codeLen: arm.InstBytes, tier: selfheal.TierInterp}
+	rt.tbs[guestPC] = t
+	rt.irCache[guestPC] = block
+	rt.interpStubs[base] = guestPC
+	rt.met.blocks.Inc()
+	rt.met.guestBytes.Add(block.GuestEnd - block.GuestPC)
+	rt.obs.Span("backend.emit", "interp-stub", c.ID, guestPC, base, tstart)
+	rt.met.translateNS.Observe(uint64(rt.obs.Begin() - tstart))
+	return t, nil
+}
+
+// allocCode reserves size bytes of code cache, skipping pinned extents.
+// Only position-independent code (the interp stub) uses it; full blocks
+// regenerate per-candidate base in emitBlock instead.
+func (rt *Runtime) allocCode(c *machine.CPU, size int, guestPC uint64) (uint64, error) {
+	base := rt.codeCursor
+	for {
+		end := base + uint64(size)
+		if end > uint64(len(rt.M.Mem)) || end < base {
+			t := faults.New(faults.TrapCacheExhausted,
+				"code cache exhausted at %#x (stub %d bytes, memory ends %#x)",
+				base, size, len(rt.M.Mem))
+			return 0, t.WithCPU(c.ID).WithGuestPC(guestPC)
+		}
+		if pe, ok := rt.pinnedOverlap(base, end); ok {
+			base = (pe.end + 15) &^ 15
+			continue
+		}
+		rt.codeCursor = (end + 15) &^ 15
+		return base, nil
+	}
 }
 
 // emitBlock generates host code for block at the next free code-cache
@@ -430,6 +601,20 @@ func (rt *Runtime) emitBlock(c *machine.CPU, block *tcg.Block, guestPC uint64) (
 					continue
 				}
 				rt.chainSites[t.hostAddr+uint64(slot.Off)] = slot.GuestTarget
+			}
+		}
+		// Miscompile injection: corrupt the freshly installed code by
+		// overwriting its first instruction with SVC #SvcMiscompile — a
+		// recognizable marker the SVC handler turns into a structured
+		// TrapMiscompile the moment the block executes. Corrupting the
+		// first instruction guarantees the block has no partial effects,
+		// so quarantine-and-retranslate recovery is always sound.
+		if mt := rt.cfg.Inject.Hit(faults.SiteMiscompile); mt != nil {
+			if mw, merr := arm.Encode(arm.Inst{Op: arm.SVC, Imm: backend.SvcMiscompile}); merr == nil {
+				binary.LittleEndian.PutUint32(rt.M.Mem[base:], mw)
+				rt.M.InvalidateDecodeAt(base)
+				rt.met.miscompiles.Inc()
+				rt.obs.Event("core.selfheal.miscompile_injected", "", c.ID, guestPC, base)
 			}
 		}
 		c.Cycles += translationCostPerByte * (block.GuestEnd - block.GuestPC)
@@ -493,9 +678,58 @@ func (rt *Runtime) flushCodeCache() {
 
 	rt.tbs = make(map[uint64]*tb)
 	rt.codeCursor = rt.cfg.CodeCacheBase
+	// Interp stubs inside pinned extents may still execute (a CPU parked
+	// at the stub), so their reverse mapping must survive; the rest is
+	// recycled memory. The IR cache is keyed by guest PC and simply gets
+	// overwritten on retranslation.
+	for addr := range rt.interpStubs {
+		live := false
+		for _, e := range pins {
+			if addr >= e.start && addr < e.end {
+				live = true
+				break
+			}
+		}
+		if !live {
+			delete(rt.interpStubs, addr)
+		}
+	}
 	rt.M.InvalidateDecodeCache()
 	rt.met.cacheFlushes.Inc()
 	rt.obs.Event("core.cache.flush", fmt.Sprintf("pinned=%d", len(pins)), -1, 0, 0)
+}
+
+// invalidateBlock removes guestPC's translation so the next dispatch
+// retranslates it. Direct branches patched into the block are restored to
+// their dispatch SVCs first, so no surviving code path can reach the stale
+// copy; its extent is leaked until the next full flush (piecemeal reuse
+// cannot be made safe under chaining). CPUs parked mid-block by the
+// scheduler may still finish the stale copy once — any trap it produces is
+// attributed and quarantined again, bounded by MaxHeals.
+func (rt *Runtime) invalidateBlock(guestPC uint64) {
+	t, ok := rt.tbs[guestPC]
+	if !ok {
+		return
+	}
+	if w, err := arm.Encode(arm.Inst{Op: arm.SVC, Imm: backend.SvcTBExit}); err == nil {
+		for svcAddr, target := range rt.patched {
+			if target != guestPC {
+				continue
+			}
+			binary.LittleEndian.PutUint32(rt.M.Mem[svcAddr:], w)
+			rt.M.InvalidateDecodeAt(svcAddr)
+			delete(rt.patched, svcAddr)
+			rt.chainSites[svcAddr] = target
+		}
+	}
+	for svcAddr := range rt.chainSites {
+		if svcAddr >= t.hostAddr && svcAddr < t.hostAddr+uint64(t.codeLen) {
+			delete(rt.chainSites, svcAddr)
+		}
+	}
+	delete(rt.tbs, guestPC)
+	delete(rt.irCache, guestPC)
+	delete(rt.interpStubs, t.hostAddr)
 }
 
 // chain patches the exit SVC at svcAddr into a direct branch to the target
@@ -533,7 +767,9 @@ func (rt *Runtime) guestPCOf(hostAddr uint64) (uint64, bool) {
 
 // DisassembleBlock returns the host-code disassembly of the translation
 // of guestPC (translating it on the calling CPU if not yet cached), for
-// inspection and tooling.
+// inspection and tooling. Undecodable words — e.g. injected corruption —
+// render as raw ".word" lines instead of failing, so crash bundles can
+// disassemble the very block that trapped.
 func (rt *Runtime) DisassembleBlock(guestPC uint64) (string, error) {
 	t, ok := rt.tbs[guestPC]
 	if !ok {
@@ -543,17 +779,25 @@ func (rt *Runtime) DisassembleBlock(guestPC uint64) (string, error) {
 			return "", err
 		}
 	}
+	return rt.disasmTB(t), nil
+}
+
+// disasmTB renders t's host code, tolerating undecodable words.
+func (rt *Runtime) disasmTB(t *tb) string {
 	var sb []byte
-	sb = append(sb, fmt.Sprintf("TB guest=%#x host=%#x (%d bytes)\n",
-		t.guestPC, t.hostAddr, t.codeLen)...)
+	sb = append(sb, fmt.Sprintf("TB guest=%#x host=%#x (%d bytes, tier %s)\n",
+		t.guestPC, t.hostAddr, t.codeLen, t.tier)...)
 	for off := 0; off < t.codeLen; off += arm.InstBytes {
-		inst, err := arm.DecodeAt(rt.M.Mem, int(t.hostAddr)+off)
+		addr := t.hostAddr + uint64(off)
+		inst, err := arm.DecodeAt(rt.M.Mem, int(addr))
 		if err != nil {
-			return "", err
+			w := binary.LittleEndian.Uint32(rt.M.Mem[addr:])
+			sb = append(sb, fmt.Sprintf("  %#08x: .word %#08x (undecodable)\n", addr, w)...)
+			continue
 		}
-		sb = append(sb, fmt.Sprintf("  %#08x: %v\n", t.hostAddr+uint64(off), inst)...)
+		sb = append(sb, fmt.Sprintf("  %#08x: %v\n", addr, inst)...)
 	}
-	return string(sb), nil
+	return string(sb)
 }
 
 // BlockPCs returns every translated guest PC, sorted by translation order
@@ -596,6 +840,28 @@ func (rt *Runtime) handleSvc(m *machine.Machine, c *machine.CPU, imm uint16) err
 	case backend.SvcHalt:
 		c.Halted = true
 		return nil
+	case backend.SvcInterp:
+		// Interpreter-tier stub: the block's literal IR runs through the
+		// TCG interpreter. c.PC was advanced past the SVC before the trap.
+		svcAddr := c.PC - arm.InstBytes
+		gpc, ok := rt.interpStubs[svcAddr]
+		if !ok {
+			return faults.New(faults.TrapDecode,
+				"core: stray interp stub at %#x", svcAddr).WithCPU(c.ID).WithHostPC(svcAddr)
+		}
+		return rt.interpExec(c, gpc, svcAddr)
+	case backend.SvcMiscompile:
+		// Injected translation corruption executed: surface the structured
+		// miscompile trap, attributed to the containing block so the
+		// self-healing layer can quarantine it.
+		svcAddr := c.PC - arm.InstBytes
+		t := faults.New(faults.TrapMiscompile, "core: corrupted translation executed")
+		t.Injected = true
+		t.WithCPU(c.ID)
+		if gpc, ok := rt.guestPCOf(svcAddr); ok {
+			return t.WithGuestPC(gpc)
+		}
+		return t.WithHostPC(svcAddr)
 	default:
 		t := faults.New(faults.TrapDecode, "core: unexpected svc #%d", imm).WithCPU(c.ID)
 		// c.PC was advanced past the SVC before the trap.

@@ -20,6 +20,14 @@ type metrics struct {
 	syscalls     *obs.Counter
 	chainPatches *obs.Counter
 	cacheFlushes *obs.Counter
+	quarantines  *obs.Counter
+	demotions    *obs.Counter
+	divergences  *obs.Counter
+	heals        *obs.Counter
+	selfChecks   *obs.Counter
+	selfSkipped  *obs.Counter
+	interpBlocks *obs.Counter
+	miscompiles  *obs.Counter
 	translateNS  *obs.Histogram
 	codeBytes    *obs.Histogram
 }
@@ -40,6 +48,14 @@ func newMetrics(root *obs.Scope) metrics {
 		syscalls:     sc.Counter("syscalls"),
 		chainPatches: sc.Counter("chain_patches"),
 		cacheFlushes: sc.Counter("cache_flushes"),
+		quarantines:  sc.Counter("selfheal.quarantines"),
+		demotions:    sc.Counter("selfheal.demotions"),
+		divergences:  sc.Counter("selfheal.divergences"),
+		heals:        sc.Counter("selfheal.heals"),
+		selfChecks:   sc.Counter("selfheal.selfchecks"),
+		selfSkipped:  sc.Counter("selfheal.selfcheck_skipped"),
+		interpBlocks: sc.Counter("selfheal.interp_blocks"),
+		miscompiles:  sc.Counter("selfheal.miscompiles_injected"),
 		translateNS:  sc.Histogram("translate_ns", obs.DurationBuckets),
 		codeBytes:    sc.Histogram("code_bytes", obs.SizeBuckets),
 	}
@@ -64,6 +80,12 @@ func (rt *Runtime) Stats() Stats {
 		Syscalls:     rt.met.syscalls.Load(),
 		ChainPatches: rt.met.chainPatches.Load(),
 		CacheFlushes: rt.met.cacheFlushes.Load(),
+		Quarantines:  rt.met.quarantines.Load(),
+		Demotions:    rt.met.demotions.Load(),
+		Divergences:  rt.met.divergences.Load(),
+		Heals:        rt.met.heals.Load(),
+		SelfChecks:   rt.met.selfChecks.Load(),
+		InterpBlocks: rt.met.interpBlocks.Load(),
 	}
 }
 

@@ -65,6 +65,11 @@ type Result struct {
 	Trap *faults.Trap
 	// Flushes counts flush-and-retranslate recoveries during the run.
 	Flushes int
+	// Quarantines and Divergences count self-healing activity (always 0
+	// for cells produced by Run, which keeps healing off so injected
+	// faults surface undisguised).
+	Quarantines int
+	Divergences int
 }
 
 // exitWith emits the guest exit syscall with the code in reg.
@@ -170,8 +175,20 @@ func Workloads() ([]Workload, error) {
 // Run executes one matrix cell: workload w with the named fault armed.
 // Hangs are excluded by construction: every run carries a step budget and
 // a wall-clock deadline, and a panic anywhere in the stack is captured
-// into a Bad cell.
-func Run(w Workload, faultName string) (res Result) {
+// into a Bad cell. Self-healing stays off so every injected fault's
+// undisguised trap is pinned.
+func Run(w Workload, faultName string) Result {
+	return run(w, faultName, false)
+}
+
+// RunHealed is Run with the self-healing layer enabled (SelfHeal +
+// SelfCheck): the cell is expected to *recover* — quarantine the faulting
+// block, demote its tier, and still produce the fault-free result.
+func RunHealed(w Workload, faultName string) Result {
+	return run(w, faultName, true)
+}
+
+func run(w Workload, faultName string, heal bool) (res Result) {
 	res = Result{Workload: w.Name, Fault: faultName}
 	defer func() {
 		if r := recover(); r != nil {
@@ -198,6 +215,8 @@ func Run(w Workload, faultName string) (res Result) {
 		StepBudget: 5_000_000,
 		Deadline:   30 * time.Second,
 		Inject:     in,
+		SelfHeal:   heal,
+		SelfCheck:  heal,
 	}
 	rt, err := core.New(cfg, w.Image)
 	if err != nil {
@@ -206,7 +225,10 @@ func Run(w Workload, faultName string) (res Result) {
 		return res
 	}
 	code, err := rt.Run()
-	res.Flushes = int(rt.Stats().CacheFlushes)
+	st := rt.Stats()
+	res.Flushes = int(st.CacheFlushes)
+	res.Quarantines = int(st.Quarantines)
+	res.Divergences = int(st.Divergences)
 	if err == nil {
 		if code != w.Want {
 			res.Outcome = Bad
@@ -246,6 +268,22 @@ func Matrix() ([]Result, error) {
 		for _, n := range names {
 			out = append(out, Run(w, n))
 		}
+	}
+	return out, nil
+}
+
+// HealMatrix sweeps every workload under injected translation corruption
+// with the self-healing layer on: each cell must detect the miscompile
+// (selfcheck divergence or executed marker), quarantine the block, and
+// still finish with the fault-free result.
+func HealMatrix() ([]Result, error) {
+	ws, err := Workloads()
+	if err != nil {
+		return nil, err
+	}
+	var out []Result
+	for _, w := range ws {
+		out = append(out, RunHealed(w, "miscompile"))
 	}
 	return out, nil
 }

@@ -19,6 +19,7 @@ var wantKind = map[string]faults.TrapKind{
 	"misaligned":  faults.TrapMisaligned,
 	"step-budget": faults.TrapBudget,
 	"host-call":   faults.TrapHostCall,
+	"miscompile":  faults.TrapMiscompile,
 }
 
 // TestFaultMatrixDifferential sweeps every workload under every fault and
@@ -76,6 +77,29 @@ func TestFaultMatrixDifferential(t *testing.T) {
 			if !c.Trap.Injected {
 				t.Errorf("%s: trap not marked injected: %s", label, c.Detail)
 			}
+		}
+	}
+}
+
+// TestFaultMatrixHealed is the recovery half of the miscompile story: the
+// same injected translation corruption that traps every workload in the
+// plain matrix must, with the self-healing layer on, be detected,
+// quarantined and survived — fault-free result, at least one quarantine,
+// and a recorded detection (selfcheck divergence or an executed marker
+// healed by quarantine).
+func TestFaultMatrixHealed(t *testing.T) {
+	cells, err := HealMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cells {
+		label := c.Workload + "/" + c.Fault + "(healed)"
+		if c.Outcome != OK {
+			t.Errorf("%s: corruption not recovered: %v (%s)", label, c.Outcome, c.Detail)
+			continue
+		}
+		if c.Quarantines == 0 {
+			t.Errorf("%s: recovered without quarantining any block", label)
 		}
 	}
 }

@@ -52,6 +52,13 @@ const (
 	// TrapWorkerPanic is a captured panic in a parallel worker (litmus
 	// enumeration shard); the degraded path re-runs serially.
 	TrapWorkerPanic
+	// TrapMiscompile is a translation whose emitted host code diverged
+	// from its IR oracle — detected either by executing a corrupted block
+	// (its first word is rewritten into a trapping marker) or by the
+	// -selfcheck shadow run comparing host effects against the TCG
+	// interpreter. The self-healing tier ladder recovers it by
+	// quarantining the block and retranslating one tier down.
+	TrapMiscompile
 )
 
 var kindNames = [...]string{
@@ -62,6 +69,15 @@ var kindNames = [...]string{
 	TrapBudget:         "step-budget",
 	TrapHostCall:       "host-call",
 	TrapWorkerPanic:    "worker-panic",
+	TrapMiscompile:     "miscompile",
+}
+
+// KindNames lists every trap kind's wire name, indexed by TrapKind — the
+// vocabulary crash-bundle validation checks embedded kinds against.
+func KindNames() []string {
+	out := make([]string, len(kindNames))
+	copy(out, kindNames[:])
+	return out
 }
 
 func (k TrapKind) String() string {
@@ -206,7 +222,14 @@ const (
 	// SiteLitmusShard guards each parallel litmus enumeration shard; an
 	// armed plan panics the worker (exercising panic capture + serial
 	// fallback) rather than returning a trap through the normal path.
+	// With -workers 1 the same site guards the serial enumeration, where
+	// a fired plan has no fallback and surfaces as an unrecovered trap.
 	SiteLitmusShard Site = "litmus-shard"
+	// SiteMiscompile guards each emitted translation block; an armed plan
+	// corrupts the block's host code in place (its first word becomes a
+	// trapping marker) instead of returning a trap through the normal
+	// path, so detection is up to the self-healing layer.
+	SiteMiscompile Site = "miscompile"
 )
 
 // plan is one armed injection: fire kind at the nth hit of the site.
@@ -355,6 +378,7 @@ var specTable = map[string]Spec{
 	"step-budget":   {Site: SiteStep, Kind: TrapBudget},
 	"host-call":     {Site: SiteHostCall, Kind: TrapHostCall},
 	"shard-panic":   {Site: SiteLitmusShard, Kind: TrapWorkerPanic},
+	"miscompile":    {Site: SiteMiscompile, Kind: TrapMiscompile},
 }
 
 // SpecNames lists the accepted -fault names, sorted.

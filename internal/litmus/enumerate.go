@@ -77,7 +77,7 @@ func enumerate(p *Program, m memmodel.Model, o Options) (OutcomeSet, error) {
 func enumerateUninstrumented(p *Program, m memmodel.Model, o Options, sc *obs.Scope) (OutcomeSet, error) {
 	workers := o.workerCount()
 	if workers == 1 {
-		return outcomesSerial(p, m)
+		return outcomesSerial(p, m, o.Inject)
 	}
 	out, perr := outcomesSharded(p, m, o, workers, sc)
 	if perr == nil {
@@ -85,7 +85,7 @@ func enumerateUninstrumented(p *Program, m memmodel.Model, o Options, sc *obs.Sc
 	}
 	sc.Counter("serial_fallbacks").Inc()
 	sc.Event("litmus.serial_fallback", p.Name, -1, 0, 0)
-	out, serr := outcomesSerial(p, m)
+	out, serr := outcomesSerial(p, m, o.Inject)
 	if serr != nil {
 		t := faults.Wrap(faults.TrapWorkerPanic, serr,
 			"litmus %q: parallel enumeration failed (%v) and serial fallback also failed",

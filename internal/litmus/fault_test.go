@@ -49,6 +49,28 @@ func TestFaultShardPanicBecomesError(t *testing.T) {
 	}
 }
 
+// TestFaultShardPanicSerialPathSurfaces pins the unrecovered path: with
+// -workers 1 the serial reference runs directly and there is no further
+// fallback below it, so an injected shard fault must surface as a
+// structured, injected trap instead of being silently absorbed.
+func TestFaultShardPanicSerialPathSurfaces(t *testing.T) {
+	p, m := MP(), x86tso.New()
+	in := faults.NewInjector(1)
+	in.Arm(faults.SiteLitmusShard, 1, faults.TrapWorkerPanic)
+
+	out, err := Enumerate(p, m, WithWorkers(1), WithInjector(in))
+	if err == nil {
+		t.Fatalf("serial run absorbed the injected fault: %v", out)
+	}
+	tr, ok := faults.As(err)
+	if !ok {
+		t.Fatalf("error %v is not a trap", err)
+	}
+	if tr.Kind != faults.TrapWorkerPanic || !tr.Injected {
+		t.Errorf("trap = %+v; want injected worker-panic", tr)
+	}
+}
+
 // TestFaultCacheSurvivesInjectedPanic checks the memoization path: a first
 // enumeration that needed the serial fallback must still populate the cache
 // with the correct set (historically a panic inside once.Do left the entry

@@ -57,13 +57,20 @@ func (o Options) workerCount() int {
 const shardsPerWorker = 4
 
 // outcomesSerial runs the reference serial enumerator with panic capture.
-func outcomesSerial(p *Program, m memmodel.Model) (out OutcomeSet, err error) {
+// The injector's shard site guards this path too, so a -workers 1 run can
+// surface an unrecovered structured trap (there is no further fallback
+// below the serial reference); one-shot plans already consumed by the
+// sharded path do not re-fire on the fallback call.
+func outcomesSerial(p *Program, m memmodel.Model, in *faults.Injector) (out OutcomeSet, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = faults.New(faults.TrapWorkerPanic,
 				"litmus %q: serial enumeration panicked: %v", p.Name, r)
 		}
 	}()
+	if t := in.Hit(faults.SiteLitmusShard); t != nil {
+		return nil, t
+	}
 	return Outcomes(p, m), nil
 }
 

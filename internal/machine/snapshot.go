@@ -1,0 +1,56 @@
+// CPU/memory snapshotting for shadow execution: the DBT's -selfcheck mode
+// runs each freshly translated block once on a copy of the machine state
+// and compares its effects against the TCG interpreter's, so a snapshot
+// must capture everything generated code can read or write.
+
+package machine
+
+import "repro/internal/isa/arm"
+
+// Snapshot is a deep copy of the machine's memory plus one CPU's state,
+// taken at a block boundary.
+type Snapshot struct {
+	// Mem is a private copy of the full memory (guest data and code cache
+	// alike — shadow runs fetch generated code from it).
+	Mem []byte
+	// CPU is the copied register state. The exclusive monitor is cleared:
+	// a block boundary is never inside an exclusive sequence.
+	CPU CPU
+}
+
+// Snapshot deep-copies the machine memory and c's state.
+func (m *Machine) Snapshot(c *CPU) *Snapshot {
+	s := &Snapshot{Mem: append([]byte(nil), m.Mem...), CPU: *c}
+	s.CPU.monValid = false
+	return s
+}
+
+// ShadowMachine builds a fresh single-CPU machine over the snapshot state,
+// for deterministic shadow execution: no injector, no weak-memory mode, no
+// observability, no watchdogs — just the sequentially consistent
+// interpreter over the copied memory. The caller installs its own Syscall
+// and OnBLR hooks and bounds execution via Run's maxSteps.
+func (s *Snapshot) ShadowMachine() *Machine {
+	cpu := s.CPU
+	cpu.ID = 0
+	cpu.Halted = false
+	return &Machine{
+		Mem:         s.Mem,
+		CPUs:        []*CPU{&cpu},
+		Cost:        DefaultCost(),
+		lineOwner:   make(map[uint64]int),
+		decodeCache: make(map[uint64]arm.Inst),
+	}
+}
+
+// Restore writes the snapshot back into m and c — the inverse of Snapshot,
+// for callers that executed destructively on the live machine. The CPU's
+// identity is preserved; the decode cache is dropped because memory
+// (including the code cache) is rewritten wholesale.
+func (m *Machine) Restore(c *CPU, s *Snapshot) {
+	copy(m.Mem, s.Mem)
+	id := c.ID
+	*c = s.CPU
+	c.ID = id
+	m.decodeCache = make(map[uint64]arm.Inst)
+}

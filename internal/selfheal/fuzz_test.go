@@ -1,0 +1,50 @@
+package selfheal
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzBundleDecode throws arbitrary bytes at the bundle parser. The
+// invariant under fuzzing: DecodeBundle either rejects the input or
+// returns a bundle that (a) passes Validate — Decode must never hand back
+// an invalid document — and (b) re-encodes to a fixed point: decoding the
+// re-encoding yields byte-identical output, the property the -replay
+// byte-comparison in check.sh depends on.
+func FuzzBundleDecode(f *testing.F) {
+	// Seed with a realistic valid bundle and a few near-misses.
+	if data, err := testBundle().Encode(); err == nil {
+		f.Add(data)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version":1,"tool":"risotto"}`))
+	f.Add([]byte(`{"version":1,"tool":"t","variant":"risotto","image":"AQI=","mem_size":1,` +
+		`"quantum":1,"trap":{"kind":"decode","cpu":0,"pc":16},` +
+		`"cpus":[{"id":0,"regs":[0],"pc":0,"cycles":0,"insts":0}]}`))
+	f.Add([]byte(`not json at all`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := DecodeBundle(data)
+		if err != nil {
+			return
+		}
+		if verr := b.Validate(); verr != nil {
+			t.Fatalf("DecodeBundle returned an invalid bundle: %v", verr)
+		}
+		enc1, err := b.Encode()
+		if err != nil {
+			t.Fatalf("decoded bundle does not re-encode: %v", err)
+		}
+		b2, err := DecodeBundle(enc1)
+		if err != nil {
+			t.Fatalf("re-encoding does not decode: %v\n%s", err, enc1)
+		}
+		enc2, err := b2.Encode()
+		if err != nil {
+			t.Fatalf("second encode failed: %v", err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("encoding is not a fixed point:\n%s\n----\n%s", enc1, enc2)
+		}
+	})
+}

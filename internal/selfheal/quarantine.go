@@ -1,0 +1,103 @@
+package selfheal
+
+// Event is one quarantine decision: block GuestPC was demoted From → To
+// because of Reason. The history is bounded (maxHistory) and ordered by
+// Seq, and is embedded verbatim in crash bundles.
+type Event struct {
+	// Seq is the 1-based decision sequence number.
+	Seq int `json:"seq"`
+	// GuestPC identifies the quarantined block.
+	GuestPC uint64 `json:"guest_pc"`
+	// From and To are the tiers before and after the demotion.
+	From Tier `json:"from"`
+	To   Tier `json:"to"`
+	// Reason is the trap or divergence report that triggered it.
+	Reason string `json:"reason"`
+}
+
+// Demotion is the outcome of one State.Quarantine call.
+type Demotion struct {
+	// From and To are the block's tiers before and after.
+	From, To Tier
+	// First reports whether this is the block's first quarantine.
+	First bool
+	// Demoted is false when the block was already at the bottom tier —
+	// the quarantine could not degrade it further and recovery must fail
+	// upward.
+	Demoted bool
+}
+
+// maxHistory bounds the recorded event list; older events are dropped
+// (the tier map itself is never truncated).
+const maxHistory = 256
+
+// State is the quarantine registry: which blocks run at which demoted
+// tier, and why. It is not safe for concurrent use; the runtime touches it
+// only from its single execution loop.
+type State struct {
+	tiers   map[uint64]Tier
+	history []Event
+	seq     int
+}
+
+// NewState returns an empty registry (every block at TierFull).
+func NewState() *State {
+	return &State{tiers: make(map[uint64]Tier)}
+}
+
+// TierOf returns the tier block pc must be translated at.
+func (s *State) TierOf(pc uint64) Tier {
+	if s == nil {
+		return TierFull
+	}
+	return s.tiers[pc]
+}
+
+// SetTier forces pc's tier — used to seed replay runs from a bundle's
+// quarantine history and by tests that pin a block to a rung.
+func (s *State) SetTier(pc uint64, t Tier) {
+	s.tiers[pc] = t
+}
+
+// Quarantine records that pc's current tier failed (reason) and demotes it
+// one rung. When the block is already at TierInterp the failure is still
+// recorded, but Demoted is false: the ladder is exhausted.
+func (s *State) Quarantine(pc uint64, reason string) Demotion {
+	from := s.tiers[pc]
+	d := Demotion{From: from, To: from, First: false}
+	if _, seen := s.tiers[pc]; !seen {
+		d.First = true
+	}
+	to, ok := from.Next()
+	if ok {
+		d.To, d.Demoted = to, true
+		s.tiers[pc] = to
+	} else {
+		// Exhausted: keep the entry (First stays accurate on repeats).
+		s.tiers[pc] = from
+	}
+	s.seq++
+	s.history = append(s.history, Event{
+		Seq: s.seq, GuestPC: pc, From: from, To: d.To, Reason: reason,
+	})
+	if len(s.history) > maxHistory {
+		s.history = s.history[len(s.history)-maxHistory:]
+	}
+	return d
+}
+
+// History returns a copy of the recorded quarantine events, oldest first.
+func (s *State) History() []Event {
+	if s == nil {
+		return nil
+	}
+	return append([]Event(nil), s.history...)
+}
+
+// Quarantined returns the number of distinct quarantined blocks.
+func (s *State) Quarantined() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.tiers)
+}

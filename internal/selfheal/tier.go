@@ -1,0 +1,101 @@
+// Package selfheal implements the policy side of Risotto-Go's self-healing
+// execution layer: the translation tier ladder, the per-block quarantine
+// registry, and the deterministic crash-triage bundle written when a trap
+// survives every recovery attempt. The mechanism side — invalidating
+// blocks, retranslating, shadow-executing — lives in internal/core; this
+// package stays free of execution dependencies so CLIs and tools can parse
+// bundles without linking the DBT.
+package selfheal
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Tier is one rung of the optimization backoff ladder. Every translated
+// block carries a tier; a quarantined block is retranslated one tier down,
+// trading performance for a smaller trusted computing base at each step,
+// until the interpreter tier executes the frontend's literal IR with no
+// code generation at all.
+type Tier uint8
+
+const (
+	// TierFull is the variant's full optimization pipeline.
+	TierFull Tier = iota
+	// TierNoFenceMerge disables fence merging — the pass that moves and
+	// coalesces barriers, and therefore the most semantically delicate.
+	TierNoFenceMerge
+	// TierNoOpt disables every optimizer pass; the backend compiles the
+	// frontend's literal IR.
+	TierNoOpt
+	// TierInterp abandons code generation: the block becomes a stub that
+	// the runtime executes through the TCG interpreter.
+	TierInterp
+
+	// NumTiers is the ladder length.
+	NumTiers = 4
+)
+
+var tierNames = [NumTiers]string{"full", "no-fence-merge", "no-opt", "interp"}
+
+func (t Tier) String() string {
+	if int(t) < len(tierNames) {
+		return tierNames[t]
+	}
+	return fmt.Sprintf("tier?%d", int(t))
+}
+
+// ParseTier inverts String.
+func ParseTier(s string) (Tier, error) {
+	for i, n := range tierNames {
+		if n == s {
+			return Tier(i), nil
+		}
+	}
+	return 0, fmt.Errorf("selfheal: unknown tier %q", s)
+}
+
+// Next returns the rung below t; ok is false at the bottom of the ladder
+// (the interpreter tier has nothing to demote to).
+func (t Tier) Next() (Tier, bool) {
+	if t+1 >= NumTiers {
+		return t, false
+	}
+	return t + 1, true
+}
+
+// OptLevel maps the tier to the optimizer backoff level consumed by
+// tcg.OptConfig.Degrade. TierInterp also reports full backoff: the
+// interpreter runs the frontend's literal IR.
+func (t Tier) OptLevel() int {
+	switch t {
+	case TierFull:
+		return 0
+	case TierNoFenceMerge:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// MarshalJSON encodes the tier as its name, keeping bundles readable.
+func (t Tier) MarshalJSON() ([]byte, error) {
+	if int(t) >= NumTiers {
+		return nil, fmt.Errorf("selfheal: cannot encode invalid tier %d", int(t))
+	}
+	return json.Marshal(t.String())
+}
+
+// UnmarshalJSON decodes a tier name.
+func (t *Tier) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	v, err := ParseTier(s)
+	if err != nil {
+		return err
+	}
+	*t = v
+	return nil
+}

@@ -1,11 +1,26 @@
 package tcg
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
-// Interp is a single-threaded reference interpreter for IR blocks, used by
-// tests to differential-test the optimizer (same final state before and
-// after passes) and the frontend (IR semantics match guest semantics).
-// It is not part of the translation pipeline.
+// Typed interpreter failure causes, exposed so embedders (the interpreter
+// execution tier in internal/core) can classify errors.Is-style instead of
+// string-matching.
+var (
+	// ErrInterpOOB marks a memory access outside the interpreter's memory.
+	ErrInterpOOB = errors.New("access out of bounds")
+	// ErrInterpBudget marks interpreter step-budget exhaustion (a runaway
+	// intra-block loop).
+	ErrInterpBudget = errors.New("step budget exhausted")
+)
+
+// Interp is a single-threaded reference interpreter for IR blocks. Tests
+// use it to differential-test the optimizer (same final state before and
+// after passes) and the frontend (IR semantics match guest semantics); the
+// DBT runtime uses it as the executable oracle of -selfcheck shadow runs
+// and as the bottom rung of the self-healing tier ladder.
 type Interp struct {
 	// Temps holds every temp's value.
 	Temps []uint64
@@ -15,11 +30,20 @@ type Interp struct {
 	NextPC uint64
 	// Halted is set by OpExitHalt.
 	Halted bool
+	// Steps accumulates executed op counts across Run calls, so embedders
+	// can charge interpreted work against instruction budgets.
+	Steps int
 	// Calls records helper invocations (helper, a, b) for inspection;
 	// helper results are produced by OnCall when set.
 	Calls [][3]uint64
-	// OnCall, when set, provides helper results.
+	// OnCall, when set, provides helper results. The result is written to
+	// the call's Dst unconditionally (the historical test contract).
 	OnCall func(h Helper, a, b uint64) uint64
+	// OnCallEx, when set, takes precedence over OnCall and may fail. Its
+	// result follows the backend's register convention instead: it is
+	// written to Dst only when Dst is a local temp (globals are updated by
+	// the handler itself, exactly like the compiled helper path).
+	OnCallEx func(in Inst, a, b uint64) (uint64, error)
 }
 
 // NewInterp returns an interpreter with memSize bytes of memory.
@@ -31,8 +55,8 @@ func NewInterp(b *Block, memSize int) *Interp {
 }
 
 func (it *Interp) load(addr uint64, size uint8) (uint64, error) {
-	if addr+uint64(size) > uint64(len(it.Mem)) {
-		return 0, fmt.Errorf("tcg interp: load [%#x,+%d) out of bounds", addr, size)
+	if addr+uint64(size) > uint64(len(it.Mem)) || addr+uint64(size) < addr {
+		return 0, fmt.Errorf("tcg interp: load [%#x,+%d): %w", addr, size, ErrInterpOOB)
 	}
 	var v uint64
 	for i := uint8(0); i < size; i++ {
@@ -42,8 +66,8 @@ func (it *Interp) load(addr uint64, size uint8) (uint64, error) {
 }
 
 func (it *Interp) store(addr uint64, size uint8, v uint64) error {
-	if addr+uint64(size) > uint64(len(it.Mem)) {
-		return fmt.Errorf("tcg interp: store [%#x,+%d) out of bounds", addr, size)
+	if addr+uint64(size) > uint64(len(it.Mem)) || addr+uint64(size) < addr {
+		return fmt.Errorf("tcg interp: store [%#x,+%d): %w", addr, size, ErrInterpOOB)
 	}
 	for i := uint8(0); i < size; i++ {
 		it.Mem[addr+uint64(i)] = byte(v >> (8 * i))
@@ -61,9 +85,10 @@ func (it *Interp) Run(b *Block) error {
 		}
 	}
 	steps := 0
+	defer func() { it.Steps += steps }()
 	for pc := 0; pc < len(b.Insts); pc++ {
 		if steps++; steps > 1_000_000 {
-			return fmt.Errorf("tcg interp: step budget exhausted")
+			return fmt.Errorf("tcg interp: %w", ErrInterpBudget)
 		}
 		in := b.Insts[pc]
 		t := it.Temps
@@ -141,7 +166,15 @@ func (it *Interp) Run(b *Block) error {
 			}
 		case OpCall:
 			it.Calls = append(it.Calls, [3]uint64{uint64(in.Helper), t[in.A], t[in.B]})
-			if it.OnCall != nil {
+			if it.OnCallEx != nil {
+				res, err := it.OnCallEx(in, t[in.A], t[in.B])
+				if err != nil {
+					return err
+				}
+				if in.Dst >= NumGlobals {
+					t[in.Dst] = res
+				}
+			} else if it.OnCall != nil {
 				t[in.Dst] = it.OnCall(in.Helper, t[in.A], t[in.B])
 			}
 		case OpExit:

@@ -204,6 +204,15 @@ func NewBlock() *Block {
 	return &Block{NumTemps: NumGlobals}
 }
 
+// Clone returns a deep copy of the block, so a caller can keep the
+// frontend's unoptimized IR (the selfcheck oracle) while Optimize rewrites
+// the original in place.
+func (b *Block) Clone() *Block {
+	nb := *b
+	nb.Insts = append([]Inst(nil), b.Insts...)
+	return &nb
+}
+
 // Temp allocates a fresh local temp.
 func (b *Block) Temp() Temp {
 	t := Temp(b.NumTemps)

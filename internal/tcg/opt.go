@@ -32,6 +32,23 @@ func DefaultOpt() OptConfig {
 	return OptConfig{ConstProp: true, AccessElim: true, FenceMerge: true, DeadCode: true}
 }
 
+// Degrade returns a copy of cfg with optimization backed off by level —
+// the per-tier pass selection of the self-healing ladder. Level 0 keeps
+// cfg unchanged; level 1 disables fence merging (the pass that moves and
+// coalesces barriers); level 2 and beyond disable every pass, yielding
+// the frontend's literal IR. The Obs hook is preserved at every level.
+func (cfg OptConfig) Degrade(level int) OptConfig {
+	switch {
+	case level <= 0:
+		return cfg
+	case level == 1:
+		cfg.FenceMerge = false
+		return cfg
+	default:
+		return OptConfig{Obs: cfg.Obs}
+	}
+}
+
 // Optimize runs the configured passes in order. All passes assume the
 // frontend's invariant that intra-block branches only jump forward.
 func Optimize(b *Block, cfg OptConfig) {

@@ -38,6 +38,28 @@ echo "==> litmusctl fault smoke"
 go run ./cmd/litmusctl -workers 4 -fault cache-exhaust corpus >/dev/null
 go run ./cmd/litmusctl -workers 4 -fault shard-panic corpus >/dev/null
 
+echo "==> selfheal: workload suite under -selfcheck"
+for k in histogram wordcount kmeans swaptions canneal; do
+	go run ./cmd/risotto -kernel "$k" -threads 2 -selfcheck >/dev/null
+done
+
+echo "==> selfheal: injected miscompile is detected and recovered"
+go run ./cmd/risotto -kernel histogram -threads 2 -fault miscompile -selfcheck \
+	-metrics json | grep -Eq '"core\.selfheal\.quarantines": *[1-9]' \
+	|| { echo "selfheal run recorded no quarantine" >&2; exit 1; }
+
+echo "==> selfheal: crash bundle replays byte-identically"
+SH_TMP=$(mktemp -d)
+trap 'rm -rf "$SH_TMP"' EXIT
+go build -o "$SH_TMP/risotto" ./cmd/risotto
+code=0
+"$SH_TMP/risotto" -kernel histogram -threads 2 -fault decode@3 \
+	-bundle "$SH_TMP/crash.json" 2>/dev/null || code=$?
+[ "$code" -eq 3 ] || { echo "trapped run exited $code, want 3" >&2; exit 1; }
+"$SH_TMP/risotto" -replay "$SH_TMP/crash.json" -bundle "$SH_TMP/crash2.json" >/dev/null
+cmp "$SH_TMP/crash.json" "$SH_TMP/crash2.json" \
+	|| { echo "replay re-bundle differs from original" >&2; exit 1; }
+
 echo "==> metrics snapshot validates (risotto -metrics json | obsvalidate)"
 go run ./cmd/risotto -kernel histogram -threads 2 -metrics json | go run ./cmd/obsvalidate >/dev/null
 
