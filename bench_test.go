@@ -21,8 +21,10 @@ import (
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/litmus"
+	"repro/internal/litmusgen"
 	"repro/internal/mapping"
 	"repro/internal/memmodel"
 	"repro/internal/models/armcats"
@@ -245,6 +247,32 @@ func BenchmarkEnumerateInstrumented(b *testing.B) {
 	b.Run("obs", func(b *testing.B) {
 		run(b, litmus.WithWorkers(4), litmus.WithObs(obs.NewScope("")))
 	})
+}
+
+// BenchmarkCampaignTest measures the campaign driver's unit of work: one
+// generated litmus test through its full verdict pipeline (Theorem-1
+// containment for x86-level tests, direct enumeration for Arm-level ones,
+// plus the operational soundness check). The reported tests/s is the
+// serial per-worker campaign throughput scripts/bench_snapshot.sh records
+// in BENCH_litmus.json.
+func BenchmarkCampaignTest(b *testing.B) {
+	var tests []*litmusgen.Test
+	litmusgen.Stream(litmusgen.Config{Seed: 1, MaxThreads: 2, MaxPerShape: 16},
+		func(t *litmusgen.Test) bool { tests = append(tests, t); return true })
+	if len(tests) == 0 {
+		b.Fatal("generator emitted no tests")
+	}
+	cfg := campaign.Config{OpcheckSeeds: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := campaign.Check(cfg, tests[i%len(tests)])
+		if rec.Verdict == campaign.VerdictFail {
+			b.Fatalf("%s: %s", rec.Name, rec.Detail)
+		}
+	}
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(b.N)/s, "tests/s")
+	}
 }
 
 // BenchmarkChaining measures translation-block chaining (QEMU's goto_tb,

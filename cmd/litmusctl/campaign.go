@@ -1,0 +1,90 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/campaign"
+	"repro/internal/litmusgen"
+)
+
+// campaignCmd runs a generated-corpus campaign: it streams cycle-generated
+// litmus tests through the Theorem-1 and operational-soundness checks,
+// appending one JSONL verdict record per test to -out. The human summary
+// goes to stderr so stdout stays clean for -metrics dumps (litmusctl
+// -metrics json campaign ... | obsvalidate). Returns true when any verdict
+// failed; main exits 1 after the -metrics/-trace outputs are flushed.
+func campaignCmd(args []string) bool {
+	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr,
+			"usage: litmusctl [shared flags] campaign [-out FILE] [-resume] [generator flags]")
+		fs.PrintDefaults()
+		os.Exit(2)
+	}
+	out := fs.String("out", "campaign.jsonl", "results file (JSONL, one verdict record per test)")
+	resume := fs.Bool("resume", false, "resume an interrupted campaign from -out (same config required)")
+	seed := fs.Int64("seed", 1, "generator seed (only affects -sample thinning)")
+	shapes := fs.String("shapes", "", "comma-separated cycle families (default all: "+
+		strings.Join(litmusgen.ShapeNames(), ",")+")")
+	minThreads := fs.Int("min-threads", 0, "minimum ring size for N-thread families (0 = default 2)")
+	maxThreads := fs.Int("max-threads", 0, "maximum ring size for N-thread families (0 = default 3)")
+	levels := fs.String("levels", "", "instruction levels: x86, arm or x86,arm (default both)")
+	maxTests := fs.Int("max-tests", 0, "cap on total unique tests (0 = no cap)")
+	maxPerShape := fs.Int("max-per-shape", 0, "cap per (shape, level) stream, stride-sampled (0 = no cap)")
+	sample := fs.Float64("sample", 0, "keep each variant with this probability (0 or ≥1 = keep all)")
+	opcheckSeeds := fs.Int("opcheck-seeds", 0,
+		"seeds per operational soundness check (0 = default, negative = skip opcheck)")
+	fs.Parse(args)
+
+	gen := litmusgen.Config{
+		Seed:        *seed,
+		MinThreads:  *minThreads,
+		MaxThreads:  *maxThreads,
+		MaxTests:    *maxTests,
+		MaxPerShape: *maxPerShape,
+		Sample:      *sample,
+	}
+	if *shapes != "" {
+		gen.Shapes = strings.Split(*shapes, ",")
+		if err := litmusgen.ValidShapes(gen.Shapes); err != nil {
+			fmt.Fprintln(os.Stderr, "litmusctl:", err)
+			os.Exit(2)
+		}
+	}
+	var err error
+	if gen.Levels, err = litmusgen.ParseLevels(*levels); err != nil {
+		fmt.Fprintln(os.Stderr, "litmusctl:", err)
+		os.Exit(2)
+	}
+
+	cfg := campaign.Config{
+		Gen:          gen,
+		Workers:      cf.WorkerCount(),
+		OpcheckSeeds: *opcheckSeeds,
+		Obs:          cf.Scope(),
+	}
+	sum, err := campaign.RunFile(cfg, *out, *resume)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "litmusctl:", err)
+		os.Exit(1)
+	}
+
+	fmt.Fprintf(os.Stderr,
+		"campaign: %d tests (%d resumed) → %d pass, %d fail, %d skip; %d checks run, %d skipped\n",
+		sum.Tests, sum.Resumed, sum.Pass, sum.Fail, sum.Skip, sum.ChecksRun, sum.ChecksSkipped)
+	fmt.Fprintf(os.Stderr,
+		"campaign: generator enumerated %d variants (%d sampled out, %d duplicates), emitted %d unique\n",
+		sum.Gen.Enumerated, sum.Gen.Sampled, sum.Gen.Duplicates, sum.Gen.Emitted)
+	fmt.Fprintf(os.Stderr, "campaign: %.1f tests/s over %s → %s\n",
+		sum.TestsPerSec, sum.Elapsed.Round(1e6), *out)
+	for _, f := range sum.Failures {
+		fmt.Fprintf(os.Stderr, "  FAIL #%d %s (%s): %s\n", f.Idx, f.Name, f.Level, f.Detail)
+	}
+	if sum.Fail > 0 {
+		fmt.Fprintf(os.Stderr, "campaign: %d FAILING verdicts\n", sum.Fail)
+	}
+	return sum.Fail > 0
+}

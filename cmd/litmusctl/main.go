@@ -11,6 +11,8 @@
 //	litmusctl errors           # QEMU's MPQ/SBQ errors + FMR
 //	litmusctl sbal             # the Armed-Cats casal error and its fix
 //	litmusctl run <file.lit>…  # run text-format tests' expectations
+//	litmusctl campaign …       # stream a generated corpus through the
+//	                           # Theorem-1 + soundness checks (JSONL results)
 //
 // The global -workers N flag (before the subcommand) bounds enumeration
 // parallelism: 0, the default, uses every CPU; 1 forces the serial
@@ -63,6 +65,7 @@ func main() {
 	if len(args) < 1 {
 		usage()
 	}
+	failed := false
 	switch args[0] {
 	case "corpus":
 		corpus()
@@ -82,11 +85,16 @@ func main() {
 			usage()
 		}
 		runFiles(args[1:])
+	case "campaign":
+		failed = campaignCmd(args[1:])
 	default:
 		usage()
 	}
 	if err := cf.Finish(os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "litmusctl:", err)
+		os.Exit(1)
+	}
+	if failed {
 		os.Exit(1)
 	}
 }
@@ -225,6 +233,6 @@ func sbal() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: litmusctl [-workers N] [-fault name[@N]] [-metrics json|prom|text] [-trace FILE] {corpus|outcomes <name>|verify|errors|sbal|run <file.lit>…}")
+	fmt.Fprintln(os.Stderr, "usage: litmusctl [-workers N] [-fault name[@N]] [-metrics json|prom|text] [-trace FILE] {corpus|outcomes <name>|verify|errors|sbal|run <file.lit>…|campaign [flags]}")
 	os.Exit(2)
 }

@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/campaign"
+	"repro/internal/litmusgen"
+)
+
+// CampaignRun executes a campaign with records discarded — the bench view
+// cares about throughput and verdict counts, not the JSONL artifact.
+func CampaignRun(cfg campaign.Config) (campaign.Summary, error) {
+	return campaign.Run(cfg, io.Discard, nil)
+}
+
+// RenderCampaign formats a campaign summary as the evaluation-style table
+// risobench prints: corpus composition, verdict partition and throughput.
+func RenderCampaign(cfg campaign.Config, sum campaign.Summary) string {
+	var sb strings.Builder
+	gen := cfg.Gen.Defaults()
+	sb.WriteString("Litmus campaign: generated corpus through Theorem-1 + soundness checks\n")
+	fmt.Fprintf(&sb, "%-22s %v (threads %d..%d, levels %v)\n",
+		"generator space", gen.Shapes, gen.MinThreads, gen.MaxThreads, levelNames(gen.Levels))
+	fmt.Fprintf(&sb, "%-22s enumerated %d, sampled out %d, duplicates %d, emitted %d\n",
+		"corpus", sum.Gen.Enumerated, sum.Gen.Sampled, sum.Gen.Duplicates, sum.Gen.Emitted)
+	fmt.Fprintf(&sb, "%-22s %d pass, %d fail, %d skip (of %d tests)\n",
+		"verdicts", sum.Pass, sum.Fail, sum.Skip, sum.Tests)
+	fmt.Fprintf(&sb, "%-22s %d run, %d skipped\n", "checks", sum.ChecksRun, sum.ChecksSkipped)
+	fmt.Fprintf(&sb, "%-22s %.1f tests/s over %s (%d workers)\n",
+		"throughput", sum.TestsPerSec, sum.Elapsed.Round(1e6), cfgWorkers(cfg))
+	for _, f := range sum.Failures {
+		fmt.Fprintf(&sb, "  FAIL #%d %s (%s): %s\n", f.Idx, f.Name, f.Level, f.Detail)
+	}
+	fmt.Fprintf(&sb, "\nall verdicts pass: %v\n", sum.Fail == 0)
+	return sb.String()
+}
+
+func levelNames(ls []litmusgen.Level) []string {
+	out := make([]string, len(ls))
+	for i, l := range ls {
+		out[i] = l.String()
+	}
+	return out
+}
+
+func cfgWorkers(cfg campaign.Config) int {
+	if cfg.Workers <= 0 {
+		return 1
+	}
+	return cfg.Workers
+}

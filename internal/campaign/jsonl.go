@@ -1,0 +1,152 @@
+package campaign
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Header is the first line of a campaign results file. It pins the
+// configuration the records were produced under: a resume against a file
+// whose hash differs would silently mix two different test spaces, so
+// RunFile refuses it.
+type Header struct {
+	// Format identifies the file format and version.
+	Format string `json:"format"`
+	// ConfigHash is Config.Hash() of the producing campaign.
+	ConfigHash string `json:"config_hash"`
+}
+
+// FormatV1 is the current results format tag.
+const FormatV1 = "risotto-campaign/v1"
+
+// lineEncoder writes newline-delimited JSON through a buffered writer,
+// flushing after every record so a killed campaign loses at most the
+// line being written (the resume path tolerates a torn final line).
+type lineEncoder struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+}
+
+func newLineEncoder(w io.Writer) *lineEncoder {
+	bw := bufio.NewWriter(w)
+	return &lineEncoder{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+func (e *lineEncoder) encode(v any) error {
+	if err := e.enc.Encode(v); err != nil {
+		return err
+	}
+	return e.bw.Flush()
+}
+
+// ReadResults parses a campaign results stream: the header line followed
+// by records. A torn final line (campaign killed mid-write) is dropped;
+// any other malformed line is an error.
+func ReadResults(r io.Reader) (Header, []Record, error) {
+	hdr, recs, _, err := readResults(r)
+	return hdr, recs, err
+}
+
+// readResults additionally reports the byte length of the valid prefix —
+// everything up to and including the last well-formed line. The resume
+// path truncates the file there so a torn final line is physically
+// removed before new records are appended (appending after a fragment
+// with no trailing newline would weld two records into one).
+func readResults(r io.Reader) (Header, []Record, int64, error) {
+	var hdr Header
+	var valid int64
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return hdr, nil, 0, err
+		}
+		return hdr, nil, 0, io.EOF
+	}
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return hdr, nil, 0, fmt.Errorf("campaign: bad header line: %w", err)
+	}
+	if hdr.Format != FormatV1 {
+		return hdr, nil, 0, fmt.Errorf("campaign: unknown results format %q", hdr.Format)
+	}
+	valid = int64(len(sc.Bytes())) + 1
+	var recs []Record
+	var pendingErr error
+	for sc.Scan() {
+		if pendingErr != nil {
+			// The malformed line was not the last one — a real corruption.
+			return hdr, nil, 0, pendingErr
+		}
+		line := sc.Bytes()
+		if len(line) == 0 {
+			valid += 1
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			pendingErr = fmt.Errorf("campaign: bad record line: %w", err)
+			continue
+		}
+		recs = append(recs, rec)
+		valid += int64(len(line)) + 1
+	}
+	if err := sc.Err(); err != nil {
+		return hdr, nil, 0, err
+	}
+	return hdr, recs, valid, nil
+}
+
+// RunFile runs the campaign with results at path. With resume false the
+// file is created (truncating any previous contents) and a fresh header
+// written; with resume true the existing file's header is validated
+// against cfg's hash, already-recorded test indices are skipped, and new
+// records are appended.
+func RunFile(cfg Config, path string, resume bool) (Summary, error) {
+	var done map[int]bool
+	if resume {
+		f, err := os.Open(path)
+		if err != nil {
+			return Summary{}, err
+		}
+		hdr, recs, valid, err := readResults(f)
+		f.Close()
+		if err != nil {
+			return Summary{}, fmt.Errorf("campaign: reading %s for resume: %w", path, err)
+		}
+		if hdr.ConfigHash != cfg.Hash() {
+			return Summary{}, fmt.Errorf(
+				"campaign: %s was produced by config %s, refusing to resume with config %s",
+				path, hdr.ConfigHash, cfg.Hash())
+		}
+		done = make(map[int]bool, len(recs))
+		for _, r := range recs {
+			done[r.Idx] = true
+		}
+		out, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+		if err != nil {
+			return Summary{}, err
+		}
+		defer out.Close()
+		// Drop any torn final line before appending (see readResults).
+		if err := out.Truncate(valid); err != nil {
+			return Summary{}, err
+		}
+		if _, err := out.Seek(valid, io.SeekStart); err != nil {
+			return Summary{}, err
+		}
+		return Run(cfg, out, done)
+	}
+
+	out, err := os.Create(path)
+	if err != nil {
+		return Summary{}, err
+	}
+	defer out.Close()
+	if err := newLineEncoder(out).encode(Header{Format: FormatV1, ConfigHash: cfg.Hash()}); err != nil {
+		return Summary{}, err
+	}
+	return Run(cfg, out, nil)
+}

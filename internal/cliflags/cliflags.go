@@ -14,6 +14,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"runtime"
 	"strings"
 	"sync"
 
@@ -83,6 +84,17 @@ func Register(fs *flag.FlagSet) *Set {
 func (s *Set) AddListen(fs *flag.FlagSet) {
 	fs.StringVar(&s.Listen, "listen", "",
 		"serve /metrics (Prometheus) and /debug/obs (JSON) on this address")
+}
+
+// WorkerCount resolves -workers to a concrete pool size: 0 or negative
+// means one worker per CPU, mirroring how the litmus enumerator interprets
+// the flag. Drivers that run their own worker pools (the campaign runner)
+// use this so -workers means the same thing everywhere.
+func (s *Set) WorkerCount() int {
+	if s.Workers <= 0 {
+		return runtime.NumCPU()
+	}
+	return s.Workers
 }
 
 // Check validates flag values that can fail before any work starts.

@@ -911,6 +911,12 @@ func (j *skeletonJob) enumerateCO(rfChoice []int, fn func(*Candidate) bool) bool
 // values per thread followed by final memory values.
 type Outcome string
 
+// OutcomeOf renders a candidate's observable state: final register values
+// per thread followed by final memory values. Exported so external
+// packages (generator tests, differential harnesses) can compute outcome
+// sets through EnumerateCandidates and compare them against Enumerate's.
+func OutcomeOf(c *Candidate) Outcome { return outcomeOf(c) }
+
 // outcomeOf renders a candidate's observable state.
 func outcomeOf(c *Candidate) Outcome {
 	var parts []string
@@ -939,12 +945,14 @@ func Outcomes(p *Program, m memmodel.Model) OutcomeSet {
 	out := make(OutcomeSet)
 	forEachJob(p, func(j *skeletonJob) bool {
 		ck := memmodel.NewChecker(m, j.skel)
-		return j.enumerate(nil, func(c *Candidate) bool {
+		cont := j.enumerate(nil, func(c *Candidate) bool {
 			if ck.Consistent(c.X) {
 				out[outcomeOf(c)] = true
 			}
 			return true
 		})
+		memmodel.ReleaseChecker(ck)
+		return cont
 	})
 	return out
 }

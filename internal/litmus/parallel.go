@@ -137,8 +137,11 @@ func runShard(p *Program, m memmodel.Model, s shard, idx int, inj *faults.Inject
 	}
 	// Each shard gets its own prepared checker: checkers carry reusable
 	// scratch state and must not be shared across goroutines, but shards
-	// over the same job still share the job's immutable skeleton.
+	// over the same job still share the job's immutable skeleton. The
+	// checker's arena returns to the shared pool when the shard finishes
+	// (deferred so the panic path releases too).
 	ck := memmodel.NewChecker(m, s.job.skel)
+	defer memmodel.ReleaseChecker(ck)
 	out = make(OutcomeSet)
 	s.job.enumerate(s.rfPrefix, func(c *Candidate) bool {
 		if ck.Consistent(c.X) {

@@ -1,0 +1,223 @@
+// Package litmusgen deterministically enumerates litmus tests from
+// relaxation cycles, diy-style: a cycle shape (message passing, store
+// buffering, load buffering, coherence chains, 2+2W, and their N-thread
+// ring generalizations) fixes the communication edges between threads, and
+// the generator then enumerates every placement of fences (MFENCE at the
+// x86 level; DMB ISH/ISHLD/ISHST at the Arm level), RMWs, acquire/release
+// attributes and address/data/control dependencies on the program-order
+// edges and events of the cycle. Each combination becomes a
+// litmus.Program; a structural-fingerprint dedup pass guarantees every
+// emitted test is unique.
+//
+// The point of generating from cycles rather than curating examples is the
+// one Chakraborty's architecture-to-architecture mapping work makes: a
+// verified mapping must hold for *every* program shape, so the checks
+// (Theorem-1 containment, operational soundness) should sweep the
+// generated space, not the classics. internal/campaign streams this
+// package's output through those checks at corpus scale.
+//
+// Generation is streaming and deterministic: Stream never materializes the
+// corpus, the enumeration order is fixed, and the per-shape cap is applied
+// with a stride over the decoration space so capped runs still sample the
+// whole space rather than its first corner. The Seed only matters in
+// Sample mode (probabilistic thinning) — two runs with equal Configs
+// always emit the identical test sequence.
+package litmusgen
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strings"
+
+	"repro/internal/litmus"
+)
+
+// Level selects the instruction level generated tests are written at.
+type Level int
+
+const (
+	// LevelX86 generates x86-level tests: MFENCE fences, locked-CAS RMWs,
+	// plain accesses. These are the source programs of Theorem-1 campaigns.
+	LevelX86 Level = iota
+	// LevelArm generates Arm-level tests: DMB ISH/ISHLD/ISHST fences,
+	// acquire/release access attributes, casal RMWs. These feed the
+	// axiomatic-vs-operational soundness checks directly.
+	LevelArm
+)
+
+func (l Level) String() string {
+	if l == LevelArm {
+		return "arm"
+	}
+	return "x86"
+}
+
+// ParseLevels turns a comma-separated level list ("x86", "arm", "x86,arm")
+// into Level values, for CLI flag parsing. Empty input means both levels
+// (the Defaults behaviour).
+func ParseLevels(s string) ([]Level, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []Level
+	for _, part := range strings.Split(s, ",") {
+		switch strings.TrimSpace(part) {
+		case "x86":
+			out = append(out, LevelX86)
+		case "arm":
+			out = append(out, LevelArm)
+		default:
+			return nil, fmt.Errorf("litmusgen: unknown level %q (want x86 or arm)", part)
+		}
+	}
+	return out, nil
+}
+
+// Config parameterizes one generation run. The zero value is not useful;
+// Defaults fills every unset field.
+type Config struct {
+	// Seed drives the Sample thinning (and nothing else: enumeration order
+	// is deterministic regardless).
+	Seed int64
+	// Shapes selects the cycle families ("mp", "sb", "lb", "2+2w", "s",
+	// "r", "co"); empty means all of them.
+	Shapes []string
+	// MinThreads/MaxThreads bound the ring sizes of the N-thread families
+	// (mp, sb, lb, 2+2w). Defaults 2 and 3.
+	MinThreads, MaxThreads int
+	// Levels selects the instruction levels; empty means both.
+	Levels []Level
+	// MaxTests caps the total number of unique tests emitted (0 = no cap).
+	MaxTests int
+	// MaxPerShape caps the unique tests emitted per (shape, level) stream
+	// (0 = no cap). When a stream's decoration space exceeds the cap, the
+	// enumeration strides through it so the emitted subset spans the whole
+	// space.
+	MaxPerShape int
+	// Sample, when in (0,1), keeps each enumerated variant with this
+	// probability (seeded, deterministic). 0 or ≥1 keeps everything.
+	Sample float64
+}
+
+// Defaults returns cfg with unset fields replaced by their defaults.
+func (cfg Config) Defaults() Config {
+	if len(cfg.Shapes) == 0 {
+		cfg.Shapes = ShapeNames()
+	}
+	if cfg.MinThreads == 0 {
+		cfg.MinThreads = 2
+	}
+	if cfg.MaxThreads == 0 {
+		cfg.MaxThreads = 3
+	}
+	if len(cfg.Levels) == 0 {
+		cfg.Levels = []Level{LevelX86, LevelArm}
+	}
+	return cfg
+}
+
+// Hash is a stable fingerprint of the configuration, used by the campaign
+// driver to refuse resuming a JSONL file produced under a different
+// generation space.
+func (cfg Config) Hash() string {
+	cfg = cfg.Defaults()
+	h := fnv.New64a()
+	fmt.Fprintf(h, "v1|%d|%v|%d|%d|%v|%d|%d|%g",
+		cfg.Seed, cfg.Shapes, cfg.MinThreads, cfg.MaxThreads,
+		cfg.Levels, cfg.MaxTests, cfg.MaxPerShape, cfg.Sample)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Test is one generated litmus test.
+type Test struct {
+	// Idx is the test's dense index in the emission order — stable for a
+	// given Config, which is what makes campaign resume offsets work.
+	Idx int
+	// Prog is the generated program; its Name encodes shape and
+	// decorations ("g.mp2.x86+mf+addr" style).
+	Prog *litmus.Program
+	// Level is the instruction level the test is written at.
+	Level Level
+	// Fingerprint is Prog.Fingerprint(), the dedup key.
+	Fingerprint string
+	// HasRMW reports whether any op is a CAS (campaigns check both Arm
+	// RMW lowering styles for these).
+	HasRMW bool
+}
+
+// FPHash is the test's short fingerprint hash, the form recorded in
+// campaign JSONL records and golden manifests.
+func (t *Test) FPHash() string {
+	h := fnv.New64a()
+	h.Write([]byte(t.Fingerprint))
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Stats summarizes one Stream run.
+type Stats struct {
+	// Enumerated counts decoration combinations visited (pre-dedup,
+	// pre-sampling, post-stride).
+	Enumerated int
+	// Sampled counts variants dropped by Sample thinning.
+	Sampled int
+	// Duplicates counts variants whose fingerprint was already emitted.
+	Duplicates int
+	// Emitted counts unique tests passed to yield.
+	Emitted int
+}
+
+// Stream enumerates the configured space in a fixed deterministic order,
+// dedups by structural fingerprint, and calls yield for every unique test.
+// Enumeration stops early when yield returns false or MaxTests is reached.
+// The whole corpus is never materialized; memory is bounded by the dedup
+// set (one fingerprint string per unique test).
+func Stream(cfg Config, yield func(*Test) bool) Stats {
+	cfg = cfg.Defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	seen := make(map[string]struct{})
+	var st Stats
+	stop := false
+
+	for _, pr := range protos(cfg) {
+		for _, lvl := range cfg.Levels {
+			emittedInShape := 0
+			enumerateDecors(pr, lvl, cfg.MaxPerShape, func(d []threadDecor) bool {
+				st.Enumerated++
+				if cfg.Sample > 0 && cfg.Sample < 1 && rng.Float64() >= cfg.Sample {
+					st.Sampled++
+					return true
+				}
+				prog, hasRMW := build(pr, lvl, d)
+				fp := prog.Fingerprint()
+				if _, dup := seen[fp]; dup {
+					st.Duplicates++
+					return true
+				}
+				seen[fp] = struct{}{}
+				t := &Test{
+					Idx:         st.Emitted,
+					Prog:        prog,
+					Level:       lvl,
+					Fingerprint: fp,
+					HasRMW:      hasRMW,
+				}
+				st.Emitted++
+				emittedInShape++
+				if !yield(t) {
+					stop = true
+					return false
+				}
+				if cfg.MaxTests > 0 && st.Emitted >= cfg.MaxTests {
+					stop = true
+					return false
+				}
+				return cfg.MaxPerShape == 0 || emittedInShape < cfg.MaxPerShape
+			})
+			if stop {
+				return st
+			}
+		}
+	}
+	return st
+}

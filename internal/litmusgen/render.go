@@ -1,0 +1,87 @@
+package litmusgen
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/litmus"
+	"repro/internal/memmodel"
+)
+
+// Render emits the canonical .lit text of a program, the exact inverse of
+// litmus.Parse: parse(Render(p)) reproduces p op-for-op (see the
+// round-trip test). One caveat inherited from the parser: a CAS with
+// RMWClass RMWNone parses back as RMWAmo, so canonical programs — and
+// everything this package generates — always carry an explicit class.
+func Render(p *litmus.Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "test %s\n", p.Name)
+	for t, ops := range p.Threads {
+		fmt.Fprintf(&b, "thread %d\n", t)
+		renderOps(&b, ops, 1)
+	}
+	return b.String()
+}
+
+func renderOps(b *strings.Builder, ops []litmus.Op, depth int) {
+	indent := strings.Repeat("  ", depth)
+	for _, op := range ops {
+		switch o := op.(type) {
+		case litmus.Store:
+			fmt.Fprintf(b, "%sstore %s %d%s\n", indent, o.Loc, o.Val, attrSuffix(o.Attr))
+		case litmus.StoreReg:
+			fmt.Fprintf(b, "%sstorereg %s %s%s\n", indent, o.Loc, o.Src, attrSuffix(o.Attr))
+		case litmus.Load:
+			fmt.Fprintf(b, "%sload %s %s%s\n", indent, o.Dst, o.Loc, attrSuffix(o.Attr))
+		case litmus.LoadIdx:
+			fmt.Fprintf(b, "%sloadidx %s %s %s %s%s\n", indent, o.Dst, o.Idx, o.Loc0, o.Loc1, attrSuffix(o.Attr))
+		case litmus.StoreIdx:
+			fmt.Fprintf(b, "%sstoreidx %s %s %s %d%s\n", indent, o.Idx, o.Loc0, o.Loc1, o.Val, attrSuffix(o.Attr))
+		case litmus.CAS:
+			fmt.Fprintf(b, "%scas %s %d %d", indent, o.Loc, o.Expect, o.New)
+			if o.Dst != "" {
+				fmt.Fprintf(b, " -> %s", o.Dst)
+			}
+			fmt.Fprintf(b, "%s\n", attrSuffix(o.Attr))
+		case litmus.Fence:
+			fmt.Fprintf(b, "%sfence %s\n", indent, strings.ToLower(o.K.String()))
+		case litmus.MovImm:
+			fmt.Fprintf(b, "%smov %s %d\n", indent, o.Dst, o.Val)
+		case litmus.If:
+			cmp := "!="
+			if o.Eq {
+				cmp = "=="
+			}
+			fmt.Fprintf(b, "%sif %s %s %d\n", indent, o.Reg, cmp, o.Val)
+			renderOps(b, o.Body, depth+1)
+			fmt.Fprintf(b, "%sendif\n", indent)
+		default:
+			panic(fmt.Sprintf("litmusgen: cannot render op %T", op))
+		}
+	}
+}
+
+// attrSuffix renders attributes in canonical order (acq acqpc rel sc,
+// then the RMW class), matching what parseAttrs strips.
+func attrSuffix(a litmus.Attr) string {
+	var s string
+	if a.Acq {
+		s += " acq"
+	}
+	if a.AcqPC {
+		s += " acqpc"
+	}
+	if a.Rel {
+		s += " rel"
+	}
+	if a.SC {
+		s += " sc"
+	}
+	switch a.Class {
+	case memmodel.RMWAmo:
+		s += " amo"
+	case memmodel.RMWLxSx:
+		s += " lxsx"
+	}
+	return s
+}

@@ -247,6 +247,17 @@ func X86ToArm(p *litmus.Program, xs X86Scheme, as ArmScheme, rmw RMWStyle) *litm
 	return TCGToArm(X86ToTCG(p, xs), as, rmw)
 }
 
+// TranslateVerified runs src through Risotto's verified chain (Figure 7)
+// with the given RMW lowering style, returning both the intermediate TCG
+// program and the final Arm program. The Arm program is derived from the
+// returned TCG program, so campaign drivers checking both Theorem-1 legs
+// translate once per leg instead of re-running the x86 step.
+func TranslateVerified(src *litmus.Program, rmw RMWStyle) (tcg, arm *litmus.Program) {
+	tcg = X86ToTCG(src, X86Verified)
+	arm = TCGToArm(tcg, ArmVerified, rmw)
+	return tcg, arm
+}
+
 // Verification is the result of one Theorem-1 check.
 type Verification struct {
 	// Source and Target name the programs compared.

@@ -1,6 +1,10 @@
 package memmodel
 
-import "repro/internal/rel"
+import (
+	"sync"
+
+	"repro/internal/rel"
+)
 
 // Skeleton is the candidate-invariant part of a program's executions: the
 // event set and every relation fixed by program structure alone. During
@@ -77,6 +81,46 @@ type plainChecker struct{ m Model }
 
 func (c plainChecker) Consistent(x *Execution) bool { return c.m.Consistent(x) }
 
+// ReleasableChecker is a Checker whose scratch state can be returned to
+// the shared arena pool once the checker is done. Campaign-style sweeps
+// create one checker per skeleton across many thousands of programs;
+// releasing lets consecutive skeletons of the same event-count reuse one
+// arena instead of allocating a fresh relation set each.
+type ReleasableChecker interface {
+	Checker
+	// Release returns the checker's scratch to the pool. The checker must
+	// not be used afterwards. Release is idempotent.
+	Release()
+}
+
+// ReleaseChecker releases c if its model supports it; checkers of plain
+// (unprepared) models are a no-op.
+func ReleaseChecker(c Checker) {
+	if rc, ok := c.(ReleasableChecker); ok {
+		rc.Release()
+	}
+}
+
+// arenaPools pools released arenas keyed by universe size. Relations are
+// capacity-bound to their arena's universe, so only exact-size reuse is
+// sound; litmus skeletons cluster around a handful of event counts, which
+// keeps the pool map tiny.
+var arenaPools sync.Map // int -> *sync.Pool of *rel.Arena
+
+func pooledArena(n int) *rel.Arena {
+	if v, ok := arenaPools.Load(n); ok {
+		if ar, _ := v.(*sync.Pool).Get().(*rel.Arena); ar != nil {
+			return ar
+		}
+	}
+	return rel.NewArena(n)
+}
+
+func releaseArena(ar *rel.Arena) {
+	v, _ := arenaPools.LoadOrStore(ar.Universe(), &sync.Pool{})
+	v.(*sync.Pool).Put(ar)
+}
+
 // Prep precomputes the skeleton relations every model's checker needs —
 // po|loc, the po-internality mask, and the common axioms — plus an arena
 // of scratch relations so the per-candidate work is allocation-free.
@@ -103,10 +147,12 @@ type Derived struct {
 	Fr, Rfe, Coe, Fre *rel.Relation
 }
 
-// NewPrep builds the shared per-skeleton state.
+// NewPrep builds the shared per-skeleton state. The arena comes from the
+// process-wide size-keyed pool; call Release (or ReleaseChecker on the
+// owning checker) to return it when the skeleton's candidates are done.
 func NewPrep(sk *Skeleton) *Prep {
 	n := len(sk.Events)
-	ar := rel.NewArena(n)
+	ar := pooledArena(n)
 	p := &Prep{
 		Sk:       sk,
 		Arena:    ar,
@@ -165,4 +211,19 @@ func (p *Prep) Atomicity(d Derived) bool {
 func (p *Prep) Scratch() *rel.Relation {
 	p.acc.Reset()
 	return p.acc
+}
+
+// Release returns the prep's scratch relations and arena to the pool.
+// Idempotent; the prep must not be used after the first call. Model
+// checkers that hold extra arena relations must Put them back before
+// calling this (see ReleasableChecker).
+func (p *Prep) Release() {
+	if p.Arena == nil {
+		return
+	}
+	for _, r := range []*rel.Relation{p.rfInv, p.fr, p.rfe, p.coe, p.fre, p.acc, p.atom} {
+		p.Arena.Put(r)
+	}
+	releaseArena(p.Arena)
+	p.Arena = nil
 }

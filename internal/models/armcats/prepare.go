@@ -68,3 +68,14 @@ func (c *checker) Consistent(x *memmodel.Execution) bool {
 	s.UnionWith(d.Fre)
 	return c.p.Arena.Acyclic(s)
 }
+
+// Release implements memmodel.ReleasableChecker. The checker's own arena
+// relations go back first so the prep can recycle the whole arena.
+func (c *checker) Release() {
+	if c.p.Arena != nil {
+		c.p.Arena.Put(c.coi)
+		c.p.Arena.Put(c.rfi)
+		c.p.Arena.Put(c.comp)
+	}
+	c.p.Release()
+}

@@ -36,3 +36,6 @@ func (c *checker) Consistent(x *memmodel.Execution) bool {
 	s.UnionWith(d.Fre)
 	return c.p.Arena.Acyclic(s)
 }
+
+// Release implements memmodel.ReleasableChecker.
+func (c *checker) Release() { c.p.Release() }

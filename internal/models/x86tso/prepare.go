@@ -37,3 +37,6 @@ func (c *checker) Consistent(x *memmodel.Execution) bool {
 	s.UnionWith(x.Co)
 	return c.p.Arena.Acyclic(s)
 }
+
+// Release implements memmodel.ReleasableChecker.
+func (c *checker) Release() { c.p.Release() }

@@ -9,6 +9,7 @@
 package opcheck
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -19,6 +20,12 @@ import (
 	"repro/internal/machine"
 	"repro/internal/memmodel"
 )
+
+// ErrUnsupported marks programs outside the compilable subset (RMWs,
+// conditionals, indexed accesses, exotic store attributes). Campaign
+// drivers distinguish "this test cannot run operationally" (errors.Is
+// ErrUnsupported → skip) from a genuine compile/execution failure.
+var ErrUnsupported = errors.New("opcheck: unsupported operation")
 
 // Layout constants for compiled litmus programs.
 const (
@@ -81,7 +88,7 @@ func Compile(p *litmus.Program) (*Compiled, error) {
 			switch o := op.(type) {
 			case litmus.Store:
 				if o.Acq || o.AcqPC || o.SC {
-					return nil, fmt.Errorf("opcheck: unsupported store attrs")
+					return nil, fmt.Errorf("%w: store attrs on thread %d", ErrUnsupported, t)
 				}
 				a.MovImm(arm.X2, c.locAddrs[o.Loc])
 				a.MovImm(arm.X1, uint64(o.Val))
@@ -124,7 +131,7 @@ func Compile(p *litmus.Program) (*Compiled, error) {
 				case memmodel.FenceDMBST:
 					a.Dmb(arm.BarrierStore)
 				default:
-					return nil, fmt.Errorf("opcheck: fence %v is not an Arm fence", o.K)
+					return nil, fmt.Errorf("%w: fence %v is not an Arm fence", ErrUnsupported, o.K)
 				}
 			case litmus.MovImm:
 				hw, err := allocReg(o.Dst)
@@ -133,7 +140,7 @@ func Compile(p *litmus.Program) (*Compiled, error) {
 				}
 				a.MovImm(hw, uint64(o.Val))
 			default:
-				return nil, fmt.Errorf("opcheck: unsupported op %T", op)
+				return nil, fmt.Errorf("%w: %T", ErrUnsupported, op)
 			}
 		}
 		// Publish loaded registers and halt.
@@ -232,7 +239,10 @@ func (c *Compiled) Observe(n int) (litmus.OutcomeSet, error) {
 
 // CheckSound verifies that every operationally observed outcome of p is
 // admitted by model m, returning the offending outcomes (empty = sound).
-func CheckSound(p *litmus.Program, m memmodel.Model, seeds int) ([]litmus.Outcome, error) {
+// The admitted set is enumerated through the process-wide cache by
+// default; extra litmus options append after it (last wins), so campaign
+// drivers can substitute a bounded per-test cache.
+func CheckSound(p *litmus.Program, m memmodel.Model, seeds int, opts ...litmus.Option) ([]litmus.Outcome, error) {
 	c, err := Compile(p)
 	if err != nil {
 		return nil, err
@@ -241,7 +251,8 @@ func CheckSound(p *litmus.Program, m memmodel.Model, seeds int) ([]litmus.Outcom
 	if err != nil {
 		return nil, err
 	}
-	admitted, err := litmus.Enumerate(p, m, litmus.WithCache(litmus.DefaultCache))
+	all := append([]litmus.Option{litmus.WithCache(litmus.DefaultCache)}, opts...)
+	admitted, err := litmus.Enumerate(p, m, all...)
 	if err != nil {
 		return nil, fmt.Errorf("opcheck: enumerating %q under %s: %w", p.Name, m.Name(), err)
 	}

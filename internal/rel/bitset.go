@@ -449,6 +449,10 @@ func NewArena(n int) *Arena {
 	return &Arena{n: n}
 }
 
+// Universe returns the element capacity the arena was created with, so
+// arenas themselves can be pooled by size.
+func (ar *Arena) Universe() int { return ar.n }
+
 // Get returns an empty relation with capacity for the arena's universe.
 func (ar *Arena) Get() *Relation {
 	if k := len(ar.free); k > 0 {

@@ -377,6 +377,9 @@ type Arena struct{ n int }
 // NewArena returns an arena whose relations hold elements [0, n).
 func NewArena(n int) *Arena { return &Arena{n: n} }
 
+// Universe returns the element capacity the arena was created with.
+func (ar *Arena) Universe() int { return ar.n }
+
 // Get returns an empty relation.
 func (ar *Arena) Get() *Relation { return New() }
 

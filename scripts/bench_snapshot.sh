@@ -6,8 +6,10 @@
 #   BENCHTIME=2s ./scripts/bench_snapshot.sh    # longer, steadier numbers
 #   ./scripts/bench_snapshot.sh out.json        # alternate output path
 #
-# Captured: the rel word-wise kernels (BenchmarkRelOps) and the end-to-end
-# candidate enumeration (BenchmarkOutcomesParallel, BenchmarkTheorem1).
+# Captured: the rel word-wise kernels (BenchmarkRelOps), the end-to-end
+# candidate enumeration (BenchmarkOutcomesParallel, BenchmarkTheorem1), and
+# the campaign per-test verdict pipeline (BenchmarkCampaignTest, whose
+# tests/s metric is the serial campaign throughput).
 # check.sh runs this with a short -benchtime as a smoke stage; for numbers
 # worth comparing across machines use BENCHTIME=2s or more.
 set -euo pipefail
@@ -18,7 +20,7 @@ OUT="${1:-BENCH_litmus.json}"
 
 raw="$(
   go test -run '^$' -bench 'BenchmarkRelOps' -benchtime "$BENCHTIME" ./internal/rel/
-  go test -run '^$' -bench 'BenchmarkOutcomesParallel|BenchmarkTheorem1' -benchtime "$BENCHTIME" .
+  go test -run '^$' -bench 'BenchmarkOutcomesParallel|BenchmarkTheorem1|BenchmarkCampaignTest' -benchtime "$BENCHTIME" .
 )"
 
 # Benchmark result lines look like:
@@ -36,6 +38,7 @@ $1 ~ /^Benchmark/ && $4 == "ns/op" {
   for (i = 4; i < NF; i++) {
     if ($(i+1) == "B/op")      printf ", \"bytes_per_op\": %s", $i
     if ($(i+1) == "allocs/op") printf ", \"allocs_per_op\": %s", $i
+    if ($(i+1) == "tests/s")   printf ", \"tests_per_sec\": %s", $i
   }
   printf "}"
 }

@@ -63,6 +63,13 @@ cmp "$SH_TMP/crash.json" "$SH_TMP/crash2.json" \
 echo "==> metrics snapshot validates (risotto -metrics json | obsvalidate)"
 go run ./cmd/risotto -kernel histogram -threads 2 -metrics json | go run ./cmd/obsvalidate >/dev/null
 
+echo "==> campaign smoke: seeded generated-corpus campaign, all verdicts pass"
+go run ./cmd/litmusctl -workers 4 -metrics json campaign \
+	-out "$SH_TMP/campaign.jsonl" -max-per-shape 6 -opcheck-seeds 2 \
+	| go run ./cmd/obsvalidate >/dev/null
+grep -q '"format":"risotto-campaign/v1"' "$SH_TMP/campaign.jsonl" \
+	|| { echo "campaign results file lacks the v1 header" >&2; exit 1; }
+
 echo "==> rel engine differential: go test -tags relmap (map engine over the full stack)"
 go test -tags relmap ./internal/rel/ ./internal/memmodel/ ./internal/models/... \
 	./internal/litmus/ ./internal/mapping/... ./internal/opcheck/
