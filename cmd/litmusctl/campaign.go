@@ -66,6 +66,18 @@ func campaignCmd(args []string) bool {
 		OpcheckSeeds: *opcheckSeeds,
 		Obs:          cf.Scope(),
 	}
+	// On interrupt, report how far the campaign got from the live obs
+	// counters (records already on disk are resumable with -resume).
+	cf.AddFlushHook(func() {
+		snap := cf.Scope().Snapshot()
+		fmt.Fprintf(os.Stderr,
+			"campaign: interrupted after %d tests (%d pass, %d fail, %d skip); resume with -resume -out %s\n",
+			snap.Counter("campaign.tests"),
+			snap.Counter("campaign.verdict.pass"),
+			snap.Counter("campaign.verdict.fail"),
+			snap.Counter("campaign.verdict.skip"),
+			*out)
+	})
 	sum, err := campaign.RunFile(cfg, *out, *resume)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "litmusctl:", err)

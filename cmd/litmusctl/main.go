@@ -55,6 +55,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "litmusctl:", err)
 		os.Exit(2)
 	}
+	// ^C mid-campaign flushes the partial summary and -metrics/-trace
+	// outputs instead of dropping them (campaignCmd adds its own hook).
+	cf.InterruptFlush()
 	var err error
 	enumOpts, err = cf.LitmusOptions()
 	if err != nil {

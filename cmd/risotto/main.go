@@ -68,6 +68,8 @@ func main() {
 	cf.AddListen(flag.CommandLine)
 	flag.Parse()
 	check(cf.Check())
+	// ^C during a long run still flushes the -metrics/-trace outputs.
+	cf.InterruptFlush()
 
 	inject, err := cf.Injector()
 	check(err)

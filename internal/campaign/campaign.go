@@ -28,6 +28,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/journal"
 	"repro/internal/litmus"
 	"repro/internal/litmusgen"
 	"repro/internal/mapping"
@@ -185,14 +186,14 @@ func Run(cfg Config, w io.Writer, done map[int]bool) (Summary, error) {
 		close(records)
 	}()
 
-	enc := newLineEncoder(w)
+	enc := journal.NewWriter(w)
 	var werr error
 	for rec := range records {
 		if sum.Stopped {
 			continue // drain in-flight records without recording them
 		}
 		if werr == nil {
-			werr = enc.encode(rec)
+			werr = enc.Encode(rec)
 		}
 		if werr != nil {
 			continue // drain; report the first write error after the loop

@@ -1,11 +1,12 @@
 package campaign
 
 import (
-	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
 	"os"
+
+	"repro/internal/journal"
 )
 
 // Header is the first line of a campaign results file. It pins the
@@ -22,26 +23,6 @@ type Header struct {
 // FormatV1 is the current results format tag.
 const FormatV1 = "risotto-campaign/v1"
 
-// lineEncoder writes newline-delimited JSON through a buffered writer,
-// flushing after every record so a killed campaign loses at most the
-// line being written (the resume path tolerates a torn final line).
-type lineEncoder struct {
-	bw  *bufio.Writer
-	enc *json.Encoder
-}
-
-func newLineEncoder(w io.Writer) *lineEncoder {
-	bw := bufio.NewWriter(w)
-	return &lineEncoder{bw: bw, enc: json.NewEncoder(bw)}
-}
-
-func (e *lineEncoder) encode(v any) error {
-	if err := e.enc.Encode(v); err != nil {
-		return err
-	}
-	return e.bw.Flush()
-}
-
 // ReadResults parses a campaign results stream: the header line followed
 // by records. A torn final line (campaign killed mid-write) is dropped;
 // any other malformed line is an error.
@@ -54,47 +35,36 @@ func ReadResults(r io.Reader) (Header, []Record, error) {
 // everything up to and including the last well-formed line. The resume
 // path truncates the file there so a torn final line is physically
 // removed before new records are appended (appending after a fragment
-// with no trailing newline would weld two records into one).
+// with no trailing newline would weld two records into one). The framing
+// — flush-per-record writes, torn-tail drop, valid-prefix arithmetic —
+// lives in internal/journal; only the header/record semantics are ours.
 func readResults(r io.Reader) (Header, []Record, int64, error) {
 	var hdr Header
-	var valid int64
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
-	if !sc.Scan() {
-		if err := sc.Err(); err != nil {
-			return hdr, nil, 0, err
-		}
-		return hdr, nil, 0, io.EOF
-	}
-	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
-		return hdr, nil, 0, fmt.Errorf("campaign: bad header line: %w", err)
-	}
-	if hdr.Format != FormatV1 {
-		return hdr, nil, 0, fmt.Errorf("campaign: unknown results format %q", hdr.Format)
-	}
-	valid = int64(len(sc.Bytes())) + 1
 	var recs []Record
-	var pendingErr error
-	for sc.Scan() {
-		if pendingErr != nil {
-			// The malformed line was not the last one — a real corruption.
-			return hdr, nil, 0, pendingErr
-		}
-		line := sc.Bytes()
-		if len(line) == 0 {
-			valid += 1
-			continue
+	sawHeader := false
+	valid, err := journal.Scan(r, func(line []byte) error {
+		if !sawHeader {
+			if err := json.Unmarshal(line, &hdr); err != nil {
+				return fmt.Errorf("campaign: bad header line: %w", err)
+			}
+			if hdr.Format != FormatV1 {
+				return fmt.Errorf("campaign: unknown results format %q", hdr.Format)
+			}
+			sawHeader = true
+			return nil
 		}
 		var rec Record
 		if err := json.Unmarshal(line, &rec); err != nil {
-			pendingErr = fmt.Errorf("campaign: bad record line: %w", err)
-			continue
+			return fmt.Errorf("campaign: bad record line: %w", err)
 		}
 		recs = append(recs, rec)
-		valid += int64(len(line)) + 1
-	}
-	if err := sc.Err(); err != nil {
+		return nil
+	})
+	if err != nil {
 		return hdr, nil, 0, err
+	}
+	if !sawHeader {
+		return hdr, nil, 0, io.EOF
 	}
 	return hdr, recs, valid, nil
 }
@@ -145,7 +115,7 @@ func RunFile(cfg Config, path string, resume bool) (Summary, error) {
 		return Summary{}, err
 	}
 	defer out.Close()
-	if err := newLineEncoder(out).encode(Header{Format: FormatV1, ConfigHash: cfg.Hash()}); err != nil {
+	if err := journal.NewWriter(out).Encode(Header{Format: FormatV1, ConfigHash: cfg.Hash()}); err != nil {
 		return Summary{}, err
 	}
 	return Run(cfg, out, nil)

@@ -14,9 +14,11 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
 	"sync"
+	"syscall"
 
 	"repro/internal/faults"
 	"repro/internal/litmus"
@@ -60,6 +62,9 @@ type Set struct {
 
 	scopeOnce sync.Once
 	scope     *obs.Scope
+
+	hookMu     sync.Mutex
+	flushHooks []func()
 }
 
 // Register installs the shared flags on fs and returns the Set their
@@ -164,6 +169,45 @@ func (s *Set) Serve() (string, error) {
 		}
 	}()
 	return ln.Addr().String(), nil
+}
+
+// AddFlushHook registers fn to run (in registration order) when an
+// interrupt arrives after InterruptFlush was installed. Commands use it
+// to surface partial progress — a campaign's counts so far, a pointer to
+// the resumable results file — that would otherwise die with the process.
+func (s *Set) AddFlushHook(fn func()) {
+	s.hookMu.Lock()
+	s.flushHooks = append(s.flushHooks, fn)
+	s.hookMu.Unlock()
+}
+
+// InterruptFlush installs a SIGINT/SIGTERM handler that runs the
+// registered flush hooks, then performs the -metrics/-trace outputs
+// (Finish), then exits with the conventional 128+signal code (130 for
+// SIGINT, 143 for SIGTERM). Without it an interrupt drops the partial
+// snapshot a long run has accumulated; with it ^C behaves like a
+// truncated-but-reported run. Call once, after flag parsing.
+func (s *Set) InterruptFlush() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-ch
+		fmt.Fprintf(os.Stderr, "interrupted (%s): flushing partial results\n", sig)
+		s.hookMu.Lock()
+		hooks := append([]func(){}, s.flushHooks...)
+		s.hookMu.Unlock()
+		for _, fn := range hooks {
+			fn()
+		}
+		if err := s.Finish(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "flush:", err)
+		}
+		code := 130
+		if sig == syscall.SIGTERM {
+			code = 143
+		}
+		os.Exit(code)
+	}()
 }
 
 // Finish performs the post-run outputs: the -metrics dump to w and the

@@ -130,6 +130,24 @@ type Config struct {
 	// so Stats() keeps working; pass one to aggregate several subsystems
 	// (or to dump metrics) instead.
 	Obs *obs.Scope
+	// TransCache, when non-nil, is a persistent translation cache
+	// (internal/transcache): compiled-tier translations look up
+	// post-optimization IR by (PC, tier) before running the frontend and
+	// optimizer, and store fresh IR after. Host code is still emitted
+	// per-run (it is position-dependent). Ignored when SelfCheck is on —
+	// shadow verification needs the pre-optimization oracle IR, which
+	// cached entries by design no longer have.
+	TransCache TranslationCache
+}
+
+// TranslationCache is the persistent-translation-cache hook: keys are
+// (guest PC, tier) within whatever image/config scope the implementation
+// pinned at construction. Implementations must be safe for concurrent use
+// and must return blocks the runtime may own (no aliasing with internal
+// state).
+type TranslationCache interface {
+	LoadBlock(pc uint64, tier selfheal.Tier) (*tcg.Block, bool)
+	StoreBlock(pc uint64, tier selfheal.Tier, blk *tcg.Block)
 }
 
 // Stats is a plain-struct view of the runtime counters (all uint64; the
@@ -455,7 +473,26 @@ func (rt *Runtime) translateAtTier(c *machine.CPU, guestPC uint64, tier selfheal
 		t, err := rt.translateInterp(c, guestPC)
 		return t, nil, err
 	}
+	// The persistent cache holds post-optimization IR, so a hit skips the
+	// frontend and the optimizer. SelfCheck needs the pre-optimization
+	// oracle IR that cached entries no longer carry, so it bypasses the
+	// cache entirely.
+	useCache := rt.cfg.TransCache != nil && !rt.cfg.SelfCheck
 	tstart := rt.obs.Begin()
+	if useCache {
+		if cached, ok := rt.cfg.TransCache.LoadBlock(guestPC, tier); ok {
+			t, err := rt.emitBlock(c, cached, guestPC)
+			if err != nil && faults.IsKind(err, faults.TrapCacheExhausted) {
+				rt.flushCodeCache()
+				t, err = rt.emitBlock(c, cached, guestPC)
+			}
+			if t != nil {
+				t.tier = tier
+			}
+			rt.met.translateNS.Observe(uint64(rt.obs.Begin() - tstart))
+			return t, nil, err
+		}
+	}
 	block, err := frontend.Translate(rt.M.Mem, guestPC, rt.feCfg)
 	rt.obs.Span("frontend.decode", "", c.ID, guestPC, 0, tstart)
 	if err != nil {
@@ -471,6 +508,9 @@ func (rt *Runtime) translateAtTier(c *machine.CPU, guestPC uint64, tier selfheal
 	ostart := rt.obs.Begin()
 	tcg.Optimize(block, rt.optCfg.Degrade(tier.OptLevel()))
 	rt.obs.Span("tcg.opt", "", c.ID, guestPC, 0, ostart)
+	if useCache {
+		rt.cfg.TransCache.StoreBlock(guestPC, tier, block)
+	}
 	t, err := rt.emitBlock(c, block, guestPC)
 	if err != nil && faults.IsKind(err, faults.TrapCacheExhausted) {
 		rt.flushCodeCache()

@@ -51,8 +51,10 @@ func TestFaultMatrixDifferential(t *testing.T) {
 			} else if c.Flushes == 0 {
 				t.Errorf("%s: recovered without any flush recorded", label)
 			}
-		case "shard-panic":
-			// No such site in the DBT stack; the run must be unaffected.
+		case "shard-panic", "cache-corrupt", "job-panic":
+			// No such site in the single-run DBT stack (litmus shards,
+			// the daemon's persistent cache and its job workers); the
+			// run must be unaffected.
 			if c.Outcome != OK {
 				t.Errorf("%s: inert fault changed the run: %s", label, c.Detail)
 			}

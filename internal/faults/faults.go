@@ -225,6 +225,14 @@ const (
 	// With -workers 1 the same site guards the serial enumeration, where
 	// a fired plan has no fallback and surfaces as an unrecovered trap.
 	SiteLitmusShard Site = "litmus-shard"
+	// SiteCacheCorrupt guards each persistent translation-cache append;
+	// an armed plan corrupts the journaled entry's checksum so the
+	// reopen path must detect it and degrade to retranslation.
+	SiteCacheCorrupt Site = "cache-corrupt"
+	// SiteServeJob guards each daemon job attempt in internal/serve; an
+	// armed plan panics the worker goroutine mid-job, exercising the
+	// recover-into-typed-trap path.
+	SiteServeJob Site = "serve-job"
 	// SiteMiscompile guards each emitted translation block; an armed plan
 	// corrupts the block's host code in place (its first word becomes a
 	// trapping marker) instead of returning a trap through the normal
@@ -379,6 +387,8 @@ var specTable = map[string]Spec{
 	"host-call":     {Site: SiteHostCall, Kind: TrapHostCall},
 	"shard-panic":   {Site: SiteLitmusShard, Kind: TrapWorkerPanic},
 	"miscompile":    {Site: SiteMiscompile, Kind: TrapMiscompile},
+	"cache-corrupt": {Site: SiteCacheCorrupt, Kind: TrapMiscompile},
+	"job-panic":     {Site: SiteServeJob, Kind: TrapWorkerPanic},
 }
 
 // SpecNames lists the accepted -fault names, sorted.

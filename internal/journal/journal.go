@@ -1,0 +1,91 @@
+// Package journal is the newline-delimited-JSON discipline shared by the
+// campaign results files (internal/campaign) and the daemon's persistent
+// translation cache (internal/transcache): a Writer that flushes after
+// every record so a killed process loses at most the line being written,
+// and a Scan that tolerates exactly that torn final line when the file is
+// reopened. Callers keep their own line semantics (headers, checksums,
+// resume keys); this package owns only the framing.
+package journal
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// Writer writes newline-delimited JSON through a buffered writer, flushing
+// after every record so a killed producer loses at most the line being
+// written (Scan drops the torn fragment on reopen).
+type Writer struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+}
+
+// NewWriter returns a Writer appending records to w.
+func NewWriter(w io.Writer) *Writer {
+	bw := bufio.NewWriter(w)
+	return &Writer{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Encode appends one record and flushes it through to the underlying
+// writer.
+func (w *Writer) Encode(v any) error {
+	if err := w.enc.Encode(v); err != nil {
+		return err
+	}
+	return w.bw.Flush()
+}
+
+// Scan invokes fn for every complete (newline-terminated) line of r in
+// order, skipping empty lines, and returns the byte length of the accepted
+// prefix — everything up to and including the last accepted line. A
+// reopening producer truncates the file to that length before appending,
+// so a torn fragment is physically removed rather than welded onto the
+// next record.
+//
+// The tolerance rules mirror a process killed mid-append:
+//
+//   - A final fragment with no trailing newline (the torn line of a killed
+//     Writer) is dropped silently and excluded from the prefix.
+//   - fn rejecting the final complete line (returning an error) likewise
+//     drops it: a flush-per-record file can only end in a malformed line
+//     through a tear at a lower layer.
+//   - fn rejecting any earlier line aborts the scan with fn's error — a
+//     malformed line with records after it is real corruption. Callers
+//     that prefer to skip such lines (the translation cache, whose
+//     checksums make every entry independently verifiable) handle the
+//     malformed line inside fn and return nil.
+func Scan(r io.Reader, fn func(line []byte) error) (int64, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var valid int64
+	var pendingErr error
+	for {
+		line, rerr := br.ReadBytes('\n')
+		if rerr == io.EOF {
+			// Any unterminated fragment is a torn tail: drop it. A pending
+			// rejection was on what turned out to be the final complete
+			// line: drop that too.
+			return valid, nil
+		}
+		if rerr != nil {
+			return valid, rerr
+		}
+		if pendingErr != nil {
+			// The rejected line was not the last one — a real corruption.
+			return valid, pendingErr
+		}
+		body := line[:len(line)-1]
+		if len(body) > 0 && body[len(body)-1] == '\r' {
+			body = body[:len(body)-1]
+		}
+		if len(body) == 0 {
+			valid += int64(len(line))
+			continue
+		}
+		if err := fn(body); err != nil {
+			pendingErr = err
+			continue
+		}
+		valid += int64(len(line))
+	}
+}

@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"time"
+)
+
+// breakerState is a tenant circuit breaker's position.
+type breakerState int
+
+const (
+	// breakerClosed: jobs flow normally.
+	breakerClosed breakerState = iota
+	// breakerOpen: the tenant is shed until the backoff expires.
+	breakerOpen
+	// breakerHalfOpen: the backoff expired; exactly one probe job is
+	// allowed through to decide between closing and re-opening.
+	breakerHalfOpen
+)
+
+// tenant is the per-tenant admission state: an inflight count against the
+// tenant queue-depth limit, a concurrency semaphore, and a circuit
+// breaker over consecutive trap-terminated jobs — the selfheal quarantine
+// pattern lifted from blocks to tenants: trip, back off exponentially,
+// probe, recover.
+type tenant struct {
+	name string
+	// inflight counts admitted (queued or running) jobs.
+	inflight int
+	// slots bounds concurrently *running* jobs (capacity
+	// Config.TenantMaxInflight).
+	slots chan struct{}
+
+	state       breakerState
+	consecTraps int
+	openUntil   time.Time
+	backoff     time.Duration
+	probing     bool
+}
+
+// admit decides whether the breaker lets a job through at now. Returns
+// (false, wait) when the tenant is shed; wait is the suggested
+// Retry-After. Called with Server.mu held.
+func (t *tenant) admit(now time.Time, cfg Config) (bool, time.Duration) {
+	switch t.state {
+	case breakerClosed:
+		return true, 0
+	case breakerOpen:
+		if now.Before(t.openUntil) {
+			return false, t.openUntil.Sub(now)
+		}
+		t.state = breakerHalfOpen
+		t.probing = false
+		fallthrough
+	default: // breakerHalfOpen
+		if t.probing {
+			// A probe is already in flight; its verdict decides.
+			return false, t.backoff
+		}
+		t.probing = true
+		return true, 0
+	}
+}
+
+// record feeds one finished job's outcome (trapped or not) into the
+// breaker at now. Returns (tripped, recovered) for metric accounting.
+// Called with Server.mu held.
+func (t *tenant) record(trapped bool, now time.Time, cfg Config) (tripped, recovered bool) {
+	if !trapped {
+		t.consecTraps = 0
+		if t.state == breakerHalfOpen {
+			// Probe succeeded: close and forget the backoff.
+			t.state = breakerClosed
+			t.probing = false
+			t.backoff = 0
+			return false, true
+		}
+		return false, false
+	}
+	t.consecTraps++
+	switch t.state {
+	case breakerHalfOpen:
+		// Probe failed: re-open with doubled backoff.
+		t.probing = false
+		t.trip(now, cfg, 2*t.backoff)
+		return true, false
+	case breakerClosed:
+		if t.consecTraps >= cfg.BreakerThreshold {
+			t.trip(now, cfg, cfg.BreakerBackoff)
+			return true, false
+		}
+	}
+	return false, false
+}
+
+// trip opens the breaker for the given backoff, clamped to
+// [BreakerBackoff, BreakerMaxBackoff].
+func (t *tenant) trip(now time.Time, cfg Config, backoff time.Duration) {
+	if backoff < cfg.BreakerBackoff {
+		backoff = cfg.BreakerBackoff
+	}
+	if backoff > cfg.BreakerMaxBackoff {
+		backoff = cfg.BreakerMaxBackoff
+	}
+	t.state = breakerOpen
+	t.backoff = backoff
+	t.openUntil = now.Add(backoff)
+}

@@ -70,6 +70,31 @@ go run ./cmd/litmusctl -workers 4 -metrics json campaign \
 grep -q '"format":"risotto-campaign/v1"' "$SH_TMP/campaign.jsonl" \
 	|| { echo "campaign results file lacks the v1 header" >&2; exit 1; }
 
+echo "==> daemon smoke: risottod serve/submit/snapshot/drain cycle"
+go build -o "$SH_TMP/risottod" ./cmd/risottod
+"$SH_TMP/risottod" -listen 127.0.0.1:0 -addr-file "$SH_TMP/addr" \
+	-cache "$SH_TMP/cache.jsonl" 2>"$SH_TMP/daemon.log" &
+DAEMON=$!
+for _ in $(seq 1 100); do [ -s "$SH_TMP/addr" ] && break; sleep 0.05; done
+[ -s "$SH_TMP/addr" ] || { echo "risottod never wrote its address" >&2; exit 1; }
+ADDR=$(cat "$SH_TMP/addr")
+"$SH_TMP/risottod" -submit -addr "$ADDR" -tenant smoke -kernel histogram -threads 2 >/dev/null \
+	|| { echo "clean daemon job failed" >&2; exit 1; }
+code=0
+"$SH_TMP/risottod" -submit -addr "$ADDR" -tenant smoke -kernel histogram \
+	-step-budget 5000 >"$SH_TMP/trap.json" 2>/dev/null || code=$?
+[ "$code" -eq 3 ] || { echo "step-budget daemon job exited $code, want 3" >&2; exit 1; }
+grep -q '"bundle"' "$SH_TMP/trap.json" \
+	|| { echo "trapped daemon job carries no crash bundle" >&2; exit 1; }
+"$SH_TMP/risottod" -snapshot -addr "$ADDR" | go run ./cmd/obsvalidate >/dev/null \
+	|| { echo "daemon metrics snapshot failed validation" >&2; exit 1; }
+kill -TERM "$DAEMON"
+code=0
+wait "$DAEMON" || code=$?
+[ "$code" -eq 0 ] || { echo "risottod drain exited $code (log follows)" >&2; cat "$SH_TMP/daemon.log" >&2; exit 1; }
+grep -q "drained cleanly" "$SH_TMP/daemon.log" \
+	|| { echo "risottod did not report a clean drain" >&2; exit 1; }
+
 echo "==> rel engine differential: go test -tags relmap (map engine over the full stack)"
 go test -tags relmap ./internal/rel/ ./internal/memmodel/ ./internal/models/... \
 	./internal/litmus/ ./internal/mapping/... ./internal/opcheck/
