@@ -150,6 +150,53 @@ func BenchmarkFig15(b *testing.B) {
 	}
 }
 
+// BenchmarkTierUp measures the tier-up JIT: each kernel runs under the
+// risotto variant with promotion off (every block stays at its start
+// tier) and on (hot blocks promoted to superblocks in the background).
+// simcycles/op is the guest-visible cost the on/off ratio turns into the
+// tier-up speedup; the on case also reports how many cross-block fence
+// merges the superblocks recovered.
+func BenchmarkTierUp(b *testing.B) {
+	tierup := core.WithTierUp(core.TierUpConfig{
+		Enabled: true, PromoteThreshold: 4, SuperblockMax: 4,
+	})
+	for _, kname := range []string{"fencechain", "kmeans"} {
+		k, err := workloads.KernelByName(kname)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, mode := range []struct {
+			name string
+			opts []core.Option
+		}{
+			{"off", nil},
+			{"on", []core.Option{tierup}},
+		} {
+			b.Run(kname+"/"+mode.name, func(b *testing.B) {
+				var cycles, merges uint64
+				for i := 0; i < b.N; i++ {
+					// Scale 4 keeps the kernel running long enough that
+					// background promotions land well before it retires.
+					pb, err := k.Build(2, 4)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cyc, _, st, err := bench.RunGuestScoped(
+						pb, core.VariantRisotto, "", 0, nil, mode.opts...)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cycles, merges = cyc, st.CrossBlockFenceMerges
+				}
+				b.ReportMetric(float64(cycles), "simcycles/op")
+				if len(mode.opts) > 0 {
+					b.ReportMetric(float64(merges), "xmerges/op")
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkTheorem1 measures the mapping-verification sweep (§5.4): the
 // full corpus through the verified x86→IR→Arm pipeline.
 func BenchmarkTheorem1(b *testing.B) {
@@ -299,7 +346,7 @@ func BenchmarkChaining(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				rt, err := core.New(core.Config{Variant: core.VariantRisotto, Chain: chain}, img)
+				rt, err := core.New(img, core.WithVariant(core.VariantRisotto), core.WithChain(chain))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -341,7 +388,7 @@ func BenchmarkAblation(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				rt, err := core.New(core.Config{Variant: core.VariantRisotto, Opt: &opt}, img)
+				rt, err := core.New(img, core.WithVariant(core.VariantRisotto), core.WithOptConfig(opt))
 				if err != nil {
 					b.Fatal(err)
 				}

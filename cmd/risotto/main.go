@@ -66,6 +66,7 @@ func main() {
 	replayPath := flag.String("replay", "", "replay a crash-triage bundle and verify the recorded trap reproduces")
 	cf := cliflags.Register(flag.CommandLine)
 	cf.AddListen(flag.CommandLine)
+	cf.AddTierUp(flag.CommandLine)
 	flag.Parse()
 	check(cf.Check())
 	// ^C during a long run still flushes the -metrics/-trace outputs.
@@ -77,20 +78,26 @@ func main() {
 	// -metrics claims stdout for the snapshot document; suppress the human
 	// report so the output stays machine-parsable.
 	quiet := cf.Metrics != ""
-	runCfg := func(v core.Variant) core.Config {
-		return core.Config{
-			Variant:    v,
-			Chain:      *chain,
-			StepBudget: *stepBudget,
-			Deadline:   *deadline,
-			SelfHeal:   *selfHeal,
-			SelfCheck:  *selfCheck,
-			Kernel:     *kernel,
-			FaultSpec:  cf.Fault,
-			FaultSeed:  cf.FaultSeed,
-			Inject:     inject,
-			Obs:        scope,
+	runOpts := func(v core.Variant) []core.Option {
+		opts := []core.Option{
+			core.WithVariant(v),
+			core.WithChain(*chain),
+			core.WithStepBudget(*stepBudget),
+			core.WithDeadline(*deadline),
+			core.WithSelfHeal(*selfHeal),
+			core.WithSelfCheck(*selfCheck),
+			core.WithProvenance(*kernel, cf.Fault, cf.FaultSeed),
+			core.WithFaults(inject),
+			core.WithObs(scope),
 		}
+		if cf.TierUp.Enabled {
+			opts = append(opts, core.WithTierUp(core.TierUpConfig{
+				Enabled:          true,
+				PromoteThreshold: cf.TierUp.PromoteThreshold,
+				SuperblockMax:    cf.TierUp.SuperblockMax,
+			}))
+		}
+		return opts
 	}
 
 	if *list {
@@ -119,7 +126,7 @@ func main() {
 		check(err)
 		v, err := core.ParseVariant(*variant)
 		check(err)
-		rt, err := core.New(runCfg(v), img)
+		rt, err := core.New(img, runOpts(v)...)
 		check(err)
 		code := runGuest(rt, *bundlePath)
 		if !quiet {
@@ -153,7 +160,7 @@ func main() {
 
 	img, err := b.BuildGuest("main")
 	check(err)
-	rt, err := core.New(runCfg(v), img)
+	rt, err := core.New(img, runOpts(v)...)
 	check(err)
 	code := runGuest(rt, *bundlePath)
 
@@ -202,7 +209,11 @@ func replay(cf *cliflags.Set, path, rebundle string, quiet bool) {
 	cfg, img, err := core.ReplayConfig(b)
 	check(err)
 	cfg.Obs = cf.Scope()
-	rt, err := core.New(cfg, img)
+	// Replay goes through the Config shim: bundles record the full replay
+	// Config verbatim. Tier-up is deliberately absent from bundles — its
+	// background promotion timing is not replayable — so replays run the
+	// deterministic foreground pipeline only.
+	rt, err := core.NewFromConfig(cfg, img)
 	check(err)
 	_, runErr := rt.Run()
 
@@ -303,6 +314,10 @@ func printStats(v core.Variant, code uint64, rt *core.Runtime) {
 		fmt.Printf("selfheal    quarantines=%d demotions=%d divergences=%d heals=%d (selfchecks=%d, interp blocks=%d)\n",
 			st.Quarantines, st.Demotions, st.Divergences, st.Heals,
 			st.SelfChecks, st.InterpBlocks)
+	}
+	if st.Promotions > 0 {
+		fmt.Printf("tierup      promotions=%d superblocks=%d (%d guest blocks) cross-block fence merges=%d\n",
+			st.Promotions, st.Superblocks, st.SuperblockGuestBlocks, st.CrossBlockFenceMerges)
 	}
 }
 

@@ -33,7 +33,7 @@ func runScoped(t *testing.T) (*core.Runtime, *obs.Scope) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt, err := core.New(core.Config{Variant: core.VariantRisotto, Obs: scope}, img)
+	rt, err := core.New(img, core.WithVariant(core.VariantRisotto), core.WithObs(scope))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,6 +98,10 @@ func TestStatsFacadeMatchesRegistry(t *testing.T) {
 		{"core.selfheal.heals", st.Heals},
 		{"core.selfheal.selfchecks", st.SelfChecks},
 		{"core.selfheal.interp_blocks", st.InterpBlocks},
+		{"core.selfheal.promotions", st.Promotions},
+		{"core.superblock.blocks", st.Superblocks},
+		{"core.cache.shard_contention", st.ShardContention},
+		{"tcg.fence_merges_cross_block", st.CrossBlockFenceMerges},
 	} {
 		if got := snap.Counter(c.name); got != c.facade {
 			t.Errorf("%s: registry %d, Stats façade %d", c.name, got, c.facade)

@@ -74,6 +74,7 @@ func main() {
 	jobFaultSeed := fs.Int64("job-fault-seed", 1, "client: per-job fault injector seed")
 
 	cf := cliflags.Register(fs)
+	cf.AddTierUp(fs)
 	fs.Parse(os.Args[1:])
 
 	switch {
@@ -111,6 +112,9 @@ func main() {
 			DeadlineCap:       *deadlineCap,
 			MemSize:           *memSize,
 			Seed:              cf.FaultSeed,
+			TierUp:            cf.TierUp.Enabled,
+			PromoteThreshold:  cf.TierUp.PromoteThreshold,
+			SuperblockMax:     cf.TierUp.SuperblockMax,
 		},
 	}))
 }

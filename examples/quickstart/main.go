@@ -58,7 +58,7 @@ func main() {
 	for _, v := range []core.Variant{
 		core.VariantQemu, core.VariantNoFences, core.VariantTCGVer, core.VariantRisotto,
 	} {
-		rt, err := core.New(core.Config{Variant: v}, img)
+		rt, err := core.New(img, core.WithVariant(v))
 		if err != nil {
 			log.Fatal(err)
 		}

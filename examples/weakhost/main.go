@@ -82,8 +82,8 @@ func main() {
 	} {
 		weak := 0
 		for seed := int64(0); seed < seeds; seed++ {
-			s := seed
-			rt, err := core.New(core.Config{Variant: v, WeakSeed: &s, Quantum: 1}, img)
+			rt, err := core.New(img,
+				core.WithVariant(v), core.WithWeakMemory(seed), core.WithQuantum(1))
 			if err != nil {
 				log.Fatal(err)
 			}

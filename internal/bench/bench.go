@@ -40,13 +40,21 @@ func RunGuestQuantum(b *portasm.Builder, v core.Variant, idl string, quantum int
 
 // RunGuestScoped is RunGuestQuantum with an observability scope threaded
 // into the runtime, so callers can read the full metric/span snapshot of
-// the run rather than only the Stats façade.
-func RunGuestScoped(b *portasm.Builder, v core.Variant, idl string, quantum int, sc *obs.Scope) (uint64, uint64, core.Stats, error) {
+// the run rather than only the Stats façade. extra options append after
+// the standard ones (last wins) — the tier-up benchmarks use this to turn
+// promotion on without a parallel set of entry points.
+func RunGuestScoped(b *portasm.Builder, v core.Variant, idl string, quantum int, sc *obs.Scope, extra ...core.Option) (uint64, uint64, core.Stats, error) {
 	img, err := b.BuildGuest("main")
 	if err != nil {
 		return 0, 0, core.Stats{}, err
 	}
-	rt, err := core.New(core.Config{Variant: v, IDL: idl, Quantum: quantum, Obs: sc}, img)
+	opts := []core.Option{
+		core.WithVariant(v),
+		core.WithHostLinker(idl, nil),
+		core.WithQuantum(quantum),
+		core.WithObs(sc),
+	}
+	rt, err := core.New(img, append(opts, extra...)...)
 	if err != nil {
 		return 0, 0, core.Stats{}, err
 	}
@@ -86,8 +94,10 @@ type Fig12Row struct {
 }
 
 // Fig12 runs every requested kernel (all registered kernels if names is
-// empty) under all setups.
-func Fig12(threads, scale int, names []string) ([]Fig12Row, error) {
+// empty) under all setups. extra options (e.g. core.WithTierUp from the
+// -tierup flag) apply to every translated run — QEMU baseline included —
+// so the relative columns stay an apples-to-apples comparison.
+func Fig12(threads, scale int, names []string, extra ...core.Option) ([]Fig12Row, error) {
 	var kernels []workloads.Kernel
 	if len(names) == 0 {
 		kernels = workloads.Registry()
@@ -112,7 +122,7 @@ func Fig12(threads, scale int, names []string) ([]Fig12Row, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", k.Name, err)
 		}
-		qemuCycles, qemuSum, _, err := RunGuest(b, core.VariantQemu, "")
+		qemuCycles, qemuSum, _, err := RunGuestScoped(b, core.VariantQemu, "", 0, nil, extra...)
 		if err != nil {
 			return nil, fmt.Errorf("%s/qemu: %w", k.Name, err)
 		}
@@ -129,7 +139,7 @@ func Fig12(threads, scale int, names []string) ([]Fig12Row, error) {
 			if v == core.VariantRisotto {
 				sc = obs.NewScope("")
 			}
-			cyc, sum, _, err := RunGuestScoped(b, v, "", 0, sc)
+			cyc, sum, _, err := RunGuestScoped(b, v, "", 0, sc, extra...)
 			if err != nil {
 				return nil, fmt.Errorf("%s/%v: %w", k.Name, v, err)
 			}

@@ -59,6 +59,8 @@ type Set struct {
 	// Listen is the -listen address ("" = no HTTP endpoint); only
 	// registered by AddListen.
 	Listen string
+	// TierUp holds the -tierup flag family; only registered by AddTierUp.
+	TierUp TierUpFlags
 
 	scopeOnce sync.Once
 	scope     *obs.Scope
@@ -89,6 +91,30 @@ func Register(fs *flag.FlagSet) *Set {
 func (s *Set) AddListen(fs *flag.FlagSet) {
 	fs.StringVar(&s.Listen, "listen", "",
 		"serve /metrics (Prometheus) and /debug/obs (JSON) on this address")
+}
+
+// TierUpFlags is the parsed -tierup flag family. The package stays free
+// of a core dependency, so commands translate these plain values into
+// core.WithTierUp themselves.
+type TierUpFlags struct {
+	// Enabled is -tierup: start blocks cheap, promote hot ones in the
+	// background.
+	Enabled bool
+	// PromoteThreshold is -promote-threshold (0 = runtime default).
+	PromoteThreshold int
+	// SuperblockMax is -superblock-max (0 = runtime default).
+	SuperblockMax int
+}
+
+// AddTierUp installs the tier-up JIT flags shared by risotto, risottod
+// and risobench.
+func (s *Set) AddTierUp(fs *flag.FlagSet) {
+	fs.BoolVar(&s.TierUp.Enabled, "tierup", false,
+		"tier-up JIT: new blocks start unoptimized; hot blocks are promoted\nto optimized superblocks by background translation workers")
+	fs.IntVar(&s.TierUp.PromoteThreshold, "promote-threshold", 0,
+		"dispatches that make a block hot enough to promote (0 = default 8)")
+	fs.IntVar(&s.TierUp.SuperblockMax, "superblock-max", 0,
+		"max guest blocks stitched into one promoted superblock (0 = default 4)")
 }
 
 // WorkerCount resolves -workers to a concrete pool size: 0 or negative

@@ -138,6 +138,10 @@ type Config struct {
 	// shadow verification needs the pre-optimization oracle IR, which
 	// cached entries by design no longer have.
 	TransCache TranslationCache
+	// TierUp configures the tier-up JIT (tierup.go): when enabled,
+	// unpinned blocks start at the cheap TierNoOpt rung and hot ones are
+	// promoted to full-tier superblocks by background translation workers.
+	TierUp TierUpConfig
 }
 
 // TranslationCache is the persistent-translation-cache hook: keys are
@@ -185,6 +189,19 @@ type Stats struct {
 	// counts interpreter-tier block executions.
 	SelfChecks   uint64
 	InterpBlocks uint64
+	// Promotions counts hot blocks promoted to TierFull by the tier-up
+	// JIT; Superblocks counts promotions that stitched more than one
+	// guest block, and SuperblockGuestBlocks the blocks they covered.
+	Promotions            uint64
+	Superblocks           uint64
+	SuperblockGuestBlocks uint64
+	// CrossBlockFenceMerges counts fences eliminated by merging across
+	// block seams inside superblocks — merges the per-block scheme
+	// cannot see.
+	CrossBlockFenceMerges uint64
+	// ShardContention counts lock-stripe collisions on the sharded block
+	// cache and chain tables.
+	ShardContention uint64
 }
 
 // tb is one cached translation block.
@@ -194,6 +211,9 @@ type tb struct {
 	codeLen  int
 	// tier is the self-healing ladder rung the block was translated at.
 	tier selfheal.Tier
+	// super is the number of guest blocks this translation covers: 0 or 1
+	// for an ordinary block, more for a promoted superblock.
+	super int
 }
 
 // pltEntry is a host-linked import.
@@ -215,19 +235,26 @@ type Runtime struct {
 	feCfg      frontend.Config
 	beCfg      backend.Config
 	optCfg     tcg.OptConfig
-	tbs        map[uint64]*tb
+	tbs        *tbCache
 	codeCursor uint64
 	plt        map[uint64]*pltEntry // guest PLT address → host function
 	stackCur   uint64
 	heapCur    uint64
 	img        *guestimg.Image
+	// xlat is the tier-translation entry point (translator.go): the bare
+	// pipeline, or the caching wrapper when a TransCache is installed;
+	// pipe is the underlying pipeline for span attribution.
+	xlat Translator
+	pipe *pipelineTranslator
+	// tierup is the promotion engine (nil unless Config.TierUp.Enabled).
+	tierup *tierUp
 	// chainSites maps the host address of a patchable exit SVC to its
 	// constant guest target (TB chaining).
-	chainSites map[uint64]uint64
+	chainSites *addrMap
 	// patched records exit SVCs rewritten into direct branches (host
 	// address → guest target), so a cache flush can restore them (chain
 	// reset) before recycling the region they branch into.
-	patched map[uint64]uint64
+	patched *addrMap
 	// pinned lists code-cache extents that survived the last flush
 	// because a CPU was still executing inside them; the allocator skips
 	// them until the next flush re-evaluates liveness.
@@ -263,8 +290,10 @@ const (
 // guestReg maps a guest register to the host register carrying it.
 func guestReg(c *machine.CPU, r x86.Reg) *uint64 { return &c.Regs[int(r)] }
 
-// New creates a runtime for the given config and loads the image.
-func New(cfg Config, img *guestimg.Image) (*Runtime, error) {
+// newRuntime creates a runtime for the given config and loads the image.
+// Exported construction goes through New (functional options) or the
+// deprecated NewFromConfig shim, both in options.go.
+func newRuntime(cfg Config, img *guestimg.Image) (*Runtime, error) {
 	if cfg.MemSize == 0 {
 		cfg.MemSize = 32 << 20
 	}
@@ -286,23 +315,29 @@ func New(cfg Config, img *guestimg.Image) (*Runtime, error) {
 	if cfg.SelfHeal && cfg.MaxHeals == 0 {
 		cfg.MaxHeals = 16
 	}
+	if cfg.TierUp.Enabled {
+		cfg.TierUp = cfg.TierUp.withDefaults()
+	}
 
 	scope := cfg.Obs
 	if scope == nil {
 		scope = obs.NewScope("")
 	}
+	met := newMetrics(scope)
 	rt := &Runtime{
 		obs:         scope,
-		met:         newMetrics(scope),
+		met:         met,
 		cfg:         cfg,
-		tbs:         make(map[uint64]*tb),
+		tbs:         newTBCache(met.shardContention),
 		plt:         make(map[uint64]*pltEntry),
-		chainSites:  make(map[uint64]uint64),
-		patched:     make(map[uint64]uint64),
+		chainSites:  newAddrMap(met.shardContention),
+		patched:     newAddrMap(met.shardContention),
 		irCache:     make(map[uint64]*tcg.Block),
 		interpStubs: make(map[uint64]uint64),
 	}
-	if cfg.SelfHeal {
+	// Tier-up needs the registry even without SelfHeal: promotion pins,
+	// the blacklist, and demotion of promoted blocks all live there.
+	if cfg.SelfHeal || cfg.TierUp.Enabled {
 		rt.heal = selfheal.NewState()
 	}
 
@@ -341,6 +376,25 @@ func New(cfg Config, img *guestimg.Image) (*Runtime, error) {
 	rt.M.Inject = cfg.Inject
 	if cfg.WeakSeed != nil {
 		rt.M.EnableWeakMemory(*cfg.WeakSeed, 48)
+	}
+
+	// The tier-translation entry point: the pipeline over live guest
+	// memory, wrapped by the persistent cache when one is installed
+	// (selfcheck bypasses it — cached IR carries no oracle).
+	rt.pipe = &pipelineTranslator{
+		mem:        rt.M.Mem,
+		fe:         rt.feCfg,
+		opt:        rt.optCfg,
+		keepOracle: cfg.SelfCheck,
+		obs:        scope,
+		cpu:        -1,
+	}
+	rt.xlat = rt.pipe
+	if cfg.TransCache != nil && !cfg.SelfCheck {
+		rt.xlat = &cachingTranslator{inner: rt.pipe, cache: cfg.TransCache}
+	}
+	if cfg.TierUp.Enabled {
+		rt.tierup = newTierUp(rt, cfg.TierUp)
 	}
 
 	if err := rt.load(img); err != nil {
@@ -403,6 +457,9 @@ func (rt *Runtime) startThread(c *machine.CPU, entry uint64) error {
 // to a translated block are absorbed: the block is quarantined, demoted
 // one tier and retranslated, and execution resumes — up to MaxHeals times.
 func (rt *Runtime) Run() (uint64, error) {
+	if rt.tierup != nil {
+		defer rt.tierup.stop()
+	}
 	c := rt.M.CPUs[0]
 	*guestReg(c, x86.RSP) = rt.newStack()
 	err := rt.runHealed(func() error { return rt.startThread(c, rt.img.Entry) })
@@ -422,7 +479,10 @@ func (rt *Runtime) dispatch(c *machine.CPU, guestPC uint64) error {
 	if e, ok := rt.plt[guestPC]; ok {
 		return rt.hostCall(c, e)
 	}
-	t, ok := rt.tbs[guestPC]
+	if rt.tierup != nil {
+		rt.tierup.tick(c, guestPC)
+	}
+	t, ok := rt.tbs.get(guestPC)
 	if !ok {
 		var err error
 		t, err = rt.translate(c, guestPC)
@@ -434,14 +494,34 @@ func (rt *Runtime) dispatch(c *machine.CPU, guestPC uint64) error {
 	return nil
 }
 
+// startTier is the tier a fresh translation of guestPC begins at: the
+// pinned rung when the ladder has touched the block, TierNoOpt when
+// tier-up is on (cheap first, promote if hot), TierFull otherwise.
+func (rt *Runtime) startTier(guestPC uint64) selfheal.Tier {
+	if t, pinned := rt.heal.Lookup(guestPC); pinned {
+		return t
+	}
+	if rt.tierup != nil {
+		return selfheal.TierNoOpt
+	}
+	return selfheal.TierFull
+}
+
 // translate builds, optimizes and emits one block at the tier the
 // quarantine registry prescribes for it. In -selfcheck mode every freshly
 // compiled block is shadow-verified against the TCG interpreter before it
 // is trusted; a divergence quarantines the block and retries one tier
 // down, and only an exhausted ladder surfaces the miscompile as a trap.
 func (rt *Runtime) translate(c *machine.CPU, guestPC uint64) (*tb, error) {
+	// A promoted superblock dropped by a cache flush is reinstalled from
+	// its retained IR rather than retranslated as a single block.
+	if rt.tierup != nil {
+		if t, promoted, err := rt.tierup.reemit(c, guestPC); promoted {
+			return t, err
+		}
+	}
 	for {
-		tier := rt.heal.TierOf(guestPC)
+		tier := rt.startTier(guestPC)
 		t, ir, err := rt.translateAtTier(c, guestPC, tier)
 		if err != nil {
 			return nil, err
@@ -473,49 +553,16 @@ func (rt *Runtime) translateAtTier(c *machine.CPU, guestPC uint64, tier selfheal
 		t, err := rt.translateInterp(c, guestPC)
 		return t, nil, err
 	}
-	// The persistent cache holds post-optimization IR, so a hit skips the
-	// frontend and the optimizer. SelfCheck needs the pre-optimization
-	// oracle IR that cached entries no longer carry, so it bypasses the
-	// cache entirely.
-	useCache := rt.cfg.TransCache != nil && !rt.cfg.SelfCheck
 	tstart := rt.obs.Begin()
-	if useCache {
-		if cached, ok := rt.cfg.TransCache.LoadBlock(guestPC, tier); ok {
-			t, err := rt.emitBlock(c, cached, guestPC)
-			if err != nil && faults.IsKind(err, faults.TrapCacheExhausted) {
-				rt.flushCodeCache()
-				t, err = rt.emitBlock(c, cached, guestPC)
-			}
-			if t != nil {
-				t.tier = tier
-			}
-			rt.met.translateNS.Observe(uint64(rt.obs.Begin() - tstart))
-			return t, nil, err
-		}
-	}
-	block, err := frontend.Translate(rt.M.Mem, guestPC, rt.feCfg)
-	rt.obs.Span("frontend.decode", "", c.ID, guestPC, 0, tstart)
+	rt.pipe.cpu = c.ID // span attribution for the foreground pipeline
+	block, ir, err := rt.xlat.TranslateIR(guestPC, tier)
 	if err != nil {
 		if t, ok := faults.As(err); ok {
 			t.WithCPU(c.ID).WithGuestPC(guestPC)
 		}
 		return nil, nil, err
 	}
-	var ir *tcg.Block
-	if rt.cfg.SelfCheck {
-		ir = block.Clone()
-	}
-	ostart := rt.obs.Begin()
-	tcg.Optimize(block, rt.optCfg.Degrade(tier.OptLevel()))
-	rt.obs.Span("tcg.opt", "", c.ID, guestPC, 0, ostart)
-	if useCache {
-		rt.cfg.TransCache.StoreBlock(guestPC, tier, block)
-	}
-	t, err := rt.emitBlock(c, block, guestPC)
-	if err != nil && faults.IsKind(err, faults.TrapCacheExhausted) {
-		rt.flushCodeCache()
-		t, err = rt.emitBlock(c, block, guestPC)
-	}
+	t, err := rt.emitWithFlushRetry(c, block, guestPC)
 	if t != nil {
 		t.tier = tier
 	}
@@ -559,7 +606,7 @@ func (rt *Runtime) translateInterp(c *machine.CPU, guestPC uint64) (*tb, error) 
 	binary.LittleEndian.PutUint32(rt.M.Mem[base:], w)
 	rt.M.InvalidateDecodeAt(base)
 	t := &tb{guestPC: guestPC, hostAddr: base, codeLen: arm.InstBytes, tier: selfheal.TierInterp}
-	rt.tbs[guestPC] = t
+	rt.tbs.put(t)
 	rt.irCache[guestPC] = block
 	rt.interpStubs[base] = guestPC
 	rt.met.blocks.Inc()
@@ -621,7 +668,7 @@ func (rt *Runtime) emitBlock(c *machine.CPU, block *tcg.Block, guestPC uint64) (
 		copy(rt.M.Mem[base:], code)
 		t := &tb{guestPC: guestPC, hostAddr: base, codeLen: len(code)}
 		rt.codeCursor = (end + 15) &^ 15
-		rt.tbs[guestPC] = t
+		rt.tbs.put(t)
 
 		rt.met.blocks.Inc()
 		rt.met.guestBytes.Add(block.GuestEnd - block.GuestPC)
@@ -640,7 +687,7 @@ func (rt *Runtime) emitBlock(c *machine.CPU, block *tcg.Block, guestPC uint64) (
 				if _, linked := rt.plt[slot.GuestTarget]; linked {
 					continue
 				}
-				rt.chainSites[t.hostAddr+uint64(slot.Off)] = slot.GuestTarget
+				rt.chainSites.put(t.hostAddr+uint64(slot.Off), slot.GuestTarget)
 			}
 		}
 		// Miscompile injection: corrupt the freshly installed code by
@@ -688,15 +735,16 @@ func (rt *Runtime) pinnedOverlap(start, end uint64) (extent, bool) {
 func (rt *Runtime) flushCodeCache() {
 	w, err := arm.Encode(arm.Inst{Op: arm.SVC, Imm: backend.SvcTBExit})
 	if err == nil {
-		for svcAddr := range rt.patched {
-			binary.LittleEndian.PutUint32(rt.M.Mem[svcAddr:], w)
+		for _, e := range rt.patched.snapshot() {
+			binary.LittleEndian.PutUint32(rt.M.Mem[e.addr:], w)
 		}
 	}
-	rt.patched = make(map[uint64]uint64)
-	rt.chainSites = make(map[uint64]uint64)
+	rt.patched.reset()
+	rt.chainSites.reset()
 
-	candidates := make([]extent, 0, len(rt.tbs)+len(rt.pinned))
-	for _, t := range rt.tbs {
+	blocks := rt.tbs.snapshot()
+	candidates := make([]extent, 0, len(blocks)+len(rt.pinned))
+	for _, t := range blocks {
 		candidates = append(candidates, extent{t.hostAddr, t.hostAddr + uint64(t.codeLen)})
 	}
 	candidates = append(candidates, rt.pinned...)
@@ -716,7 +764,7 @@ func (rt *Runtime) flushCodeCache() {
 	sort.Slice(pins, func(i, j int) bool { return pins[i].start < pins[j].start })
 	rt.pinned = pins
 
-	rt.tbs = make(map[uint64]*tb)
+	rt.tbs.reset()
 	rt.codeCursor = rt.cfg.CodeCacheBase
 	// Interp stubs inside pinned extents may still execute (a CPU parked
 	// at the stub), so their reverse mapping must survive; the rest is
@@ -747,27 +795,27 @@ func (rt *Runtime) flushCodeCache() {
 // scheduler may still finish the stale copy once — any trap it produces is
 // attributed and quarantined again, bounded by MaxHeals.
 func (rt *Runtime) invalidateBlock(guestPC uint64) {
-	t, ok := rt.tbs[guestPC]
+	t, ok := rt.tbs.get(guestPC)
 	if !ok {
 		return
 	}
 	if w, err := arm.Encode(arm.Inst{Op: arm.SVC, Imm: backend.SvcTBExit}); err == nil {
-		for svcAddr, target := range rt.patched {
-			if target != guestPC {
+		for _, e := range rt.patched.snapshot() {
+			if e.val != guestPC {
 				continue
 			}
-			binary.LittleEndian.PutUint32(rt.M.Mem[svcAddr:], w)
-			rt.M.InvalidateDecodeAt(svcAddr)
-			delete(rt.patched, svcAddr)
-			rt.chainSites[svcAddr] = target
+			binary.LittleEndian.PutUint32(rt.M.Mem[e.addr:], w)
+			rt.M.InvalidateDecodeAt(e.addr)
+			rt.patched.remove(e.addr)
+			rt.chainSites.put(e.addr, e.val)
 		}
 	}
-	for svcAddr := range rt.chainSites {
-		if svcAddr >= t.hostAddr && svcAddr < t.hostAddr+uint64(t.codeLen) {
-			delete(rt.chainSites, svcAddr)
+	for _, e := range rt.chainSites.snapshot() {
+		if e.addr >= t.hostAddr && e.addr < t.hostAddr+uint64(t.codeLen) {
+			rt.chainSites.remove(e.addr)
 		}
 	}
-	delete(rt.tbs, guestPC)
+	rt.tbs.remove(guestPC)
 	delete(rt.irCache, guestPC)
 	delete(rt.interpStubs, t.hostAddr)
 }
@@ -787,9 +835,10 @@ func (rt *Runtime) chain(svcAddr uint64, target *tb) error {
 	}
 	binary.LittleEndian.PutUint32(rt.M.Mem[svcAddr:], w)
 	rt.M.InvalidateDecodeAt(svcAddr)
-	delete(rt.chainSites, svcAddr)
-	rt.patched[svcAddr] = target.guestPC
+	rt.chainSites.remove(svcAddr)
+	rt.patched.put(svcAddr, target.guestPC)
 	rt.met.chainPatches.Inc()
+	rt.met.chainPatchShards[shardIndex(svcAddr)].Inc()
 	rt.obs.Event("core.chain.patch", "", -1, target.guestPC, svcAddr)
 	return nil
 }
@@ -797,12 +846,13 @@ func (rt *Runtime) chain(svcAddr uint64, target *tb) error {
 // guestPCOf maps a host-code address back to the guest PC of the block
 // containing it, for trap attribution.
 func (rt *Runtime) guestPCOf(hostAddr uint64) (uint64, bool) {
-	for _, t := range rt.tbs {
-		if hostAddr >= t.hostAddr && hostAddr < t.hostAddr+uint64(t.codeLen) {
-			return t.guestPC, true
-		}
+	t, ok := rt.tbs.find(func(t *tb) bool {
+		return hostAddr >= t.hostAddr && hostAddr < t.hostAddr+uint64(t.codeLen)
+	})
+	if !ok {
+		return 0, false
 	}
-	return 0, false
+	return t.guestPC, true
 }
 
 // DisassembleBlock returns the host-code disassembly of the translation
@@ -811,7 +861,7 @@ func (rt *Runtime) guestPCOf(hostAddr uint64) (uint64, bool) {
 // render as raw ".word" lines instead of failing, so crash bundles can
 // disassemble the very block that trapped.
 func (rt *Runtime) DisassembleBlock(guestPC uint64) (string, error) {
-	t, ok := rt.tbs[guestPC]
+	t, ok := rt.tbs.get(guestPC)
 	if !ok {
 		var err error
 		t, err = rt.translate(rt.M.CPUs[0], guestPC)
@@ -843,9 +893,10 @@ func (rt *Runtime) disasmTB(t *tb) string {
 // BlockPCs returns every translated guest PC, sorted by translation order
 // is not guaranteed; callers sort as needed.
 func (rt *Runtime) BlockPCs() []uint64 {
-	out := make([]uint64, 0, len(rt.tbs))
-	for pc := range rt.tbs {
-		out = append(out, pc)
+	blocks := rt.tbs.snapshot()
+	out := make([]uint64, 0, len(blocks))
+	for _, t := range blocks {
+		out = append(out, t.guestPC)
 	}
 	return out
 }
@@ -857,20 +908,27 @@ func (rt *Runtime) handleSvc(m *machine.Machine, c *machine.CPU, imm uint16) err
 		if rt.cfg.Chain {
 			// c.PC was advanced past the SVC before the trap.
 			svcAddr := c.PC - arm.InstBytes
-			if guestTarget, ok := rt.chainSites[svcAddr]; ok {
+			if guestTarget, ok := rt.chainSites.get(svcAddr); ok {
 				if err := rt.dispatch(c, guestTarget); err != nil {
 					return err
 				}
 				// Translating the target may have flushed the cache, which
 				// clears chainSites and may recycle the block holding this
 				// SVC — re-check before patching it.
-				if _, still := rt.chainSites[svcAddr]; !still {
+				if _, still := rt.chainSites.get(svcAddr); !still {
+					return nil
+				}
+				// With tier-up on, a still-promotable target keeps trapping
+				// through dispatch so its execution counter keeps counting;
+				// the site is chained once the target is promoted or
+				// blacklisted.
+				if rt.tierup != nil && rt.tierup.deferChain(guestTarget) {
 					return nil
 				}
 				// dispatch pointed the CPU at the target block (a host
 				// call would have redirected elsewhere; only patch when
 				// the target is a plain block).
-				if t, ok := rt.tbs[guestTarget]; ok && c.PC == t.hostAddr {
+				if t, ok := rt.tbs.get(guestTarget); ok && c.PC == t.hostAddr {
 					return rt.chain(svcAddr, t)
 				}
 				return nil

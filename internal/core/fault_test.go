@@ -192,7 +192,7 @@ func casLivelockImage(t *testing.T) *guestimg.Image {
 func expectBudgetTrap(t *testing.T, img *guestimg.Image, label string, cfg Config) {
 	t.Helper()
 	cfg.Variant = VariantRisotto
-	rt, err := New(cfg, img)
+	rt, err := NewFromConfig(cfg, img)
 	if err != nil {
 		t.Fatalf("%s: %v", label, err)
 	}
@@ -236,7 +236,7 @@ func TestFaultWatchdogCASLivelock(t *testing.T) {
 // TestFaultWatchdogDeadline halts a runaway guest via the wall-clock
 // watchdog when no step budget is set.
 func TestFaultWatchdogDeadline(t *testing.T) {
-	rt, err := New(Config{Variant: VariantRisotto, Deadline: 50 * time.Millisecond}, spinImage(t))
+	rt, err := NewFromConfig(Config{Variant: VariantRisotto, Deadline: 50 * time.Millisecond}, spinImage(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,7 +266,7 @@ func TestFaultMisalignedCAS(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt, err := New(Config{Variant: VariantRisotto}, img)
+	rt, err := NewFromConfig(Config{Variant: VariantRisotto}, img)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -288,7 +288,7 @@ func TestFaultMisalignedCAS(t *testing.T) {
 func TestFaultInjectedDecode(t *testing.T) {
 	in := faults.NewInjector(1)
 	in.Arm(faults.SiteDecode, 1, faults.TrapDecode)
-	rt, err := New(Config{Variant: VariantRisotto, Inject: in}, chainImage(t, 4, 1))
+	rt, err := NewFromConfig(Config{Variant: VariantRisotto, Inject: in}, chainImage(t, 4, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -325,7 +325,7 @@ func TestFaultInjectedUnmapped(t *testing.T) {
 
 	in := faults.NewInjector(1)
 	in.Arm(faults.SiteMemory, 3, faults.TrapUnmapped)
-	rt, err := New(Config{Variant: VariantRisotto, Inject: in}, img)
+	rt, err := NewFromConfig(Config{Variant: VariantRisotto, Inject: in}, img)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -343,7 +343,7 @@ func TestFaultInjectedCacheExhaust(t *testing.T) {
 	const nblocks = 8
 	in := faults.NewInjector(1)
 	in.Arm(faults.SiteCacheAlloc, 1, faults.TrapCacheExhausted)
-	rt, err := New(Config{Variant: VariantRisotto, Inject: in}, chainImage(t, nblocks, 1))
+	rt, err := NewFromConfig(Config{Variant: VariantRisotto, Inject: in}, chainImage(t, nblocks, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -385,7 +385,7 @@ func TestFaultInjectedHostCall(t *testing.T) {
 	lib.Register("triple", func(mem []byte, args []uint64) (uint64, uint64) {
 		return args[0] * 3, 10
 	})
-	rt, err := New(Config{
+	rt, err := NewFromConfig(Config{
 		Variant: VariantRisotto, IDL: "i64 triple(i64 x);\n", Lib: lib, Inject: in,
 	}, img)
 	if err != nil {
@@ -415,7 +415,7 @@ func TestFaultTrapRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt, err := New(Config{Variant: VariantRisotto}, img)
+	rt, err := NewFromConfig(Config{Variant: VariantRisotto}, img)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,10 @@
 package core
 
-import "repro/internal/obs"
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
 
 // metrics caches the runtime's obs handles so hot paths never take the
 // registry lock. All core metrics live under the "core." prefix of the
@@ -28,12 +32,27 @@ type metrics struct {
 	selfSkipped  *obs.Counter
 	interpBlocks *obs.Counter
 	miscompiles  *obs.Counter
-	translateNS  *obs.Histogram
-	codeBytes    *obs.Histogram
+	// Tier-up counters: promotions installed, superblocks among them (and
+	// the guest blocks they stitched), fences saved by merging across
+	// block seams (under "tcg." beside the per-block pass counters), and
+	// lock contention on the sharded caches. chainPatchShards splits
+	// chain_patches by stripe; the total keeps its historical name.
+	promotions       *obs.Counter
+	superBlocks      *obs.Counter
+	superGuestBlocks *obs.Counter
+	crossFences      *obs.Counter
+	shardContention  *obs.Counter
+	chainPatchShards [numShards]*obs.Counter
+	translateNS      *obs.Histogram
+	codeBytes        *obs.Histogram
 }
 
 func newMetrics(root *obs.Scope) metrics {
 	sc := root.Child("core")
+	var shards [numShards]*obs.Counter
+	for i := range shards {
+		shards[i] = sc.Counter(fmt.Sprintf("chain_patches.shard%d", i))
+	}
 	return metrics{
 		blocks:       sc.Counter("blocks"),
 		guestBytes:   sc.Counter("guest_bytes"),
@@ -56,8 +75,14 @@ func newMetrics(root *obs.Scope) metrics {
 		selfSkipped:  sc.Counter("selfheal.selfcheck_skipped"),
 		interpBlocks: sc.Counter("selfheal.interp_blocks"),
 		miscompiles:  sc.Counter("selfheal.miscompiles_injected"),
-		translateNS:  sc.Histogram("translate_ns", obs.DurationBuckets),
-		codeBytes:    sc.Histogram("code_bytes", obs.SizeBuckets),
+		promotions:   sc.Counter("selfheal.promotions"),
+		superBlocks:  sc.Counter("superblock.blocks"),
+		superGuestBlocks: sc.Counter("superblock.guest_blocks"),
+		crossFences:      root.Child("tcg").Counter("fence_merges_cross_block"),
+		shardContention:  sc.Counter("cache.shard_contention"),
+		chainPatchShards: shards,
+		translateNS:      sc.Histogram("translate_ns", obs.DurationBuckets),
+		codeBytes:        sc.Histogram("code_bytes", obs.SizeBuckets),
 	}
 }
 
@@ -86,6 +111,11 @@ func (rt *Runtime) Stats() Stats {
 		Heals:        rt.met.heals.Load(),
 		SelfChecks:   rt.met.selfChecks.Load(),
 		InterpBlocks: rt.met.interpBlocks.Load(),
+		Promotions:   rt.met.promotions.Load(),
+		Superblocks:  rt.met.superBlocks.Load(),
+		SuperblockGuestBlocks: rt.met.superGuestBlocks.Load(),
+		CrossBlockFenceMerges: rt.met.crossFences.Load(),
+		ShardContention:       rt.met.shardContention.Load(),
 	}
 }
 

@@ -114,10 +114,20 @@ func (rt *Runtime) trapGuestPC(t *faults.Trap) (uint64, bool) {
 
 // quarantinePC invalidates guestPC's translation and demotes its tier,
 // recording the event. Reports false when the ladder was already at the
-// interpreter rung — there is nothing lower to retry.
+// interpreter rung — there is nothing lower to retry. The demotion starts
+// from the installed translation's actual tier, which under tier-up may
+// differ from the registry's map (an unpinned block runs at the implicit
+// TierNoOpt start tier; a promoted superblock at TierFull).
 func (rt *Runtime) quarantinePC(c *machine.CPU, guestPC uint64, reason string) bool {
-	d := rt.heal.Quarantine(guestPC, reason)
+	cur := rt.heal.TierOf(guestPC)
+	if t, ok := rt.tbs.get(guestPC); ok {
+		cur = t.tier
+	}
+	d := rt.heal.QuarantineAt(guestPC, cur, reason)
 	rt.invalidateBlock(guestPC)
+	if rt.tierup != nil {
+		rt.tierup.demoted(guestPC)
+	}
 	if d.First {
 		rt.met.quarantines.Inc()
 	}
@@ -422,7 +432,7 @@ func (rt *Runtime) CrashBundle(tool string, runErr error) (*selfheal.Bundle, err
 		})
 	}
 	if pc, ok := rt.trapGuestPC(t); ok {
-		if blk, ok := rt.tbs[pc]; ok {
+		if blk, ok := rt.tbs.get(pc); ok {
 			b.Disasm = rt.disasmTB(blk)
 		}
 	}

@@ -1,0 +1,194 @@
+// Sharded translation-cache tables. The historical single maps serialized
+// every lookup behind one structure; with background promotion workers and
+// many guest threads the block cache and the chain-patch tables are now
+// split across numShards lock-striped shards keyed by address bits, so
+// concurrent access mostly lands on different locks. Contention that does
+// happen is visible: a shard whose lock is busy counts one
+// core.cache.shard_contention before blocking.
+
+package core
+
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// numShards is the lock-stripe width of the block cache and the chain
+// tables. Power of two so shardIndex is a mask.
+const numShards = 8
+
+// shardIndex picks the stripe for an address. Blocks and chain sites are
+// 16-byte aligned, so the low bits are dropped before masking to spread
+// neighbours across shards.
+func shardIndex(addr uint64) int { return int((addr >> 4) & (numShards - 1)) }
+
+// tbShard is one stripe of the block cache.
+type tbShard struct {
+	mu sync.Mutex
+	m  map[uint64]*tb
+}
+
+// tbCache is the sharded guest-PC → translation-block cache.
+type tbCache struct {
+	shards     [numShards]tbShard
+	contention *obs.Counter
+}
+
+func newTBCache(contention *obs.Counter) *tbCache {
+	c := &tbCache{contention: contention}
+	for i := range c.shards {
+		c.shards[i].m = make(map[uint64]*tb)
+	}
+	return c
+}
+
+// lock acquires shard i, counting contention when the lock was busy.
+func (c *tbCache) lock(i int) *tbShard {
+	s := &c.shards[i]
+	if !s.mu.TryLock() {
+		c.contention.Inc()
+		s.mu.Lock()
+	}
+	return s
+}
+
+func (c *tbCache) get(pc uint64) (*tb, bool) {
+	s := c.lock(shardIndex(pc))
+	t, ok := s.m[pc]
+	s.mu.Unlock()
+	return t, ok
+}
+
+func (c *tbCache) put(t *tb) {
+	s := c.lock(shardIndex(t.guestPC))
+	s.m[t.guestPC] = t
+	s.mu.Unlock()
+}
+
+func (c *tbCache) remove(pc uint64) {
+	s := c.lock(shardIndex(pc))
+	delete(s.m, pc)
+	s.mu.Unlock()
+}
+
+func (c *tbCache) reset() {
+	for i := range c.shards {
+		s := c.lock(i)
+		s.m = make(map[uint64]*tb)
+		s.mu.Unlock()
+	}
+}
+
+func (c *tbCache) size() int {
+	n := 0
+	for i := range c.shards {
+		s := c.lock(i)
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// snapshot returns the cached blocks as a flat slice (no order guarantee).
+// Callers iterate the copy, so they may mutate the cache while doing so.
+func (c *tbCache) snapshot() []*tb {
+	out := make([]*tb, 0, c.size())
+	for i := range c.shards {
+		s := c.lock(i)
+		for _, t := range s.m {
+			out = append(out, t)
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// find returns the first block satisfying f (host-address attribution).
+func (c *tbCache) find(f func(*tb) bool) (*tb, bool) {
+	for i := range c.shards {
+		s := c.lock(i)
+		for _, t := range s.m {
+			if f(t) {
+				s.mu.Unlock()
+				return t, true
+			}
+		}
+		s.mu.Unlock()
+	}
+	return nil, false
+}
+
+// addrShard is one stripe of a host-address keyed table.
+type addrShard struct {
+	mu sync.Mutex
+	m  map[uint64]uint64
+}
+
+// addrMap is a sharded host-address → guest-target table, used for both
+// the patchable chain sites and the already-patched branches.
+type addrMap struct {
+	shards     [numShards]addrShard
+	contention *obs.Counter
+}
+
+func newAddrMap(contention *obs.Counter) *addrMap {
+	a := &addrMap{contention: contention}
+	for i := range a.shards {
+		a.shards[i].m = make(map[uint64]uint64)
+	}
+	return a
+}
+
+func (a *addrMap) lock(i int) *addrShard {
+	s := &a.shards[i]
+	if !s.mu.TryLock() {
+		a.contention.Inc()
+		s.mu.Lock()
+	}
+	return s
+}
+
+func (a *addrMap) get(addr uint64) (uint64, bool) {
+	s := a.lock(shardIndex(addr))
+	v, ok := s.m[addr]
+	s.mu.Unlock()
+	return v, ok
+}
+
+func (a *addrMap) put(addr, val uint64) {
+	s := a.lock(shardIndex(addr))
+	s.m[addr] = val
+	s.mu.Unlock()
+}
+
+func (a *addrMap) remove(addr uint64) {
+	s := a.lock(shardIndex(addr))
+	delete(s.m, addr)
+	s.mu.Unlock()
+}
+
+func (a *addrMap) reset() {
+	for i := range a.shards {
+		s := a.lock(i)
+		s.m = make(map[uint64]uint64)
+		s.mu.Unlock()
+	}
+}
+
+// entry is one (address, value) pair of an addrMap snapshot.
+type entry struct{ addr, val uint64 }
+
+// snapshot returns the table's entries as a flat copy; callers may mutate
+// the map while iterating the copy.
+func (a *addrMap) snapshot() []entry {
+	var out []entry
+	for i := range a.shards {
+		s := a.lock(i)
+		for k, v := range s.m {
+			out = append(out, entry{k, v})
+		}
+		s.mu.Unlock()
+	}
+	return out
+}

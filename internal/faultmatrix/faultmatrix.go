@@ -208,17 +208,15 @@ func run(w Workload, faultName string, heal bool) (res Result) {
 		spec.Arm(in)
 	}
 
-	cfg := core.Config{
-		Variant:    w.Variant,
-		IDL:        w.IDL,
-		Lib:        w.Lib,
-		StepBudget: 5_000_000,
-		Deadline:   30 * time.Second,
-		Inject:     in,
-		SelfHeal:   heal,
-		SelfCheck:  heal,
-	}
-	rt, err := core.New(cfg, w.Image)
+	rt, err := core.New(w.Image,
+		core.WithVariant(w.Variant),
+		core.WithHostLinker(w.IDL, w.Lib),
+		core.WithStepBudget(5_000_000),
+		core.WithDeadline(30*time.Second),
+		core.WithFaults(in),
+		core.WithSelfHeal(heal),
+		core.WithSelfCheck(heal),
+	)
 	if err != nil {
 		res.Outcome = Bad
 		res.Detail = fmt.Sprintf("runtime construction: %v", err)

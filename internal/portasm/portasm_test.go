@@ -17,7 +17,7 @@ func runBoth(t *testing.T, b *Builder) (guest, native uint64, grt *core.Runtime,
 	if err != nil {
 		t.Fatalf("BuildGuest: %v", err)
 	}
-	rt, err := core.New(core.Config{Variant: core.VariantRisotto}, gimg)
+	rt, err := core.New(gimg, core.WithVariant(core.VariantRisotto))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +222,7 @@ func TestWriteOutput(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt, err := core.New(core.Config{Variant: core.VariantQemu}, gimg)
+	rt, err := core.New(gimg, core.WithVariant(core.VariantQemu))
 	if err != nil {
 		t.Fatal(err)
 	}

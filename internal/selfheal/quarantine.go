@@ -31,18 +31,26 @@ type Demotion struct {
 // (the tier map itself is never truncated).
 const maxHistory = 256
 
-// State is the quarantine registry: which blocks run at which demoted
-// tier, and why. It is not safe for concurrent use; the runtime touches it
-// only from its single execution loop.
+// PromotionFailureLimit is the promotion blacklist threshold: a block
+// quarantined this many times is never promoted again — the up direction
+// of the ladder stops retrying code the down direction keeps rejecting.
+const PromotionFailureLimit = 2
+
+// State is the quarantine registry: which blocks run at which pinned
+// (demoted or promoted) tier, and why. It is not safe for concurrent use;
+// the runtime touches it only from its single execution loop.
 type State struct {
 	tiers   map[uint64]Tier
 	history []Event
 	seq     int
+	// failures counts quarantines per block — the promotion blacklist
+	// input (PromotionAllowed).
+	failures map[uint64]int
 }
 
 // NewState returns an empty registry (every block at TierFull).
 func NewState() *State {
-	return &State{tiers: make(map[uint64]Tier)}
+	return &State{tiers: make(map[uint64]Tier), failures: make(map[uint64]int)}
 }
 
 // TierOf returns the tier block pc must be translated at.
@@ -51,6 +59,18 @@ func (s *State) TierOf(pc uint64) Tier {
 		return TierFull
 	}
 	return s.tiers[pc]
+}
+
+// Lookup reports pc's explicitly pinned tier, distinguishing "pinned at
+// TierFull" from "never touched" (which TierOf cannot). Tier-up runtimes
+// need the distinction: an unpinned block starts at the cheap tier, a
+// pinned one runs exactly where the ladder put it.
+func (s *State) Lookup(pc uint64) (Tier, bool) {
+	if s == nil {
+		return TierFull, false
+	}
+	t, ok := s.tiers[pc]
+	return t, ok
 }
 
 // SetTier forces pc's tier — used to seed replay runs from a bundle's
@@ -63,27 +83,64 @@ func (s *State) SetTier(pc uint64, t Tier) {
 // one rung. When the block is already at TierInterp the failure is still
 // recorded, but Demoted is false: the ladder is exhausted.
 func (s *State) Quarantine(pc uint64, reason string) Demotion {
-	from := s.tiers[pc]
-	d := Demotion{From: from, To: from, First: false}
-	if _, seen := s.tiers[pc]; !seen {
-		d.First = true
-	}
-	to, ok := from.Next()
+	return s.QuarantineAt(pc, s.tiers[pc], reason)
+}
+
+// QuarantineAt is Quarantine with the block's actual current tier supplied
+// by the caller. A tier-up runtime executes unpinned blocks below TierFull
+// (the cheap start tier) and promoted blocks above their pinned rung, so
+// the registry's own map may not reflect what was really running when the
+// trap hit; the runtime passes the installed translation's tier.
+func (s *State) QuarantineAt(pc uint64, cur Tier, reason string) Demotion {
+	_, seen := s.tiers[pc]
+	d := Demotion{From: cur, To: cur, First: !seen}
+	to, ok := cur.Next()
 	if ok {
 		d.To, d.Demoted = to, true
 		s.tiers[pc] = to
 	} else {
 		// Exhausted: keep the entry (First stays accurate on repeats).
-		s.tiers[pc] = from
+		s.tiers[pc] = cur
 	}
+	s.failures[pc]++
+	s.record(Event{GuestPC: pc, From: cur, To: d.To, Reason: reason})
+	return d
+}
+
+// Promote pins pc at the richer tier `to` and records the up-direction
+// event (From > To numerically: the ladder climbed). The runtime calls it
+// when a background promotion is installed; a later trap in the promoted
+// code demotes back through QuarantineAt.
+func (s *State) Promote(pc uint64, from, to Tier, reason string) {
+	s.tiers[pc] = to
+	s.record(Event{GuestPC: pc, From: from, To: to, Reason: reason})
+}
+
+// PromotionAllowed reports whether pc may still be promoted: blocks
+// quarantined PromotionFailureLimit times are blacklisted.
+func (s *State) PromotionAllowed(pc uint64) bool {
+	if s == nil {
+		return false
+	}
+	return s.failures[pc] < PromotionFailureLimit
+}
+
+// Failures returns how many times pc has been quarantined.
+func (s *State) Failures(pc uint64) int {
+	if s == nil {
+		return 0
+	}
+	return s.failures[pc]
+}
+
+// record appends a history event, stamping its sequence number.
+func (s *State) record(e Event) {
 	s.seq++
-	s.history = append(s.history, Event{
-		Seq: s.seq, GuestPC: pc, From: from, To: d.To, Reason: reason,
-	})
+	e.Seq = s.seq
+	s.history = append(s.history, e)
 	if len(s.history) > maxHistory {
 		s.history = s.history[len(s.history)-maxHistory:]
 	}
-	return d
 }
 
 // History returns a copy of the recorded quarantine events, oldest first.
@@ -95,9 +152,11 @@ func (s *State) History() []Event {
 }
 
 // Quarantined returns the number of distinct quarantined blocks.
+// Promotion pins (Promote) do not count; only blocks that actually failed
+// do.
 func (s *State) Quarantined() int {
 	if s == nil {
 		return 0
 	}
-	return len(s.tiers)
+	return len(s.failures)
 }

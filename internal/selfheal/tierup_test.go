@@ -1,0 +1,105 @@
+package selfheal
+
+import "testing"
+
+// The promotion half of the ladder: Lookup distinguishes pinned from
+// untouched, Promote pins a richer tier, QuarantineAt demotes from the
+// caller-supplied rung, and repeated failures blacklist the block.
+
+func TestLookupDistinguishesPinnedFromUntouched(t *testing.T) {
+	s := NewState()
+	if _, pinned := s.Lookup(0x10); pinned {
+		t.Fatal("untouched block reported as pinned")
+	}
+	s.Promote(0x10, TierNoOpt, TierFull, "hot")
+	tier, pinned := s.Lookup(0x10)
+	if !pinned || tier != TierFull {
+		t.Fatalf("after Promote: (%v, %v), want (TierFull, true)", tier, pinned)
+	}
+	// TierOf cannot make the distinction — both read TierFull.
+	if s.TierOf(0x10) != TierFull || s.TierOf(0x99) != TierFull {
+		t.Fatal("TierOf changed semantics")
+	}
+	var nilState *State
+	if tier, pinned := nilState.Lookup(0x10); pinned || tier != TierFull {
+		t.Fatal("nil state Lookup must report unpinned TierFull")
+	}
+}
+
+func TestQuarantineAtUsesSuppliedTier(t *testing.T) {
+	s := NewState()
+	// A tier-up runtime runs unpinned blocks at TierNoOpt; the registry
+	// map says TierFull. The demotion must start from what actually ran.
+	d := s.QuarantineAt(0x20, TierNoOpt, "trap in cheap copy")
+	if d.From != TierNoOpt || d.To != TierInterp || !d.Demoted || !d.First {
+		t.Fatalf("demotion %+v, want NoOpt→Interp first", d)
+	}
+	if got := s.TierOf(0x20); got != TierInterp {
+		t.Fatalf("pinned tier %v, want TierInterp", got)
+	}
+}
+
+func TestPromoteThenQuarantineRoundTrip(t *testing.T) {
+	s := NewState()
+	s.Promote(0x30, TierNoOpt, TierFull, "hot block promoted")
+	// The promoted copy traps: demote from TierFull, the rung it ran at.
+	d := s.QuarantineAt(0x30, TierFull, "miscompile in superblock")
+	if d.From != TierFull || d.To != TierNoFenceMerge {
+		t.Fatalf("demotion %+v, want Full→NoFenceMerge", d)
+	}
+	if d.First {
+		t.Fatal("block was pinned by Promote; quarantine is not its first touch")
+	}
+	ev := s.History()
+	if len(ev) != 2 {
+		t.Fatalf("history %d events, want promote + quarantine", len(ev))
+	}
+	if ev[0].From != TierNoOpt || ev[0].To != TierFull {
+		t.Fatalf("promote event %+v", ev[0])
+	}
+	if ev[1].Seq != ev[0].Seq+1 {
+		t.Fatal("events not sequenced")
+	}
+}
+
+func TestPromotionBlacklist(t *testing.T) {
+	s := NewState()
+	if !s.PromotionAllowed(0x40) {
+		t.Fatal("fresh block must be promotable")
+	}
+	for i := 0; i < PromotionFailureLimit; i++ {
+		if s.Failures(0x40) != i {
+			t.Fatalf("failures = %d, want %d", s.Failures(0x40), i)
+		}
+		s.QuarantineAt(0x40, TierFull, "repeated trap")
+	}
+	if s.PromotionAllowed(0x40) {
+		t.Fatalf("block with %d failures must be blacklisted", PromotionFailureLimit)
+	}
+	// Promote pins do not count as failures and never blacklist.
+	s.Promote(0x41, TierNoOpt, TierFull, "hot")
+	if !s.PromotionAllowed(0x41) || s.Failures(0x41) != 0 {
+		t.Fatal("Promote must not feed the blacklist")
+	}
+	var nilState *State
+	if nilState.PromotionAllowed(0x40) {
+		t.Fatal("nil state must never allow promotion")
+	}
+	if nilState.Failures(0x40) != 0 {
+		t.Fatal("nil state failures must read 0")
+	}
+}
+
+func TestQuarantinedCountsFailuresNotPins(t *testing.T) {
+	s := NewState()
+	s.Promote(0x50, TierNoOpt, TierFull, "hot")
+	s.Promote(0x51, TierNoOpt, TierFull, "hot")
+	if s.Quarantined() != 0 {
+		t.Fatalf("Quarantined = %d after pure promotions, want 0", s.Quarantined())
+	}
+	s.QuarantineAt(0x50, TierFull, "trap")
+	s.QuarantineAt(0x50, TierNoFenceMerge, "trap again")
+	if s.Quarantined() != 1 {
+		t.Fatalf("Quarantined = %d, want 1 distinct block", s.Quarantined())
+	}
+}

@@ -225,25 +225,30 @@ func (s *Server) runOnce(req *JobRequest, j *resolvedJob) (code uint64, hits, mi
 		}
 	}()
 
-	cfg := core.Config{
-		Variant:    j.variant,
-		MemSize:    s.cfg.MemSize,
-		StepBudget: j.stepBudget,
-		Deadline:   j.deadline,
-		SelfHeal:   true,
-		Inject:     j.inj,
-		Kernel:     req.Kernel,
-		FaultSpec:  j.faultSpec,
-		FaultSeed:  j.faultSeed,
-		// Obs stays nil: the runtime makes a private scope, keeping
-		// crash bundles deterministic per-job rather than entangled
-		// with daemon-lifetime counters.
+	// No WithObs: the runtime makes a private scope, keeping crash
+	// bundles deterministic per-job rather than entangled with
+	// daemon-lifetime counters.
+	opts := []core.Option{
+		core.WithVariant(j.variant),
+		core.WithMemSize(s.cfg.MemSize),
+		core.WithStepBudget(j.stepBudget),
+		core.WithDeadline(j.deadline),
+		core.WithSelfHeal(true),
+		core.WithFaults(j.inj),
+		core.WithProvenance(req.Kernel, j.faultSpec, j.faultSeed),
 	}
 	if s.cfg.Cache != nil {
 		view = s.cfg.Cache.ForImage(transcache.Fingerprint(j.img) + "/" + j.variant.String())
-		cfg.TransCache = view
+		opts = append(opts, core.WithTranslationCache(view))
 	}
-	rt, nerr := core.New(cfg, j.img)
+	if s.cfg.TierUp {
+		opts = append(opts, core.WithTierUp(core.TierUpConfig{
+			Enabled:          true,
+			PromoteThreshold: s.cfg.PromoteThreshold,
+			SuperblockMax:    s.cfg.SuperblockMax,
+		}))
+	}
+	rt, nerr := core.New(j.img, opts...)
 	if nerr != nil {
 		if t, ok := faults.As(nerr); ok {
 			collect()

@@ -72,6 +72,13 @@ type Config struct {
 	// Cache, when non-nil, persists translations across jobs and
 	// restarts.
 	Cache *transcache.Cache
+	// TierUp runs every job with the tier-up JIT: hot blocks promoted to
+	// superblocks in background workers — the raw-speed knob for repeat
+	// traffic. PromoteThreshold and SuperblockMax tune it (0 = core's
+	// defaults).
+	TierUp           bool
+	PromoteThreshold int
+	SuperblockMax    int
 	// Obs is the root scope; the server instruments under a "serve"
 	// child. Nil disables instrumentation.
 	Obs *obs.Scope

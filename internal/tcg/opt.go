@@ -97,15 +97,7 @@ func Optimize(b *Block, cfg OptConfig) {
 }
 
 // countOp counts instructions with the given opcode.
-func countOp(b *Block, op Opcode) uint64 {
-	var n uint64
-	for i := range b.Insts {
-		if b.Insts[i].Op == op {
-			n++
-		}
-	}
-	return n
-}
+func countOp(b *Block, op Opcode) uint64 { return b.CountOp(op) }
 
 // opcodesOf snapshots the opcode stream for rewriteCount.
 func opcodesOf(b *Block) []Opcode {
@@ -582,6 +574,19 @@ func deadCode(b *Block) {
 			if in.Dst >= NumGlobals {
 				delete(live, in.Dst)
 			}
+			for t := Temp(0); t < NumGlobals; t++ {
+				live[t] = true
+			}
+			for _, u := range in.Uses() {
+				live[u] = true
+			}
+			continue
+		case OpExit, OpExitInd, OpExitHalt:
+			// Every global is live at an exit — the dispatcher reads the
+			// full guest state there. The end-of-block exit matches the
+			// scan's initial state, but a mid-block side exit (a
+			// superblock seam, or the not-taken arm of a conditional)
+			// must restore globals the scan has since consumed.
 			for t := Temp(0); t < NumGlobals; t++ {
 				live[t] = true
 			}

@@ -272,6 +272,35 @@ func TestDeadCodeKeepsMemoryAndGlobals(t *testing.T) {
 	}
 }
 
+func TestDeadCodeGlobalsLiveAtSideExits(t *testing.T) {
+	// A global overwritten later in the block is still live at every exit
+	// in between — the dispatcher reads full guest state wherever the
+	// block is left. Superblock seams put real code between a side exit
+	// and the final exit, which is where a linear scan that only seeds
+	// liveness at the end goes wrong.
+	b := NewBlock()
+	c1, c2 := b.Temp(), b.Temp()
+	l := b.NewLabel()
+	b.MovI(0, 1) // live at the side exit below, overwritten after it
+	b.MovI(c1, 0)
+	b.MovI(c2, 1)
+	b.Brcond(CondEQ, c1, c2, l) // 0 != 1: falls through to the side exit
+	b.Exit(0x100)               // side exit: must observe global 0 == 1
+	b.SetLabel(l)
+	b.MovI(0, 2)
+	b.Exit(0x200)
+	Optimize(b, OptConfig{DeadCode: true})
+
+	it := NewInterp(b, 16)
+	if err := it.Run(b); err != nil {
+		t.Fatal(err)
+	}
+	if it.NextPC != 0x100 || it.Temps[0] != 1 {
+		t.Fatalf("side exit sees global 0 = %d at %#x, want 1 at 0x100:\n%s",
+			it.Temps[0], it.NextPC, b)
+	}
+}
+
 func TestDeadCodeNeverRemovesLoads(t *testing.T) {
 	b := NewBlock()
 	addr, unused := b.Temp(), b.Temp()

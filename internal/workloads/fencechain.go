@@ -1,0 +1,50 @@
+package workloads
+
+import "repro/internal/portasm"
+
+// FenceChain: a copy loop whose body is deliberately split into three
+// basic blocks by unconditional jumps. Under the verified scheme the load
+// ends its block as `ld;Frm` and the store opens the next as `Fww;st`, so
+// the Frm/Fww pair is never adjacent inside a single-block translation
+// unit — the seam is a block boundary. Any fence merge this kernel reports
+// is therefore a *cross-block* merge inside a tier-up superblock, which
+// makes it the diagnostic workload for tcg.fence_merges_cross_block.
+func FenceChain(threads, scale int) (*portasm.Builder, error) {
+	n := 4096 * scale
+	n -= n % threads
+	b := portasm.NewBuilder()
+	src := b.Data(wordsOf(11, n, 1000))
+	dst := b.Zeros(8 * n)
+	total := b.Zeros(8)
+
+	b.Label("worker").
+		Arg(r0)
+	chunkBounds(b, r0, r1, r2, n, threads)
+	b.MovI(r3, int64(src)).
+		MovI(r4, int64(dst)).
+		// Load block: ends with the guest load (ld;Frm) and an
+		// unconditional jump — the Frm is the last fence of the block.
+		Label("fcload").
+		LdIdx(r5, r3, r1, 8, 8).
+		Jmp("fcstore").
+		// Store block: opens with the guest store (Fww;st) — merging its
+		// Fww with the previous block's Frm requires stitching the two
+		// blocks into one superblock.
+		Label("fcstore").
+		StIdx(r4, r1, 8, r5, 8).
+		Jmp("fcnext").
+		// Loop control in a third block so the hot trace covers three
+		// guest blocks with the back-edge as the only revisit.
+		Label("fcnext").
+		AddI(r1, 1).
+		Cmp(r1, r2).
+		J(portasm.NE, "fcload").
+		MovI(r0, 0).
+		Exit(r0)
+
+	forkJoin(b, threads, func() {
+		sumArray(b, dst, n, total)
+		exitChecksum(b, total)()
+	})
+	return b, nil
+}

@@ -51,6 +51,7 @@ func Registry() []Kernel {
 		{"pca", "phoenix", PCA},
 		{"stringmatch", "phoenix", StringMatch},
 		{"wordcount", "phoenix", WordCount},
+		{"fencechain", "micro", FenceChain},
 	}
 }
 

@@ -9,14 +9,13 @@ import (
 
 // runGuest builds and runs a guest program under the given variant,
 // returning the exit code and cycles.
-func runGuest(t *testing.T, b *portasm.Builder, v core.Variant, cfg core.Config) (uint64, uint64) {
+func runGuest(t *testing.T, b *portasm.Builder, v core.Variant, opts ...core.Option) (uint64, uint64) {
 	t.Helper()
 	img, err := b.BuildGuest("main")
 	if err != nil {
 		t.Fatalf("BuildGuest: %v", err)
 	}
-	cfg.Variant = v
-	rt, err := core.New(cfg, img)
+	rt, err := core.New(img, append([]core.Option{core.WithVariant(v)}, opts...)...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +65,7 @@ func TestKernelsAgreeAcrossVariants(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				code, cyc := runGuest(t, b, v, core.Config{})
+				code, cyc := runGuest(t, b, v)
 				cycles[v] = cyc
 				if i == 0 {
 					want = code
@@ -110,7 +109,7 @@ func TestKernelThreadScaling(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		code, _ := runGuest(t, b, core.VariantRisotto, core.Config{})
+		code, _ := runGuest(t, b, core.VariantRisotto)
 		if i == 0 {
 			base = code
 		} else if code != base {
@@ -127,8 +126,12 @@ func TestKernelByName(t *testing.T) {
 	if err != nil || k.Suite != "parsec" {
 		t.Fatalf("freqmine lookup: %v %v", k, err)
 	}
-	if len(Registry()) != 16 {
-		t.Fatalf("registry has %d kernels, want 16", len(Registry()))
+	if len(Registry()) != 17 {
+		t.Fatalf("registry has %d kernels, want 17", len(Registry()))
+	}
+	k, err = KernelByName("fencechain")
+	if err != nil || k.Suite != "micro" {
+		t.Fatalf("fencechain lookup: %v %v", k, err)
 	}
 }
 
@@ -144,13 +147,13 @@ func TestDigestProgramsRun(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		codeQ, cycQ := runGuest(t, b, core.VariantQemu, core.Config{})
+		codeQ, cycQ := runGuest(t, b, core.VariantQemu)
 
 		// The linked run executes the real host digest; cycles must drop
 		// dramatically even though the toy guest digest's checksum
 		// differs (documented substitution).
 		b2, _ := DigestProgram(alg, 1024, 2)
-		codeR, cycR := runGuest(t, b2, core.VariantRisotto, core.Config{IDL: IDLAll})
+		codeR, cycR := runGuest(t, b2, core.VariantRisotto, core.WithHostLinker(IDLAll, nil))
 		if cycR >= cycQ {
 			t.Errorf("%s: linked (%d cycles) should beat translated (%d)", alg, cycR, cycQ)
 		}
@@ -173,9 +176,9 @@ func TestRSAPrograms(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, cycSign := runGuest(t, b, core.VariantQemu, core.Config{})
+	_, cycSign := runGuest(t, b, core.VariantQemu)
 	b2, _ := RSAProgram(1024, false, 1)
-	_, cycVerify := runGuest(t, b2, core.VariantQemu, core.Config{})
+	_, cycVerify := runGuest(t, b2, core.VariantQemu)
 	if cycVerify >= cycSign {
 		t.Fatalf("verify (%d) must be much cheaper than sign (%d)", cycVerify, cycSign)
 	}
@@ -189,9 +192,9 @@ func TestSqliteProgram(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, cycQ := runGuest(t, b, core.VariantQemu, core.Config{})
+	_, cycQ := runGuest(t, b, core.VariantQemu)
 	b2, _ := SqliteProgram(64, 2)
-	_, cycR := runGuest(t, b2, core.VariantRisotto, core.Config{IDL: IDLAll})
+	_, cycR := runGuest(t, b2, core.VariantRisotto, core.WithHostLinker(IDLAll, nil))
 	if cycR >= cycQ {
 		t.Fatalf("linked sqlite (%d) should beat translated (%d)", cycR, cycQ)
 	}
@@ -203,9 +206,9 @@ func TestMathPrograms(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		_, cycQ := runGuest(t, b, core.VariantQemu, core.Config{})
+		_, cycQ := runGuest(t, b, core.VariantQemu)
 		b2, _ := MathProgram(fn, 2)
-		_, cycR := runGuest(t, b2, core.VariantRisotto, core.Config{IDL: IDLAll})
+		_, cycR := runGuest(t, b2, core.VariantRisotto, core.WithHostLinker(IDLAll, nil))
 		if cycR >= cycQ {
 			t.Errorf("%s: linked (%d) should beat translated (%d)", fn, cycR, cycQ)
 		}
@@ -223,7 +226,7 @@ func TestCASBenchAllVariantsAndNative(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		code, _ := runGuest(t, b, v, core.Config{})
+		code, _ := runGuest(t, b, v)
 		if code != want {
 			t.Errorf("%v: counter sum = %d, want %d", v, code, want)
 		}
@@ -246,7 +249,7 @@ func TestSpinlockMutualExclusion(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		code, _ := runGuest(t, b, v, core.Config{Quantum: 3})
+		code, _ := runGuest(t, b, v, core.WithQuantum(3))
 		if code != want {
 			t.Errorf("%v: counter = %d, want %d (lost updates!)", v, code, want)
 		}
@@ -278,9 +281,9 @@ func TestCASUncontendedRisottoBeatsQemu(t *testing.T) {
 	// threads == vars: no contention; inline casal must beat the helper
 	// path (§7.4).
 	b1, _ := CASBench(4, 4, 500)
-	_, cycQ := runGuest(t, b1, core.VariantQemu, core.Config{})
+	_, cycQ := runGuest(t, b1, core.VariantQemu)
 	b2, _ := CASBench(4, 4, 500)
-	_, cycR := runGuest(t, b2, core.VariantRisotto, core.Config{})
+	_, cycR := runGuest(t, b2, core.VariantRisotto)
 	if cycR >= cycQ {
 		t.Fatalf("uncontended CAS: risotto (%d) should beat qemu (%d)", cycR, cycQ)
 	}
@@ -297,7 +300,7 @@ func TestIDLMatchesHostlib(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := core.New(core.Config{Variant: core.VariantRisotto, IDL: IDLAll}, img); err != nil {
+	if _, err := core.New(img, core.WithVariant(core.VariantRisotto), core.WithHostLinker(IDLAll, nil)); err != nil {
 		t.Fatalf("IDL/hostlib mismatch: %v", err)
 	}
 }

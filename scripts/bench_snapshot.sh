@@ -7,9 +7,11 @@
 #   ./scripts/bench_snapshot.sh out.json        # alternate output path
 #
 # Captured: the rel word-wise kernels (BenchmarkRelOps), the end-to-end
-# candidate enumeration (BenchmarkOutcomesParallel, BenchmarkTheorem1), and
+# candidate enumeration (BenchmarkOutcomesParallel, BenchmarkTheorem1),
 # the campaign per-test verdict pipeline (BenchmarkCampaignTest, whose
-# tests/s metric is the serial campaign throughput).
+# tests/s metric is the serial campaign throughput), and the tier-up JIT
+# on/off pairs (BenchmarkTierUp, whose sim_cycles_per_op ratio is the
+# hot-block promotion speedup).
 # check.sh runs this with a short -benchtime as a smoke stage; for numbers
 # worth comparing across machines use BENCHTIME=2s or more.
 set -euo pipefail
@@ -20,7 +22,7 @@ OUT="${1:-BENCH_litmus.json}"
 
 raw="$(
   go test -run '^$' -bench 'BenchmarkRelOps' -benchtime "$BENCHTIME" ./internal/rel/
-  go test -run '^$' -bench 'BenchmarkOutcomesParallel|BenchmarkTheorem1|BenchmarkCampaignTest' -benchtime "$BENCHTIME" .
+  go test -run '^$' -bench 'BenchmarkOutcomesParallel|BenchmarkTheorem1|BenchmarkCampaignTest|BenchmarkTierUp' -benchtime "$BENCHTIME" .
 )"
 
 # Benchmark result lines look like:
@@ -39,6 +41,8 @@ $1 ~ /^Benchmark/ && $4 == "ns/op" {
     if ($(i+1) == "B/op")      printf ", \"bytes_per_op\": %s", $i
     if ($(i+1) == "allocs/op") printf ", \"allocs_per_op\": %s", $i
     if ($(i+1) == "tests/s")   printf ", \"tests_per_sec\": %s", $i
+    if ($(i+1) == "simcycles/op") printf ", \"sim_cycles_per_op\": %s", $i
+    if ($(i+1) == "xmerges/op")   printf ", \"cross_block_fence_merges\": %s", $i
   }
   printf "}"
 }

@@ -60,6 +60,33 @@ code=0
 cmp "$SH_TMP/crash.json" "$SH_TMP/crash2.json" \
 	|| { echo "replay re-bundle differs from original" >&2; exit 1; }
 
+echo "==> tierup smoke: hot-block promotion across the workload suite"
+for k in histogram wordcount kmeans swaptions canneal; do
+	go run ./cmd/risotto -kernel "$k" -threads 2 -scale 2 -tierup -promote-threshold 4 \
+		-metrics json | grep -Eq '"core\.selfheal\.promotions": *[1-9]' \
+		|| { echo "tierup run of $k recorded no promotion" >&2; exit 1; }
+done
+
+echo "==> tierup smoke: superblocks recover cross-block fence merges on fencechain"
+go run ./cmd/risotto -kernel fencechain -threads 2 -scale 2 -tierup -promote-threshold 4 \
+	-metrics json | grep -Eq '"tcg\.fence_merges_cross_block": *[1-9]' \
+	|| { echo "fencechain superblocks merged no cross-block fences" >&2; exit 1; }
+
+echo "==> tierup smoke: miscompile under promotion demotes and still computes the right result"
+want=$(go run ./cmd/risotto -kernel kmeans -threads 2 -scale 2 | awk '/^checksum/{print $2}')
+got=$(go run ./cmd/risotto -kernel kmeans -threads 2 -scale 2 -tierup -promote-threshold 4 \
+	-fault miscompile -selfheal | awk '/^checksum/{print $2}')
+[ "$got" = "$want" ] || { echo "faulted tierup checksum $got != $want" >&2; exit 1; }
+go run ./cmd/risotto -kernel kmeans -threads 2 -scale 2 -tierup -promote-threshold 4 \
+	-fault miscompile -selfheal -metrics json >"$SH_TMP/tierup.json"
+grep -Eq '"core\.selfheal\.promotions": *[1-9]' "$SH_TMP/tierup.json" \
+	|| { echo "faulted tierup run recorded no promotion" >&2; exit 1; }
+grep -Eq '"core\.selfheal\.quarantines": *[1-9]' "$SH_TMP/tierup.json" \
+	|| { echo "faulted tierup run recorded no quarantine" >&2; exit 1; }
+
+echo "==> tierup (race): go test -race ./internal/core/ -run TierUp -count=1"
+go test -race ./internal/core/ -run TierUp -count=1
+
 echo "==> metrics snapshot validates (risotto -metrics json | obsvalidate)"
 go run ./cmd/risotto -kernel histogram -threads 2 -metrics json | go run ./cmd/obsvalidate >/dev/null
 
