@@ -457,10 +457,10 @@ func (rt *Runtime) startThread(c *machine.CPU, entry uint64) error {
 // to a translated block are absorbed: the block is quarantined, demoted
 // one tier and retranslated, and execution resumes — up to MaxHeals times.
 func (rt *Runtime) Run() (uint64, error) {
-	if rt.tierup != nil {
-		defer rt.tierup.stop()
-	}
 	c := rt.M.CPUs[0]
+	if rt.tierup != nil {
+		defer rt.tierup.stop(c)
+	}
 	*guestReg(c, x86.RSP) = rt.newStack()
 	err := rt.runHealed(func() error { return rt.startThread(c, rt.img.Entry) })
 	if err == nil {

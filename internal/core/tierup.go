@@ -57,9 +57,10 @@ func (tc TierUpConfig) withDefaults() TierUpConfig {
 	return tc
 }
 
-// promoteReq is one background promotion job. Everything in it is owned by
-// the worker: text and counts are copies taken on the execution loop at
-// enqueue time, so workers never read live machine state.
+// promoteReq is one background promotion job. Workers never read live
+// machine state: counts is a copy taken on the execution loop at enqueue
+// time, and text is the run's shared immutable snapshot of guest text
+// (read-only on every side).
 type promoteReq struct {
 	pc     uint64
 	text   []byte
@@ -95,6 +96,11 @@ type tierUp struct {
 	counts   map[uint64]uint64
 	pending  map[uint64]bool
 	promoted map[uint64]*promotion
+
+	// textSnap is one copy of guest text shared (read-only) by every
+	// promotion request of the current run; guest text is immutable while
+	// a run executes, so one snapshot serves all workers.
+	textSnap []byte
 
 	reqs    chan promoteReq
 	results chan *promotion
@@ -138,22 +144,37 @@ func (tu *tierUp) start() {
 	}
 }
 
-// stop drains the pool; in-flight promotions are discarded (they are pure
-// speculation — nothing depends on them landing). The runtime calls it
-// when Run returns; a later Run restarts the pool on demand.
-func (tu *tierUp) stop() {
+// stop shuts the pool down at the end of a run and installs everything
+// the workers finished. Results are collected concurrently with the
+// worker wait: with more outstanding jobs than the results buffer holds,
+// a worker would otherwise block sending into the full channel and the
+// wait would never return. Installing the stragglers here — rather than
+// discarding them — makes promotion deterministic at run boundaries:
+// every request enqueued during the run has landed (or been rejected as
+// stale) by the time Run returns, so Stats().Promotions does not depend
+// on how worker scheduling raced run completion. The runtime calls stop
+// from its execution loop once the machine has halted; a later Run
+// restarts the pool on demand.
+func (tu *tierUp) stop(c *machine.CPU) {
 	if !tu.started {
 		return
 	}
 	close(tu.reqs)
-	tu.wg.Wait()
-	for {
-		select {
-		case <-tu.results:
-		default:
-			tu.started = false
-			return
+	var finished []*promotion
+	collected := make(chan struct{})
+	go func() {
+		defer close(collected)
+		for p := range tu.results {
+			finished = append(finished, p)
 		}
+	}()
+	tu.wg.Wait()
+	close(tu.results)
+	<-collected
+	tu.started = false
+	tu.textSnap = nil
+	for _, p := range finished {
+		tu.install(c, p)
 	}
 }
 
@@ -171,15 +192,20 @@ func (tu *tierUp) tick(c *machine.CPU, guestPC uint64) {
 	tu.request(guestPC)
 }
 
-// request snapshots guest text and counters and hands pc to the workers.
+// request snapshots the counters and hands pc to the workers. Guest text
+// is snapshotted once per run and shared read-only across requests; only
+// the counter map is copied per hot block.
 func (tu *tierUp) request(pc uint64) {
 	rt := tu.rt
 	if tu.pending[pc] || tu.promoted[pc] != nil || !rt.heal.PromotionAllowed(pc) {
 		return
 	}
+	if tu.textSnap == nil {
+		tu.textSnap = append([]byte(nil), rt.M.Mem[:rt.img.MaxAddr()]...)
+	}
 	req := promoteReq{
 		pc:       pc,
-		text:     append([]byte(nil), rt.M.Mem[:rt.img.MaxAddr()]...),
+		text:     tu.textSnap,
 		counts:   make(map[uint64]uint64, len(tu.counts)),
 		plt:      make(map[uint64]bool, len(rt.plt)),
 		failures: rt.heal.Failures(pc),
@@ -294,12 +320,28 @@ func (tu *tierUp) demoted(guestPC uint64) {
 	delete(tu.promoted, guestPC)
 }
 
+// chainDeferPatience bounds chain deferral, in multiples of
+// PromoteThreshold: a block dispatched this many times without landing a
+// promotion chains anyway, so a never-promoted block costs at most a
+// fixed number of dispatcher round trips rather than trapping forever.
+const chainDeferPatience = 4
+
 // deferChain reports whether chaining into guestPC should wait: a chained
 // branch bypasses dispatch, which would starve the execution counter that
 // decides promotion. Once the block is promoted (or blacklisted) the
-// counter no longer matters and chaining proceeds.
+// counter no longer matters and chaining proceeds; likewise once a
+// promotion request is already in flight (the counter has done its job),
+// or after chainDeferPatience×threshold dispatches without a promotion
+// landing — deferral must be a bounded cost, never an open-ended perf
+// regression versus tier-up off.
 func (tu *tierUp) deferChain(guestPC uint64) bool {
-	return tu.promoted[guestPC] == nil && tu.rt.heal.PromotionAllowed(guestPC)
+	if tu.promoted[guestPC] != nil || !tu.rt.heal.PromotionAllowed(guestPC) {
+		return false
+	}
+	if tu.pending[guestPC] {
+		return false
+	}
+	return tu.counts[guestPC] < uint64(tu.cfg.PromoteThreshold*chainDeferPatience)
 }
 
 // emitWithFlushRetry is emitBlock plus the standard exhaustion recovery

@@ -264,6 +264,30 @@ func TestTierUpPromotedBlockDemotes(t *testing.T) {
 	}
 }
 
+// TestTierUpStopDrainsBacklog: stop must not hang when more results are
+// outstanding than the results buffer holds. Workers block sending into
+// the full channel, so stop has to drain concurrently with the worker
+// wait — a sequential close-wait-drain deadlocks here. The fill count is
+// the queue depth plus one in-flight job per worker: the most that can be
+// outstanding at once, and just past the results buffer. The junk PCs
+// make every job fail translation; error results still flow back and
+// must all be consumed.
+func TestTierUpStopDrainsBacklog(t *testing.T) {
+	rt := buildKernelRuntime(t, "fencechain", 1, tierUpOpts())
+	tu := rt.tierup
+	tu.start()
+	for i := 0; i < cap(tu.reqs)+tu.cfg.Workers; i++ {
+		tu.reqs <- promoteReq{pc: uint64(1<<40 + i)}
+	}
+	tu.stop(rt.M.CPUs[0])
+	if tu.started {
+		t.Fatal("stop left the pool marked started")
+	}
+	if rt.Stats().Promotions != 0 {
+		t.Fatal("failed translations must not install")
+	}
+}
+
 // TestTierUpStaleResultDropped: a promotion built before the ladder moved
 // must be discarded at install time.
 func TestTierUpStaleResultDropped(t *testing.T) {

@@ -19,7 +19,8 @@ type Event struct {
 type Demotion struct {
 	// From and To are the block's tiers before and after.
 	From, To Tier
-	// First reports whether this is the block's first quarantine.
+	// First reports whether this is the block's first quarantine — its
+	// first recorded failure, regardless of any earlier promotion pin.
 	First bool
 	// Demoted is false when the block was already at the bottom tier —
 	// the quarantine could not degrade it further and recovery must fail
@@ -92,14 +93,18 @@ func (s *State) Quarantine(pc uint64, reason string) Demotion {
 // the registry's own map may not reflect what was really running when the
 // trap hit; the runtime passes the installed translation's tier.
 func (s *State) QuarantineAt(pc uint64, cur Tier, reason string) Demotion {
-	_, seen := s.tiers[pc]
-	d := Demotion{From: cur, To: cur, First: !seen}
+	// First derives from the failure count, not tiers-map presence:
+	// Promote also pins entries in tiers, and the first real failure of a
+	// previously promoted block must still count as a first quarantine
+	// (the distinct-blocks metric would otherwise undercount under
+	// tier-up).
+	d := Demotion{From: cur, To: cur, First: s.failures[pc] == 0}
 	to, ok := cur.Next()
 	if ok {
 		d.To, d.Demoted = to, true
 		s.tiers[pc] = to
 	} else {
-		// Exhausted: keep the entry (First stays accurate on repeats).
+		// Exhausted: keep the entry pinned at the bottom rung.
 		s.tiers[pc] = cur
 	}
 	s.failures[pc]++

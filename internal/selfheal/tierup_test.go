@@ -47,8 +47,8 @@ func TestPromoteThenQuarantineRoundTrip(t *testing.T) {
 	if d.From != TierFull || d.To != TierNoFenceMerge {
 		t.Fatalf("demotion %+v, want Full→NoFenceMerge", d)
 	}
-	if d.First {
-		t.Fatal("block was pinned by Promote; quarantine is not its first touch")
+	if !d.First {
+		t.Fatal("first real failure of a promoted block must count as a first quarantine")
 	}
 	ev := s.History()
 	if len(ev) != 2 {
