@@ -1,13 +1,14 @@
 // Command litmusctl explores the axiomatic side of Risotto-Go: it runs the
-// litmus corpus under the x86-TSO, TCG-IR and Armed-Cats models, verifies
-// the mapping schemes (Theorem 1), and reproduces the paper's §3
-// counterexamples.
+// litmus corpus under every registered memory model, verifies the mapping
+// schemes (Theorem 1), and reproduces the paper's §3 counterexamples.
 //
 // Usage:
 //
 //	litmusctl corpus           # outcome sets of every corpus test per model
 //	litmusctl outcomes <name>  # one test's outcomes under all models
+//	litmusctl models           # the model registry (names, aliases, levels)
 //	litmusctl verify           # Theorem-1 sweep (verified schemes)
+//	litmusctl matrix           # N×N model matrix over every scheme route
 //	litmusctl errors           # QEMU's MPQ/SBQ errors + FMR
 //	litmusctl sbal             # the Armed-Cats casal error and its fix
 //	litmusctl run <file.lit>…  # run text-format tests' expectations
@@ -28,15 +29,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/bench"
 	"repro/internal/cliflags"
 	"repro/internal/litmus"
 	"repro/internal/mapping"
 	"repro/internal/memmodel"
-	"repro/internal/models/armcats"
-	"repro/internal/models/tcgmm"
-	"repro/internal/models/x86tso"
+	"repro/internal/models"
 )
 
 // cf and enumOpts carry the shared flag settings (workers, faults, the
@@ -77,8 +77,12 @@ func main() {
 			usage()
 		}
 		outcomes(args[1])
+	case "models":
+		listModels()
 	case "verify":
 		fmt.Println(bench.VerifyReport(enumOpts...))
+	case "matrix":
+		failed = matrixCmd()
 	case "errors":
 		fmt.Println(bench.MotivationReport(enumOpts...))
 	case "sbal":
@@ -116,17 +120,12 @@ func runFiles(paths []string) {
 			fmt.Fprintf(os.Stderr, "litmusctl: %s: %v\n", path, err)
 			os.Exit(1)
 		}
-		// A `model` directive scopes the expectations; otherwise check
-		// under every model (useful for coherence tests that hold
-		// everywhere).
-		checkModels := models()
-		switch pt.Model {
-		case "x86":
-			checkModels = []memmodel.Model{x86tso.New()}
-		case "tcg":
-			checkModels = []memmodel.Model{tcgmm.New()}
-		case "arm":
-			checkModels = []memmodel.Model{armcats.New()}
+		// A `model` directive scopes the expectations to the directive's
+		// level; otherwise check under every canonical model (useful for
+		// coherence tests that hold everywhere).
+		checkModels := models.Default().Canonical()
+		if l, ok := memmodel.ParseLevel(pt.Model); ok {
+			checkModels = []memmodel.Model{models.ByLevel(l)}
 		}
 		for _, m := range checkModels {
 			failures := litmus.CheckExpectations(pt, m)
@@ -146,8 +145,30 @@ func runFiles(paths []string) {
 	}
 }
 
-func models() []memmodel.Model {
-	return []memmodel.Model{x86tso.New(), tcgmm.New(), armcats.New()}
+// listModels prints the registry: every model with its level, aliases and
+// whether it carries a prepared (allocation-reusing) checker.
+func listModels() {
+	fmt.Printf("%-22s %-6s %-9s %s\n", "MODEL", "LEVEL", "PREPARED", "ALIASES")
+	for _, e := range models.Default().Entries() {
+		kind := ""
+		if e.Variant {
+			kind = " (variant)"
+		}
+		fmt.Printf("%-22s %-6s %-9v %s%s\n",
+			e.Name, e.Level, e.Prepared, strings.Join(e.Aliases, ", "), kind)
+	}
+}
+
+// matrixCmd runs the full N×N verified-mapping matrix: every registered
+// model pair, through every registered scheme route between their levels,
+// over the x86 corpus. Exit is non-zero iff a verified route fails —
+// known-bad (QEMU) routes are expected to keep failing and are reported
+// without failing the command.
+func matrixCmd() bool {
+	res := mapping.Matrix(litmus.X86Corpus(), models.Default(), mapping.DefaultSchemes(),
+		cf.Scope(), enumOpts...)
+	fmt.Print(res.Render())
+	return !res.AllVerifiedPass()
 }
 
 // enumerate computes an outcome set with the global options; an enumeration
@@ -177,7 +198,7 @@ func exitTrap(err error) {
 func corpus() {
 	for _, p := range litmus.X86Corpus() {
 		fmt.Printf("%s:\n", p.Name)
-		for _, m := range models() {
+		for _, m := range models.Default().Canonical() {
 			out := enumerate(p, m)
 			fmt.Printf("  %-12s %d outcomes\n", m.Name(), len(out))
 		}
@@ -201,7 +222,7 @@ func outcomes(name string) {
 		fmt.Fprintf(os.Stderr, "litmusctl: unknown test %q (see 'corpus')\n", name)
 		os.Exit(1)
 	}
-	for _, m := range models() {
+	for _, m := range models.Default().Canonical() {
 		fmt.Printf("%s under %s:\n", prog.Name, m.Name())
 		for _, o := range enumerate(prog, m).Sorted() {
 			fmt.Printf("  %s\n", o)
@@ -212,18 +233,19 @@ func outcomes(name string) {
 func sbal() {
 	src := litmus.SBAL()
 	tgt := litmus.SBALArm()
+	x86 := models.MustLookup("x86-TSO")
 	fmt.Println("SBAL (§3.3): x86 source vs Figure-3 Arm mapping (casal + LDAPR)")
 	fmt.Printf("\nx86 outcomes:\n")
-	for _, o := range enumerate(src, x86tso.New()).Sorted() {
+	for _, o := range enumerate(src, x86).Sorted() {
 		fmt.Printf("  %s\n", o)
 	}
-	for _, v := range []armcats.Variant{armcats.Original, armcats.Corrected} {
-		m := armcats.NewVariant(v)
+	for _, name := range []string{"arm-cats-original", "arm-cats"} {
+		m := models.MustLookup(name)
 		fmt.Printf("\nArm outcomes under %s:\n", m.Name())
 		for _, o := range enumerate(tgt, m).Sorted() {
 			fmt.Printf("  %s\n", o)
 		}
-		ver := mapping.VerifyTheorem1(src, x86tso.New(), tgt, m, enumOpts...)
+		ver := mapping.VerifyTheorem1(src, x86, tgt, m, enumOpts...)
 		if ver.Err != nil {
 			exitTrap(ver.Err)
 		}
@@ -236,6 +258,6 @@ func sbal() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: litmusctl [-workers N] [-fault name[@N]] [-metrics json|prom|text] [-trace FILE] {corpus|outcomes <name>|verify|errors|sbal|run <file.lit>…|campaign [flags]}")
+	fmt.Fprintln(os.Stderr, "usage: litmusctl [-workers N] [-fault name[@N]] [-metrics json|prom|text] [-trace FILE] {corpus|outcomes <name>|models|verify|matrix|errors|sbal|run <file.lit>…|campaign [flags]}")
 	os.Exit(2)
 }

@@ -6,9 +6,8 @@ import (
 
 	"repro/internal/litmus"
 	"repro/internal/mapping"
-	"repro/internal/models/armcats"
-	"repro/internal/models/tcgmm"
-	"repro/internal/models/x86tso"
+	"repro/internal/memmodel"
+	"repro/internal/models"
 )
 
 // MotivationReport reproduces the §3 correctness findings as an executable
@@ -38,31 +37,31 @@ func MotivationReport(opts ...litmus.Option) string {
 	// QEMU's MPQ error (RMW1^AL helper, GCC ≥ 10).
 	mpq := mapping.X86ToArm(litmus.MPQ(), mapping.X86Qemu, mapping.ArmQemu, mapping.RMWHelperCasal)
 	report("QEMU x86→Arm of MPQ (casal helper): expected erroneous",
-		mapping.VerifyTheorem1(litmus.MPQ(), x86tso.New(), mpq, armcats.New(), opts...), true)
+		mapping.VerifyTheorem1(litmus.MPQ(), models.ByLevel(memmodel.LevelX86), mpq, models.ByLevel(memmodel.LevelArm), opts...), true)
 
 	// QEMU's SBQ error (RMW2^AL helper, GCC 9).
 	sbq := mapping.X86ToArm(litmus.SBQ(), mapping.X86Qemu, mapping.ArmQemu, mapping.RMWHelperExclusiveAL)
 	report("QEMU x86→Arm of SBQ (ldaxr/stlxr helper): expected erroneous",
-		mapping.VerifyTheorem1(litmus.SBQ(), x86tso.New(), sbq, armcats.New(), opts...), true)
+		mapping.VerifyTheorem1(litmus.SBQ(), models.ByLevel(memmodel.LevelX86), sbq, models.ByLevel(memmodel.LevelArm), opts...), true)
 
 	// Armed-Cats original-model SBAL error (Figure 3 mapping).
 	report("Figure-3 mapping of SBAL under ORIGINAL Arm-Cats: expected erroneous",
-		mapping.VerifyTheorem1(litmus.SBAL(), x86tso.New(), litmus.SBALArm(),
-			armcats.NewVariant(armcats.Original), opts...), true)
+		mapping.VerifyTheorem1(litmus.SBAL(), models.ByLevel(memmodel.LevelX86), litmus.SBALArm(),
+			models.MustLookup("arm-cats-original"), opts...), true)
 	report("Figure-3 mapping of SBAL under CORRECTED Arm-Cats: expected correct",
-		mapping.VerifyTheorem1(litmus.SBAL(), x86tso.New(), litmus.SBALArm(),
-			armcats.New(), opts...), false)
+		mapping.VerifyTheorem1(litmus.SBAL(), models.ByLevel(memmodel.LevelX86), litmus.SBALArm(),
+			models.ByLevel(memmodel.LevelArm), opts...), false)
 
 	// FMR: RAW transformation under Fmr.
 	report("RAW elimination under Fmr (FMR example): expected erroneous",
-		mapping.VerifyTheorem1(litmus.FMRSource(), tcgmm.New(), litmus.FMRTarget(),
-			tcgmm.New(), opts...), true)
+		mapping.VerifyTheorem1(litmus.FMRSource(), models.ByLevel(memmodel.LevelTCG), litmus.FMRTarget(),
+			models.ByLevel(memmodel.LevelTCG), opts...), true)
 
 	// Risotto's verified end-to-end translations of the same programs.
 	for _, p := range []*litmus.Program{litmus.MPQ(), litmus.SBQ(), litmus.SBAL()} {
 		arm := mapping.X86ToArm(p, mapping.X86Verified, mapping.ArmVerified, mapping.RMWCasal)
 		report(fmt.Sprintf("Risotto verified x86→Arm of %s: expected correct", p.Name),
-			mapping.VerifyTheorem1(p, x86tso.New(), arm, armcats.New(), opts...), false)
+			mapping.VerifyTheorem1(p, models.ByLevel(memmodel.LevelX86), arm, models.ByLevel(memmodel.LevelArm), opts...), false)
 	}
 	return sb.String()
 }
@@ -85,10 +84,10 @@ func VerifyReport(opts ...litmus.Option) string {
 		fmt.Fprintf(&sb, "RMW lowering: %s\n", st.name)
 		for _, p := range litmus.X86Corpus() {
 			ir := mapping.X86ToTCG(p, mapping.X86Verified)
-			v1 := mapping.VerifyTheorem1(p, x86tso.New(), ir, tcgmm.New(), opts...)
+			v1 := mapping.VerifyTheorem1(p, models.ByLevel(memmodel.LevelX86), ir, models.ByLevel(memmodel.LevelTCG), opts...)
 			arm := mapping.TCGToArm(ir, mapping.ArmVerified, st.style)
-			v2 := mapping.VerifyTheorem1(ir, tcgmm.New(), arm, armcats.New(), opts...)
-			v3 := mapping.VerifyTheorem1(p, x86tso.New(), arm, armcats.New(), opts...)
+			v2 := mapping.VerifyTheorem1(ir, models.ByLevel(memmodel.LevelTCG), arm, models.ByLevel(memmodel.LevelArm), opts...)
+			v3 := mapping.VerifyTheorem1(p, models.ByLevel(memmodel.LevelX86), arm, models.ByLevel(memmodel.LevelArm), opts...)
 			ok := v1.Correct() && v2.Correct() && v3.Correct()
 			if !ok {
 				allOK = false

@@ -33,9 +33,7 @@ import (
 	"repro/internal/litmusgen"
 	"repro/internal/mapping"
 	"repro/internal/memmodel"
-	"repro/internal/models/armcats"
-	"repro/internal/models/tcgmm"
-	"repro/internal/models/x86tso"
+	"repro/internal/models"
 	"repro/internal/obs"
 	"repro/internal/opcheck"
 )
@@ -301,15 +299,15 @@ func checkTest(cfg Config, t *litmusgen.Test, sc *obs.Scope) Record {
 
 	cache := litmus.NewCache()
 	opts := []litmus.Option{litmus.WithWorkers(1), litmus.WithCache(cache)}
-	armM := armcats.New()
+	armM := models.ByLevel(memmodel.LevelArm)
 
 	switch t.Level {
 	case litmusgen.LevelX86:
 		// Theorem 1 over the verified chain, both legs; RMW tests check
 		// both Arm RMW lowering styles (casal and fenced exclusives).
 		tcgP, armP := mapping.TranslateVerified(t.Prog, mapping.RMWCasal)
-		x86M := x86tso.New()
-		verify("t1-tcg", mapping.VerifyTheorem1(t.Prog, x86M, tcgP, tcgmm.New(), opts...))
+		x86M := models.ByLevel(memmodel.LevelX86)
+		verify("t1-tcg", mapping.VerifyTheorem1(t.Prog, x86M, tcgP, models.ByLevel(memmodel.LevelTCG), opts...))
 		verify("t1-arm", mapping.VerifyTheorem1(t.Prog, x86M, armP, armM, opts...))
 		if t.HasRMW {
 			_, armX := mapping.TranslateVerified(t.Prog, mapping.RMWExclusiveFenced)

@@ -19,6 +19,7 @@ import (
 	"repro/internal/isa/x86"
 	"repro/internal/litmus"
 	"repro/internal/memmodel"
+	"repro/internal/models"
 )
 
 // Workload is one guest program with a known fault-free result.
@@ -284,6 +285,18 @@ func HealMatrix() ([]Result, error) {
 		out = append(out, RunHealed(w, "miscompile"))
 	}
 	return out, nil
+}
+
+// RunLitmusNamed is RunLitmus with the model resolved by name through the
+// default registry; an unknown name is itself a Bad cell (the matrix must
+// not silently skip a misspelled model).
+func RunLitmusNamed(p *litmus.Program, model string) Result {
+	m, err := models.Default().Lookup(model)
+	if err != nil {
+		return Result{Workload: "litmus:" + p.Name, Fault: "shard-panic",
+			Outcome: Bad, Detail: err.Error()}
+	}
+	return RunLitmus(p, m)
 }
 
 // RunLitmus checks one litmus differential cell: enumeration with an

@@ -5,8 +5,6 @@ import (
 
 	"repro/internal/faults"
 	"repro/internal/litmus"
-	"repro/internal/models/armcats"
-	"repro/internal/models/x86tso"
 )
 
 // wantKind maps each injectable fault to the trap kind a halted run must
@@ -112,8 +110,8 @@ func TestFaultMatrixHealed(t *testing.T) {
 func TestFaultMatrixLitmus(t *testing.T) {
 	for _, p := range litmus.X86Corpus() {
 		for _, cell := range []Result{
-			RunLitmus(p, x86tso.New()),
-			RunLitmus(p, armcats.New()),
+			RunLitmusNamed(p, "x86-TSO"),
+			RunLitmusNamed(p, "arm"),
 		} {
 			if cell.Outcome != OK {
 				t.Errorf("%s under injected shard panic: %v (%s)",

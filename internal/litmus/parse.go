@@ -52,9 +52,9 @@ type Expectation struct {
 type ParsedTest struct {
 	Program      *Program
 	Expectations []Expectation
-	// Model optionally names the model the expectations target ("x86",
-	// "tcg" or "arm", from a `model` directive); empty means unspecified
-	// and callers decide.
+	// Model optionally names the instruction level the expectations
+	// target (a memmodel.Level string from a `model` directive); empty
+	// means unspecified and callers decide.
 	Model string
 }
 
@@ -65,6 +65,8 @@ var fenceNamesByString = map[string]memmodel.Fence{
 	"fmr": memmodel.FenceFmr, "fmw": memmodel.FenceFmw, "fmm": memmodel.FenceFmm,
 	"facq": memmodel.FenceFacq, "frel": memmodel.FenceFrel, "fsc": memmodel.FenceFsc,
 	"dmbff": memmodel.FenceDMBFF, "dmbld": memmodel.FenceDMBLD, "dmbst": memmodel.FenceDMBST,
+	"membarll": memmodel.FenceMembarLL, "membarls": memmodel.FenceMembarLS,
+	"membarsl": memmodel.FenceMembarSL, "membarss": memmodel.FenceMembarSS,
 }
 
 // Parse reads a litmus test in the text format.
@@ -112,14 +114,14 @@ func Parse(src string) (*ParsedTest, error) {
 			pt.Program.Name = fields[1]
 		case "model":
 			if len(fields) != 2 {
-				return nil, errf("usage: model x86|tcg|arm")
+				return nil, errf("usage: model LEVEL")
 			}
-			switch fields[1] {
-			case "x86", "tcg", "arm":
-				pt.Model = fields[1]
-			default:
-				return nil, errf("unknown model %q (want x86, tcg or arm)", fields[1])
+			l, ok := memmodel.ParseLevel(fields[1])
+			if !ok {
+				return nil, errf("unknown model %q (want one of %s)",
+					fields[1], strings.Join(levelNames(), ", "))
 			}
+			pt.Model = string(l)
 		case "thread":
 			if len(stack) > 0 {
 				return nil, errf("unterminated if before new thread")
@@ -323,6 +325,15 @@ func parseFragment(tok string) (string, error) {
 		return fmt.Sprintf("%s:%s=%s", thr, reg, rhs), nil
 	}
 	return fmt.Sprintf("%s=%s", lhs, rhs), nil
+}
+
+// levelNames lists the accepted `model` directive values.
+func levelNames() []string {
+	var out []string
+	for _, l := range memmodel.Levels() {
+		out = append(out, string(l))
+	}
+	return out
 }
 
 // CheckExpectations evaluates a parsed test's expectations against a

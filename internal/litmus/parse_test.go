@@ -1,6 +1,7 @@
 package litmus
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/memmodel"
@@ -42,6 +43,50 @@ allow  a@1=1 b@1=1
 	want := Outcomes(MP(), coherentModel{})
 	if !got.SubsetOf(want) || !want.SubsetOf(got) {
 		t.Fatalf("parsed MP differs from built-in:\n%v\nvs\n%v", got.Sorted(), want.Sorted())
+	}
+}
+
+// TestParseModelDirectiveLevels: the `model` directive accepts every
+// instruction level (not just the original three) and rejects unknown
+// levels with the level list in the error.
+func TestParseModelDirectiveLevels(t *testing.T) {
+	for _, l := range memmodel.Levels() {
+		pt, err := Parse("test T\nmodel " + string(l) + "\nthread 0\n  store X 1\n")
+		if err != nil {
+			t.Errorf("model %s: %v", l, err)
+			continue
+		}
+		if pt.Model != string(l) {
+			t.Errorf("model %s: parsed as %q", l, pt.Model)
+		}
+	}
+	_, err := Parse("test T\nmodel vax\nthread 0\n  store X 1\n")
+	if err == nil || !strings.Contains(err.Error(), `unknown model "vax"`) ||
+		!strings.Contains(err.Error(), "sparc") {
+		t.Errorf("unknown level error = %v", err)
+	}
+}
+
+// TestParseMembarFences: the SPARC membar tokens round-trip through the
+// parser into the directional fence kinds.
+func TestParseMembarFences(t *testing.T) {
+	pt, err := Parse(`
+test MEMBARS
+thread 0
+  fence membarll
+  fence membarls
+  fence membarsl
+  fence membarss
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []memmodel.Fence{memmodel.FenceMembarLL, memmodel.FenceMembarLS,
+		memmodel.FenceMembarSL, memmodel.FenceMembarSS}
+	for i, k := range want {
+		if f := pt.Program.Threads[0][i].(Fence); f.K != k {
+			t.Errorf("op %d = %v, want %v", i, f.K, k)
+		}
 	}
 }
 

@@ -1,0 +1,272 @@
+package mapping
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/litmus"
+	"repro/internal/memmodel"
+	"repro/internal/obs"
+)
+
+// RouteFailure is one Theorem-1 violation (or enumeration error) for one
+// program on one route.
+type RouteFailure struct {
+	// Program is the corpus program's base (x86-level) name.
+	Program string
+	// New lists the target outcomes absent from the source.
+	New []litmus.Outcome
+	// Err carries an enumeration failure instead, when non-empty.
+	Err string
+}
+
+// RouteResult is the verification of one scheme route for one
+// (source model, target model) cell over the whole corpus.
+type RouteResult struct {
+	// Src and Dst name the cell's models.
+	Src, Dst string
+	// Route is the chain's display name, Hops its length.
+	Route string
+	Hops  int
+	// Verified reports whether every hop is a verified scheme: verified
+	// routes are required to pass; unverified ones document known-bad
+	// lowerings and are only reported.
+	Verified bool
+	// Pass counts programs with behaviour containment out of Total.
+	Pass, Total int
+	// Failures lists the violating programs.
+	Failures []RouteFailure
+}
+
+// Cell is one (source model, target model) entry of the matrix.
+type Cell struct {
+	Src, Dst string
+	// Routes holds every scheme route between the models' levels; empty
+	// means no registered chain connects them.
+	Routes []*RouteResult
+}
+
+// MatrixResult is the N×N behaviour-containment matrix: every ordered
+// pair of registered models, checked through every registered scheme
+// route between their levels.
+type MatrixResult struct {
+	// Models lists the canonical model names, row/column order.
+	Models []string
+	// Programs is the corpus size.
+	Programs int
+	// Cells is indexed [src][dst] following Models order.
+	Cells [][]*Cell
+	// Verifications and Violations count individual Theorem-1 checks and
+	// the checks that found new behaviours (or failed to enumerate).
+	Verifications, Violations int
+}
+
+// Matrix verifies behaviour containment for every registered
+// (source model, scheme route, target model) combination over an
+// x86-level corpus and returns the full table. Each source model's
+// programs are seeded by translating the corpus along the first verified
+// route from the x86 level to the model's level (identity for x86); each
+// cell then checks Theorem 1 end-to-end for every registered route
+// between the two levels. The scope (nil-safe) receives
+// mapping.matrix.cells (one per Theorem-1 check) and
+// mapping.matrix.violations counters; opts tune every enumeration.
+func Matrix(corpus []*litmus.Program, models *memmodel.Registry, schemes *SchemeRegistry, sc *obs.Scope, opts ...litmus.Option) *MatrixResult {
+	type row struct {
+		entry memmodel.RegistryEntry
+		progs []*litmus.Program // nil when the level is unreachable from x86
+	}
+	var rows []row
+	for _, e := range models.Entries() {
+		if e.Variant {
+			continue
+		}
+		r := row{entry: e}
+		if seed, ok := schemes.VerifiedRoute(memmodel.LevelX86, e.Level); ok {
+			r.progs = make([]*litmus.Program, len(corpus))
+			for i, p := range corpus {
+				r.progs[i] = ApplyRoute(seed, p)
+			}
+		}
+		rows = append(rows, r)
+	}
+
+	res := &MatrixResult{Programs: len(corpus)}
+	for _, r := range rows {
+		res.Models = append(res.Models, r.entry.Name)
+	}
+	cells := sc.Counter("mapping.matrix.cells")
+	violations := sc.Counter("mapping.matrix.violations")
+
+	for _, src := range rows {
+		var cellRow []*Cell
+		for _, dst := range rows {
+			cell := &Cell{Src: src.entry.Name, Dst: dst.entry.Name}
+			cellRow = append(cellRow, cell)
+			if src.entry.Name == dst.entry.Name || src.progs == nil {
+				continue
+			}
+			for _, route := range schemes.Routes(src.entry.Level, dst.entry.Level) {
+				rr := &RouteResult{
+					Src:      src.entry.Name,
+					Dst:      dst.entry.Name,
+					Route:    RouteName(route),
+					Hops:     len(route),
+					Verified: RouteVerified(route),
+					Total:    len(src.progs),
+				}
+				for i, sp := range src.progs {
+					tgt := ApplyRoute(route, sp)
+					v := VerifyTheorem1(sp, src.entry.Model, tgt, dst.entry.Model, opts...)
+					cells.Inc()
+					res.Verifications++
+					if v.Correct() {
+						rr.Pass++
+						continue
+					}
+					violations.Inc()
+					res.Violations++
+					f := RouteFailure{Program: corpus[i].Name, New: v.NewBehaviours}
+					if v.Err != nil {
+						f.Err = v.Err.Error()
+					}
+					rr.Failures = append(rr.Failures, f)
+				}
+				cell.Routes = append(cell.Routes, rr)
+			}
+		}
+		res.Cells = append(res.Cells, cellRow)
+	}
+	return res
+}
+
+// Routes returns every route result in row-major cell order.
+func (m *MatrixResult) RouteResults() []*RouteResult {
+	var out []*RouteResult
+	for _, row := range m.Cells {
+		for _, cell := range row {
+			out = append(out, cell.Routes...)
+		}
+	}
+	return out
+}
+
+// AllVerifiedPass reports whether every verified route passed on every
+// program — the matrix's acceptance condition.
+func (m *MatrixResult) AllVerifiedPass() bool {
+	for _, rr := range m.RouteResults() {
+		if rr.Verified && len(rr.Failures) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// KnownBadFailures returns the failing (program, route) pairs of
+// unverified routes — the reproduced known-bad lowerings.
+func (m *MatrixResult) KnownBadFailures() []*RouteResult {
+	var out []*RouteResult
+	for _, rr := range m.RouteResults() {
+		if !rr.Verified && len(rr.Failures) > 0 {
+			out = append(out, rr)
+		}
+	}
+	return out
+}
+
+// cellMark renders one table cell: "≡" on the diagonal, "·" with no
+// routes, "ok" when every verified route passes ("OK!" when one fails),
+// with a trailing "+n!" when n unverified routes fail (expected for the
+// known-bad QEMU lowerings).
+func cellMark(cell *Cell, diagonal bool) string {
+	if diagonal {
+		return "≡"
+	}
+	if len(cell.Routes) == 0 {
+		return "·"
+	}
+	verified, verifiedFail, badFail := 0, 0, 0
+	for _, rr := range cell.Routes {
+		if rr.Verified {
+			verified++
+			if len(rr.Failures) > 0 {
+				verifiedFail++
+			}
+		} else if len(rr.Failures) > 0 {
+			badFail++
+		}
+	}
+	mark := "·"
+	switch {
+	case verifiedFail > 0:
+		mark = "FAIL"
+	case verified > 0:
+		mark = "ok"
+	}
+	if badFail > 0 {
+		mark += fmt.Sprintf("+%d!", badFail)
+	}
+	return mark
+}
+
+// Render formats the matrix as the containment table plus the per-route
+// detail litmusctl matrix prints.
+func (m *MatrixResult) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "N×N behaviour-containment matrix — Theorem 1 over %d x86-level corpus programs\n", m.Programs)
+	sb.WriteString("(rows: source model, columns: target model; every registered scheme route per cell;\n")
+	sb.WriteString(" ≡ same model, · no registered route, +n! = n known-bad routes failing as expected)\n\n")
+
+	wide := 0
+	for _, name := range m.Models {
+		if len(name) > wide {
+			wide = len(name)
+		}
+	}
+	fmt.Fprintf(&sb, "  %-*s", wide, "")
+	for _, name := range m.Models {
+		fmt.Fprintf(&sb, "  %-*s", wide, name)
+	}
+	sb.WriteByte('\n')
+	for i, row := range m.Cells {
+		fmt.Fprintf(&sb, "  %-*s", wide, m.Models[i])
+		for j, cell := range row {
+			fmt.Fprintf(&sb, "  %-*s", wide, cellMark(cell, i == j))
+		}
+		sb.WriteByte('\n')
+	}
+
+	sb.WriteString("\nroutes:\n")
+	for _, rr := range m.RouteResults() {
+		kind := "verified "
+		if !rr.Verified {
+			kind = "known-bad"
+		}
+		status := "ok  "
+		if len(rr.Failures) > 0 {
+			status = "FAIL"
+		}
+		fmt.Fprintf(&sb, "  %-10s → %-10s %-55s %s %s %d/%d",
+			rr.Src, rr.Dst, rr.Route, kind, status, rr.Pass, rr.Total)
+		var bad []string
+		for _, f := range rr.Failures {
+			bad = append(bad, f.Program)
+		}
+		if len(bad) > 0 {
+			fmt.Fprintf(&sb, " (%s)", strings.Join(bad, ", "))
+		}
+		sb.WriteByte('\n')
+	}
+
+	fmt.Fprintf(&sb, "\n%d routes, %d verifications, %d violations\n",
+		len(m.RouteResults()), m.Verifications, m.Violations)
+	if m.AllVerifiedPass() {
+		sb.WriteString("all verified routes pass")
+	} else {
+		sb.WriteString("VERIFIED ROUTE FAILURES — Theorem 1 broken")
+	}
+	if n := len(m.KnownBadFailures()); n > 0 {
+		fmt.Fprintf(&sb, "; %d known-bad route(s) still fail as the paper reports", n)
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}

@@ -1,0 +1,169 @@
+package mapping
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/litmus"
+	"repro/internal/memmodel"
+	"repro/internal/models"
+	"repro/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func mustModel(t *testing.T, name string) memmodel.Model {
+	t.Helper()
+	m, err := models.Default().Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// buildMatrix runs the full default matrix once per test binary.
+func buildMatrix(t *testing.T) *MatrixResult {
+	t.Helper()
+	if matrixOnce == nil {
+		sc := obs.NewScope("")
+		matrixOnce = Matrix(litmus.X86Corpus(), models.Default(), DefaultSchemes(), sc,
+			litmus.WithCache(litmus.DefaultCache))
+		matrixScope = sc
+	}
+	return matrixOnce
+}
+
+var (
+	matrixOnce  *MatrixResult
+	matrixScope *obs.Scope
+)
+
+// TestMatrixVerifiedRoutesPass is the acceptance criterion: every
+// all-verified scheme route preserves Theorem 1 on every corpus program,
+// for every (source model, target model) pair it connects.
+func TestMatrixVerifiedRoutesPass(t *testing.T) {
+	m := buildMatrix(t)
+	if !m.AllVerifiedPass() {
+		for _, rr := range m.RouteResults() {
+			if rr.Verified && len(rr.Failures) > 0 {
+				for _, f := range rr.Failures {
+					t.Errorf("%s → %s via %s: %s new=%v err=%s",
+						rr.Src, rr.Dst, rr.Route, f.Program, f.New, f.Err)
+				}
+			}
+		}
+	}
+}
+
+// TestMatrixKnownBadStillFail pins the paper's translation errors inside
+// the matrix, per route. Three independent bugs show up:
+//   - QEMU's leading-fence x86→IR mapping leaves a load unordered with a
+//     po-later failed RMW, so MPQ already fails at the IR level and on the
+//     Arm routes built on that guest leg — except the rmw2+dmb lowering,
+//     whose leading DMBFF happens to repair the ordering (§3.1's guest
+//     half).
+//   - The casal helper lowering fails MPQ only when the guest leg also
+//     used QEMU's fences — Risotto's trailing Frm masks it (§3.1's host
+//     half).
+//   - The acquiring exclusive-pair helper reorders the RMW write with
+//     po-earlier stores regardless of guest fences, so every route ending
+//     in qemu-lxsx fails SBQ and SBAL (§3.2).
+func TestMatrixKnownBadStillFail(t *testing.T) {
+	m := buildMatrix(t)
+	got := map[string][]string{}
+	for _, rr := range m.KnownBadFailures() {
+		var progs []string
+		for _, f := range rr.Failures {
+			progs = append(progs, f.Program)
+		}
+		got[rr.Route] = progs
+	}
+	want := map[string][]string{
+		"x86→tcg/qemu":                                              {"MPQ"},
+		"x86→tcg/qemu + tcg→arm/verified":                           {"MPQ"},
+		"x86→tcg/qemu + tcg→arm/qemu-casal":                         {"MPQ"},
+		"x86→tcg/qemu + tcg→arm/qemu-lxsx":                          {"MPQ", "SBQ", "SBAL"},
+		"x86→tcg/verified + tcg→arm/qemu-lxsx":                      {"SBQ", "SBAL"},
+		"x86→sparc/membar + sparc→tcg/verified + tcg→arm/qemu-lxsx": {"SBQ", "SBAL"},
+		"sparc→tcg/verified + tcg→arm/qemu-lxsx":                    {"SBQ", "SBAL"},
+		"tcg→arm/qemu-lxsx":                                         {"SBQ", "SBAL"},
+	}
+	if len(got) != len(want) {
+		t.Errorf("known-bad failing routes:\n  got  %v\n  want %v", got, want)
+	}
+	for route, progs := range want {
+		if strings.Join(got[route], ",") != strings.Join(progs, ",") {
+			t.Errorf("route %q failures = %v, want %v", route, got[route], progs)
+		}
+	}
+}
+
+// TestMatrixShape pins the sweep dimensions so a silently dropped model,
+// scheme or program shows up as a diff here rather than as quieter
+// coverage.
+func TestMatrixShape(t *testing.T) {
+	m := buildMatrix(t)
+	wantModels := []string{"x86-TSO", "SPARC-TSO", "IMM", "TCG-IR", "Arm-Cats"}
+	if strings.Join(m.Models, ",") != strings.Join(wantModels, ",") {
+		t.Errorf("models = %v, want %v", m.Models, wantModels)
+	}
+	if m.Programs != len(litmus.X86Corpus()) {
+		t.Errorf("programs = %d, want %d", m.Programs, len(litmus.X86Corpus()))
+	}
+	if got, want := len(m.RouteResults()), 28; got != want {
+		t.Errorf("routes = %d, want %d", got, want)
+	}
+	if want := len(m.RouteResults()) * m.Programs; m.Verifications != want {
+		t.Errorf("verifications = %d, want routes×programs = %d", m.Verifications, want)
+	}
+}
+
+// TestMatrixGolden snapshots the rendered table; refresh with -update.
+func TestMatrixGolden(t *testing.T) {
+	m := buildMatrix(t)
+	compareGolden(t, filepath.Join("testdata", "matrix.golden"), m.Render())
+}
+
+// TestMatrixMetricNamesGolden pins the matrix's observability surface —
+// the counter names the scope exports — alongside the table snapshot.
+func TestMatrixMetricNamesGolden(t *testing.T) {
+	buildMatrix(t)
+	snap := matrixScope.Snapshot()
+	compareGolden(t, filepath.Join("testdata", "matrix_metrics.golden"),
+		strings.Join(snap.MetricNames(), "\n")+"\n")
+	if c, ok := snap.Counters["mapping.matrix.cells"]; !ok || c == 0 {
+		t.Errorf("mapping.matrix.cells = %d, %v; want non-zero", c, ok)
+	}
+	if c := snap.Counters["mapping.matrix.violations"]; int(c) != matrixOnce.Violations {
+		t.Errorf("mapping.matrix.violations counter %d != result violations %d", c, matrixOnce.Violations)
+	}
+}
+
+func compareGolden(t *testing.T, path, got string) {
+	t.Helper()
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("golden mismatch for %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestMatrixNilScope: the matrix must run without observability wired in.
+func TestMatrixNilScope(t *testing.T) {
+	m := Matrix([]*litmus.Program{litmus.MP()}, models.Default(), DefaultSchemes(), nil,
+		litmus.WithCache(litmus.DefaultCache))
+	if m.Verifications == 0 {
+		t.Fatal("nil-scope matrix did no work")
+	}
+}

@@ -1,0 +1,262 @@
+package mapping
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/litmus"
+	"repro/internal/memmodel"
+)
+
+// Scheme is one registered translation hop between two instruction
+// levels. The concrete translation functions (X86ToTCG, TCGToArm, …)
+// stay plain functions; schemes wrap them with routing metadata so chains
+// compose out of registered hops instead of hardcoded call sequences.
+type Scheme interface {
+	// Name identifies the scheme ("x86→tcg/verified", …).
+	Name() string
+	// Src and Dst are the levels the scheme translates between.
+	Src() memmodel.Level
+	Dst() memmodel.Level
+	// Verified reports whether the scheme is claimed sound (Theorem 1 must
+	// hold for it); the matrix asserts every verified route passes and
+	// known-bad (unverified) routes are reported, not required to pass.
+	Verified() bool
+	// Apply translates a program of the Src level to the Dst level.
+	Apply(p *litmus.Program) *litmus.Program
+}
+
+// scheme is the function-backed Scheme implementation.
+type scheme struct {
+	name     string
+	src, dst memmodel.Level
+	verified bool
+	apply    func(*litmus.Program) *litmus.Program
+}
+
+func (s *scheme) Name() string                            { return s.name }
+func (s *scheme) Src() memmodel.Level                     { return s.src }
+func (s *scheme) Dst() memmodel.Level                     { return s.dst }
+func (s *scheme) Verified() bool                          { return s.verified }
+func (s *scheme) Apply(p *litmus.Program) *litmus.Program { return s.apply(p) }
+
+// NewScheme wraps a translation function as a registrable Scheme.
+func NewScheme(name string, src, dst memmodel.Level, verified bool, apply func(*litmus.Program) *litmus.Program) Scheme {
+	return &scheme{name: name, src: src, dst: dst, verified: verified, apply: apply}
+}
+
+// SchemeRegistry resolves scheme names and enumerates routes (scheme
+// chains) between levels.
+type SchemeRegistry struct {
+	schemes []Scheme
+	byName  map[string]Scheme
+}
+
+// NewSchemeRegistry returns an empty scheme registry.
+func NewSchemeRegistry() *SchemeRegistry {
+	return &SchemeRegistry{byName: make(map[string]Scheme)}
+}
+
+// Register adds a scheme; duplicate names and self-loops (Src == Dst,
+// which would make route enumeration diverge) are errors.
+func (r *SchemeRegistry) Register(s Scheme) error {
+	if s.Src() == s.Dst() {
+		return fmt.Errorf("mapping: scheme %q maps level %q to itself", s.Name(), s.Src())
+	}
+	if _, dup := r.byName[s.Name()]; dup {
+		return fmt.Errorf("mapping: scheme %q already registered", s.Name())
+	}
+	r.byName[s.Name()] = s
+	r.schemes = append(r.schemes, s)
+	return nil
+}
+
+// MustRegister is Register, panicking on error.
+func (r *SchemeRegistry) MustRegister(s Scheme) {
+	if err := r.Register(s); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup resolves a scheme by name, with the canonical unknown-scheme
+// error listing what is registered.
+func (r *SchemeRegistry) Lookup(name string) (Scheme, error) {
+	if s, ok := r.byName[name]; ok {
+		return s, nil
+	}
+	names := make([]string, len(r.schemes))
+	for i, s := range r.schemes {
+		names[i] = s.Name()
+	}
+	return nil, fmt.Errorf("unknown mapping scheme %q (known schemes: %s)", name, strings.Join(names, ", "))
+}
+
+// Schemes returns every registered scheme in registration order.
+func (r *SchemeRegistry) Schemes() []Scheme { return append([]Scheme(nil), r.schemes...) }
+
+// Routes enumerates every simple route (no level visited twice) from src
+// to dst, depth-first in registration order, so the result is
+// deterministic for a deterministically-built registry. src == dst yields
+// no routes: models of one level are compared directly, not via schemes.
+func (r *SchemeRegistry) Routes(src, dst memmodel.Level) [][]Scheme {
+	var out [][]Scheme
+	var chain []Scheme
+	visited := map[memmodel.Level]bool{src: true}
+	var walk func(at memmodel.Level)
+	walk = func(at memmodel.Level) {
+		for _, s := range r.schemes {
+			if s.Src() != at || visited[s.Dst()] {
+				continue
+			}
+			chain = append(chain, s)
+			if s.Dst() == dst {
+				out = append(out, append([]Scheme(nil), chain...))
+			} else {
+				visited[s.Dst()] = true
+				walk(s.Dst())
+				visited[s.Dst()] = false
+			}
+			chain = chain[:len(chain)-1]
+		}
+	}
+	walk(src)
+	return out
+}
+
+// VerifiedRoute returns the first shortest all-verified route from src to
+// dst (nil if none); an empty route for src == dst. "First" follows
+// registration order, so the canonical verified chain is whichever sound
+// scheme was registered first per hop.
+func (r *SchemeRegistry) VerifiedRoute(src, dst memmodel.Level) ([]Scheme, bool) {
+	if src == dst {
+		return []Scheme{}, true
+	}
+	var best []Scheme
+	for _, route := range r.Routes(src, dst) {
+		ok := true
+		for _, s := range route {
+			if !s.Verified() {
+				ok = false
+				break
+			}
+		}
+		if ok && (best == nil || len(route) < len(best)) {
+			best = route
+		}
+	}
+	return best, best != nil
+}
+
+// ApplyRoute runs a program through every hop of a route.
+func ApplyRoute(route []Scheme, p *litmus.Program) *litmus.Program {
+	for _, s := range route {
+		p = s.Apply(p)
+	}
+	return p
+}
+
+// RouteName renders a route as its hop names joined with " + ".
+func RouteName(route []Scheme) string {
+	if len(route) == 0 {
+		return "(identity)"
+	}
+	names := make([]string, len(route))
+	for i, s := range route {
+		names[i] = s.Name()
+	}
+	return strings.Join(names, " + ")
+}
+
+// RouteVerified reports whether every hop of the route is verified.
+func RouteVerified(route []Scheme) bool {
+	for _, s := range route {
+		if !s.Verified() {
+			return false
+		}
+	}
+	return true
+}
+
+// X86ToSPARC translates an x86-level program to the SPARC level: both are
+// TSO, so accesses carry over unchanged and MFENCE becomes the minimal
+// TSO-sufficient barrier, membar #StoreLoad (the other three directions
+// are already preserved program order).
+func X86ToSPARC(p *litmus.Program) *litmus.Program {
+	return mapProgram(p, "→sparc", func(op litmus.Op) []litmus.Op {
+		if f, ok := op.(litmus.Fence); ok && f.K == memmodel.FenceMFENCE {
+			return []litmus.Op{litmus.Fence{K: memmodel.FenceMembarSL}}
+		}
+		return []litmus.Op{op}
+	})
+}
+
+// SPARCToTCG translates a SPARC-level program to the TCG IR level with
+// Risotto's verified fence placement (Figure 7a: ld;Frm and Fww;st, RMWs
+// as SC IR atomics) extended with the membar taxonomy: each membar
+// direction maps to the directional IR fence of the same shape.
+func SPARCToTCG(p *litmus.Program) *litmus.Program {
+	lowered := mapProgram(p, "", func(op litmus.Op) []litmus.Op {
+		f, ok := op.(litmus.Fence)
+		if !ok {
+			return []litmus.Op{op}
+		}
+		switch f.K {
+		case memmodel.FenceMembarLL:
+			return []litmus.Op{litmus.Fence{K: memmodel.FenceFrr}}
+		case memmodel.FenceMembarLS:
+			return []litmus.Op{litmus.Fence{K: memmodel.FenceFrw}}
+		case memmodel.FenceMembarSL:
+			return []litmus.Op{litmus.Fence{K: memmodel.FenceFwr}}
+		case memmodel.FenceMembarSS:
+			return []litmus.Op{litmus.Fence{K: memmodel.FenceFww}}
+		default:
+			return []litmus.Op{op}
+		}
+	})
+	lowered.Name = p.Name
+	return X86ToTCG(lowered, X86Verified)
+}
+
+// X86ToIMM translates an x86-level program to the IMM level. IMM speaks
+// the IR fence vocabulary, so the verified IR fence placement is exactly
+// the verified IMM placement; only the level label differs.
+func X86ToIMM(p *litmus.Program) *litmus.Program {
+	out := X86ToTCG(p, X86Verified)
+	out.Name = p.Name + "→imm"
+	return out
+}
+
+// IMMToArm lowers an IMM-level program to Arm. IMM programs use the IR
+// fence vocabulary and IMM's dependency order is a subset of Armed-Cats'
+// dob, so the verified IR lowering applies unchanged.
+func IMMToArm(p *litmus.Program) *litmus.Program {
+	return TCGToArm(p, ArmVerified, RMWCasal)
+}
+
+// DefaultSchemes returns the registry of built-in schemes: Risotto's
+// verified x86→IR→Arm chain (both RMW lowering styles), QEMU's original
+// lowerings (all three known-bad: the leading-fence x86→IR mapping
+// already misorders MPQ's failed RMW at the IR level, and the IR→Arm RMW
+// helper lowerings are the paper's §3.1–3.2 translation errors), and the
+// SPARC/IMM hops. Adding a scheme elsewhere means one NewScheme call plus
+// one line here.
+func DefaultSchemes() *SchemeRegistry {
+	r := NewSchemeRegistry()
+	r.MustRegister(NewScheme("x86→tcg/verified", memmodel.LevelX86, memmodel.LevelTCG, true,
+		func(p *litmus.Program) *litmus.Program { return X86ToTCG(p, X86Verified) }))
+	r.MustRegister(NewScheme("x86→tcg/qemu", memmodel.LevelX86, memmodel.LevelTCG, false,
+		func(p *litmus.Program) *litmus.Program { return X86ToTCG(p, X86Qemu) }))
+	r.MustRegister(NewScheme("x86→sparc/membar", memmodel.LevelX86, memmodel.LevelSPARC, true, X86ToSPARC))
+	r.MustRegister(NewScheme("x86→imm/verified", memmodel.LevelX86, memmodel.LevelIMM, true, X86ToIMM))
+	r.MustRegister(NewScheme("sparc→tcg/verified", memmodel.LevelSPARC, memmodel.LevelTCG, true, SPARCToTCG))
+	r.MustRegister(NewScheme("tcg→arm/verified", memmodel.LevelTCG, memmodel.LevelArm, true,
+		func(p *litmus.Program) *litmus.Program { return TCGToArm(p, ArmVerified, RMWCasal) }))
+	r.MustRegister(NewScheme("tcg→arm/verified-lxsx", memmodel.LevelTCG, memmodel.LevelArm, true,
+		func(p *litmus.Program) *litmus.Program { return TCGToArm(p, ArmVerified, RMWExclusiveFenced) }))
+	r.MustRegister(NewScheme("tcg→arm/qemu-casal", memmodel.LevelTCG, memmodel.LevelArm, false,
+		func(p *litmus.Program) *litmus.Program { return TCGToArm(p, ArmQemu, RMWHelperCasal) }))
+	r.MustRegister(NewScheme("tcg→arm/qemu-lxsx", memmodel.LevelTCG, memmodel.LevelArm, false,
+		func(p *litmus.Program) *litmus.Program { return TCGToArm(p, ArmQemu, RMWHelperExclusiveAL) }))
+	r.MustRegister(NewScheme("imm→arm/verified", memmodel.LevelIMM, memmodel.LevelArm, true, IMMToArm))
+	return r
+}

@@ -1,0 +1,70 @@
+package imm
+
+import (
+	"repro/internal/memmodel"
+	"repro/internal/rel"
+)
+
+// checker is the per-skeleton IMM consistency predicate. The TCG fence
+// order and every depord term except (addr ∪ data);rfi are skeleton-fixed,
+// so Ord on the skeleton's pseudo-execution (empty rf makes rfi vanish)
+// yields the static part; each candidate adds the rfi composition, the
+// external communication edges, and the thin-air check over deps ∪ rf.
+type checker struct {
+	p *memmodel.Prep
+	// ordStatic = ord_tcg ∪ depord|static.
+	ordStatic *rel.Relation
+	// deps = data ∪ addr ∪ ctrl (for no-thin-air), addrData = addr ∪ data
+	// (left factor of the rfi term).
+	deps, addrData *rel.Relation
+	// Per-candidate scratch.
+	rfi, comp *rel.Relation
+}
+
+// Prepare implements memmodel.PreparedModel.
+func (Model) Prepare(sk *memmodel.Skeleton) memmodel.Checker {
+	p := memmodel.NewPrep(sk)
+	x0 := sk.Exec0()
+	return &checker{
+		p:         p,
+		ordStatic: Ord(x0),
+		deps:      rel.Union(sk.Data, sk.Addr, sk.Ctrl),
+		addrData:  sk.Addr.Union(sk.Data),
+		rfi:       p.Arena.Get(),
+		comp:      p.Arena.Get(),
+	}
+}
+
+// Consistent implements memmodel.Checker.
+func (c *checker) Consistent(x *memmodel.Execution) bool {
+	d := c.p.Derive(x)
+	if !c.p.SCPerLoc(x, d) || !c.p.Atomicity(d) {
+		return false
+	}
+	s := c.p.Scratch()
+	// (no-thin-air) deps ∪ rf acyclic.
+	s.CopyFrom(c.deps)
+	s.UnionWith(x.Rf)
+	if !c.p.Arena.Acyclic(s) {
+		return false
+	}
+	// (GOrd) ordStatic ∪ (addr ∪ data);rfi ∪ rfe ∪ coe ∪ fre acyclic.
+	c.rfi.CopyFrom(x.Rf)
+	c.rfi.IntersectWith(c.p.PoSym)
+	c.comp.SeqOf(c.addrData, c.rfi)
+	s.CopyFrom(c.ordStatic)
+	s.UnionWith(c.comp)
+	s.UnionWith(d.Rfe)
+	s.UnionWith(d.Coe)
+	s.UnionWith(d.Fre)
+	return c.p.Arena.Acyclic(s)
+}
+
+// Release implements memmodel.ReleasableChecker.
+func (c *checker) Release() {
+	if c.p.Arena != nil {
+		c.p.Arena.Put(c.rfi)
+		c.p.Arena.Put(c.comp)
+	}
+	c.p.Release()
+}

@@ -1,0 +1,44 @@
+package sparctso
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/litmus"
+)
+
+// TestLitmusFiles runs every testdata/*.lit file's expectations against
+// the SPARC-TSO model — end-to-end coverage of the `model sparc`
+// directive and the membar fence tokens through the text format.
+func TestLitmusFiles(t *testing.T) {
+	files, err := filepath.Glob("testdata/*.lit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no .lit files found")
+	}
+	for _, f := range files {
+		f := f
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			src, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pt, err := litmus.Parse(string(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pt.Model != "sparc" {
+				t.Fatalf("model directive = %q, want sparc", pt.Model)
+			}
+			if len(pt.Expectations) == 0 {
+				t.Fatal("file declares no expectations")
+			}
+			for _, failure := range litmus.CheckExpectations(pt, New()) {
+				t.Error(failure)
+			}
+		})
+	}
+}

@@ -1,0 +1,42 @@
+package sparctso
+
+import (
+	"repro/internal/memmodel"
+	"repro/internal/rel"
+)
+
+// checker is the per-skeleton SPARC-TSO consistency predicate. Implied,
+// membar and ppo depend only on po, the fence placement and the rmw
+// pairing — all fixed per skeleton — so their union is computed once; each
+// candidate unions in rfe, fr and co and runs the acyclicity DFS.
+type checker struct {
+	p *memmodel.Prep
+	// base = implied ∪ membar ∪ ppo, the candidate-invariant part of GHB.
+	base *rel.Relation
+}
+
+// Prepare implements memmodel.PreparedModel.
+func (Model) Prepare(sk *memmodel.Skeleton) memmodel.Checker {
+	x0 := sk.Exec0()
+	return &checker{
+		p:    memmodel.NewPrep(sk),
+		base: rel.Union(Implied(x0), Membar(x0), Ppo(x0)),
+	}
+}
+
+// Consistent implements memmodel.Checker.
+func (c *checker) Consistent(x *memmodel.Execution) bool {
+	d := c.p.Derive(x)
+	if !c.p.SCPerLoc(x, d) || !c.p.Atomicity(d) {
+		return false
+	}
+	s := c.p.Scratch()
+	s.CopyFrom(c.base)
+	s.UnionWith(d.Rfe)
+	s.UnionWith(d.Fr)
+	s.UnionWith(x.Co)
+	return c.p.Arena.Acyclic(s)
+}
+
+// Release implements memmodel.ReleasableChecker.
+func (c *checker) Release() { c.p.Release() }

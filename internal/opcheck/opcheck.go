@@ -19,6 +19,7 @@ import (
 	"repro/internal/litmus"
 	"repro/internal/machine"
 	"repro/internal/memmodel"
+	"repro/internal/models"
 )
 
 // ErrUnsupported marks programs outside the compilable subset (RMWs,
@@ -235,6 +236,17 @@ func (c *Compiled) Observe(n int) (litmus.OutcomeSet, error) {
 		}
 	}
 	return out, nil
+}
+
+// CheckSoundNamed is CheckSound with the model resolved by name through
+// the default registry, so drivers can take a -model flag without knowing
+// any concrete model package.
+func CheckSoundNamed(p *litmus.Program, model string, seeds int, opts ...litmus.Option) ([]litmus.Outcome, error) {
+	m, err := models.Default().Lookup(model)
+	if err != nil {
+		return nil, err
+	}
+	return CheckSound(p, m, seeds, opts...)
 }
 
 // CheckSound verifies that every operationally observed outcome of p is

@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/litmus"
 	"repro/internal/memmodel"
-	"repro/internal/models/armcats"
 )
 
 func TestSoundnessOnClassicCorpus(t *testing.T) {
@@ -24,7 +23,7 @@ func TestSoundnessOnClassicCorpus(t *testing.T) {
 	for _, p := range programs {
 		p := p
 		t.Run(p.Name, func(t *testing.T) {
-			bad, err := CheckSound(p, armcats.New(), seeds)
+			bad, err := CheckSoundNamed(p, "arm", seeds)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -94,7 +93,7 @@ func TestReleaseStorePublishes(t *testing.T) {
 		t.Fatal("release store failed to publish the earlier write")
 	}
 	// And the axiomatic model agrees the observations are fine.
-	bad, err := CheckSound(p, armcats.New(), 30)
+	bad, err := CheckSoundNamed(p, "Arm-Cats", 30)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +130,7 @@ func TestSoundnessOnRandomPrograms(t *testing.T) {
 			}
 			p.Threads = append(p.Threads, ops)
 		}
-		bad, err := CheckSound(p, armcats.New(), 20)
+		bad, err := CheckSoundNamed(p, "armcats", 20)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}

@@ -122,6 +122,16 @@ wait "$DAEMON" || code=$?
 grep -q "drained cleanly" "$SH_TMP/daemon.log" \
 	|| { echo "risottod did not report a clean drain" >&2; exit 1; }
 
+echo "==> matrix smoke: litmusctl matrix (verified routes pass, QEMU cells still fail)"
+go run ./cmd/litmusctl matrix >"$SH_TMP/matrix.txt" \
+	|| { echo "litmusctl matrix exited non-zero (a verified route failed)" >&2; cat "$SH_TMP/matrix.txt" >&2; exit 1; }
+grep -q "all verified routes pass" "$SH_TMP/matrix.txt" \
+	|| { echo "matrix lost the verified-routes-pass line" >&2; exit 1; }
+grep -q "x86→tcg/qemu + tcg→arm/qemu-casal *known-bad FAIL .*MPQ" "$SH_TMP/matrix.txt" \
+	|| { echo "matrix no longer reproduces the §3.1 casal failure on MPQ" >&2; exit 1; }
+grep -q "tcg→arm/qemu-lxsx *known-bad FAIL .*SBQ" "$SH_TMP/matrix.txt" \
+	|| { echo "matrix no longer reproduces the §3.2 exclusive-pair failure on SBQ" >&2; exit 1; }
+
 echo "==> rel engine differential: go test -tags relmap (map engine over the full stack)"
 go test -tags relmap ./internal/rel/ ./internal/memmodel/ ./internal/models/... \
 	./internal/litmus/ ./internal/mapping/... ./internal/opcheck/
