@@ -23,6 +23,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/campaign"
 	"repro/internal/core"
+	"repro/internal/explore"
 	"repro/internal/litmus"
 	"repro/internal/litmusgen"
 	"repro/internal/mapping"
@@ -400,4 +401,32 @@ func BenchmarkAblation(b *testing.B) {
 			b.ReportMetric(float64(cycles), "simcycles/op")
 		})
 	}
+}
+
+// BenchmarkExplore measures the operational exploration engine: one op is
+// a complete sleep-set DPOR enumeration of SB against the op-ref model
+// (every reachable final state visited, differentially checked). The
+// reported states/s is the transition throughput and coverage% the share
+// of axiomatically allowed outcomes reached — 100 for a healthy engine —
+// both recorded in BENCH_litmus.json by scripts/bench_snapshot.sh.
+func BenchmarkExplore(b *testing.B) {
+	p := litmus.SB()
+	states := 0
+	coverage := 0.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := explore.Run(p, explore.Config{Mode: explore.ModeDPOR})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Violations) > 0 {
+			b.Fatalf("exploration violation: %s", res.Violations[0].Reason)
+		}
+		states += res.States
+		coverage = res.Coverage()
+	}
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(states)/s, "states/s")
+	}
+	b.ReportMetric(coverage, "coverage%")
 }

@@ -37,6 +37,8 @@ func campaignCmd(args []string) bool {
 	sample := fs.Float64("sample", 0, "keep each variant with this probability (0 or ≥1 = keep all)")
 	opcheckSeeds := fs.Int("opcheck-seeds", 0,
 		"seeds per operational soundness check (0 = default, negative = skip opcheck)")
+	exploreSeeds := fs.Int("explore-seeds", 0,
+		"random-walk explorations per test against the op-ref model (0 = off)")
 	fs.Parse(args)
 
 	gen := litmusgen.Config{
@@ -64,6 +66,7 @@ func campaignCmd(args []string) bool {
 		Gen:          gen,
 		Workers:      cf.WorkerCount(),
 		OpcheckSeeds: *opcheckSeeds,
+		ExploreSeeds: *exploreSeeds,
 		Obs:          cf.Scope(),
 	}
 	// On interrupt, report how far the campaign got from the live obs

@@ -14,6 +14,9 @@
 //	litmusctl run <file.lit>…  # run text-format tests' expectations
 //	litmusctl campaign …       # stream a generated corpus through the
 //	                           # Theorem-1 + soundness checks (JSONL results)
+//	litmusctl explore …        # drive the operational machine's weak-memory
+//	                           # nondeterminism: random-walk soak, DPOR
+//	                           # enumeration, byte-identical trace replay
 //
 // The global -workers N flag (before the subcommand) bounds enumeration
 // parallelism: 0, the default, uses every CPU; 1 forces the serial
@@ -94,6 +97,8 @@ func main() {
 		runFiles(args[1:])
 	case "campaign":
 		failed = campaignCmd(args[1:])
+	case "explore":
+		failed = exploreCmd(args[1:])
 	default:
 		usage()
 	}
@@ -258,6 +263,6 @@ func sbal() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: litmusctl [-workers N] [-fault name[@N]] [-metrics json|prom|text] [-trace FILE] {corpus|outcomes <name>|models|verify|matrix|errors|sbal|run <file.lit>…|campaign [flags]}")
+	fmt.Fprintln(os.Stderr, "usage: litmusctl [-workers N] [-fault name[@N]] [-metrics json|prom|text] [-trace FILE] {corpus|outcomes <name>|models|verify|matrix|errors|sbal|run <file.lit>…|campaign [flags]|explore [flags]}")
 	os.Exit(2)
 }

@@ -28,6 +28,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/explore"
 	"repro/internal/journal"
 	"repro/internal/litmus"
 	"repro/internal/litmusgen"
@@ -49,6 +50,11 @@ type Config struct {
 	// soundness check; 0 uses a small default, negative disables the
 	// operational check entirely (pure axiomatic campaign).
 	OpcheckSeeds int
+	// ExploreSeeds, when positive, soaks every test through the
+	// operational exploration engine (internal/explore, walk mode, that
+	// many seeds) and fails the test on any outcome the op-ref model
+	// forbids. 0 disables the check.
+	ExploreSeeds int
 	// Obs receives campaign counters and spans under its "campaign"
 	// child scope; nil disables instrumentation.
 	Obs *obs.Scope
@@ -78,7 +84,13 @@ func (cfg Config) workers() int {
 // Hash identifies the campaign configuration for resume validation: the
 // generator space plus every knob that changes what a verdict means.
 func (cfg Config) Hash() string {
-	return fmt.Sprintf("%s/op%d", cfg.Gen.Hash(), cfg.opcheckSeeds())
+	h := fmt.Sprintf("%s/op%d", cfg.Gen.Hash(), cfg.opcheckSeeds())
+	if cfg.ExploreSeeds > 0 {
+		// Appended only when enabled so pre-existing results files keep
+		// their hashes and stay resumable.
+		h += fmt.Sprintf("/ex%d", cfg.ExploreSeeds)
+	}
+	return h
 }
 
 // Verdict values of a Record.
@@ -297,6 +309,25 @@ func checkTest(cfg Config, t *litmusgen.Test, sc *obs.Scope) Record {
 		}
 	}
 
+	explored := func(name string, p *litmus.Program) {
+		if cfg.ExploreSeeds <= 0 {
+			return
+		}
+		res, err := explore.Run(p, explore.Config{Mode: explore.ModeWalk, Seeds: cfg.ExploreSeeds, Obs: sc})
+		switch {
+		case errors.Is(err, opcheck.ErrUnsupported):
+			rec.Checks[name] = VerdictSkip
+		case err != nil:
+			fail(name, err.Error())
+		case len(res.Violations) > 0:
+			fail(name, res.Violations[0].Reason)
+		default:
+			// Budget-cut walks are a partial verdict, not a failure:
+			// the soak asserts soundness, coverage is reported aside.
+			rec.Checks[name] = VerdictPass
+		}
+	}
+
 	cache := litmus.NewCache()
 	opts := []litmus.Option{litmus.WithWorkers(1), litmus.WithCache(cache)}
 	armM := models.ByLevel(memmodel.LevelArm)
@@ -314,6 +345,7 @@ func checkTest(cfg Config, t *litmusgen.Test, sc *obs.Scope) Record {
 			verify("t1-arm-lxsx", mapping.VerifyTheorem1(t.Prog, x86M, armX, armM, opts...))
 		}
 		soundness("opcheck", armP, armM, opts)
+		explored("explore", armP)
 	case litmusgen.LevelArm:
 		// Arm-level tests exercise the axiomatic model directly plus the
 		// operational soundness correspondence.
@@ -327,6 +359,7 @@ func checkTest(cfg Config, t *litmusgen.Test, sc *obs.Scope) Record {
 			rec.Checks["enumerate"] = VerdictPass
 		}
 		soundness("opcheck", t.Prog, armM, opts)
+		explored("explore", t.Prog)
 	}
 
 	if rec.Verdict == "" {

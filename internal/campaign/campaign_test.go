@@ -200,3 +200,44 @@ func TestResumeRejectsForeignConfig(t *testing.T) {
 		t.Fatal("resume with a different config succeeded, want refusal")
 	}
 }
+
+// TestCampaignExploreCheck runs a campaign with the exploration soak
+// enabled: the explore check must actually run (not all skip), find zero
+// op-ref violations, and change the config hash only when enabled.
+func TestCampaignExploreCheck(t *testing.T) {
+	cfg := smokeConfig()
+	cfg.Gen.MaxPerShape = 4
+	cfg.ExploreSeeds = 4
+	if cfg.Hash() == smokeConfig().Hash() {
+		t.Fatal("enabling the explore soak must change the config hash")
+	}
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+	sum, err := RunFile(cfg, path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Fail != 0 {
+		for _, f := range sum.Failures {
+			t.Errorf("FAIL %s (%s): %s", f.Name, f.Level, f.Detail)
+		}
+		t.Fatalf("%d/%d verdicts failed under the explore soak", sum.Fail, sum.Tests)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	_, recs, err := ReadResults(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := 0
+	for _, r := range recs {
+		if r.Checks["explore"] == VerdictPass {
+			ran++
+		}
+	}
+	if ran == 0 {
+		t.Fatal("explore check never ran on any generated test")
+	}
+}

@@ -177,6 +177,14 @@ func (rt *Runtime) shadowVerify(c *machine.CPU, t *tb, ir *tcg.Block) *selfheal.
 		}
 	}
 
+	// Drain c's store buffer before snapshotting: flushing is always an
+	// allowed weak-memory transition, and it puts the oracle interpreter
+	// and the shadow machine on the same memory image. A flush trap will
+	// re-trap on the live machine; it is not the block's miscompile.
+	if err := rt.M.FlushWeak(c); err != nil {
+		rt.met.selfSkipped.Inc()
+		return nil
+	}
 	snap := rt.M.Snapshot(c)
 
 	// Oracle: the interpreter over the literal IR on its own copies.

@@ -98,7 +98,7 @@ func runWeakMP(t *testing.T, img *guestimg.Image, v Variant, seed int64) (uint64
 func TestWeakHostExposesNoFencesError(t *testing.T) {
 	img := mpGuestImage(t)
 	seen := false
-	for seed := int64(0); seed < 60 && !seen; seed++ {
+	for seed := int64(0); seed < 200 && !seen; seed++ {
 		a, b := runWeakMP(t, img, VariantNoFences, seed)
 		if a == 1 && b == 0 {
 			seen = true

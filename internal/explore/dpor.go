@@ -1,0 +1,161 @@
+package explore
+
+// Sleep-set dynamic partial-order reduction over the transition system of
+// explore.go, as a stateless depth-first search: the machine is
+// re-executed from its initial state along the decision prefix whenever
+// the search backtracks (litmus programs are a few dozen transitions
+// deep, so replay is cheaper than snapshotting every CPU at every node).
+//
+// The classical sleep-set rule prunes commuting interleavings without
+// losing any final state: after the subtree below transition t is fully
+// explored, t is put to sleep for its siblings; a child state inherits
+// the sleeping transitions that are independent of the move that entered
+// it. A state whose every enabled transition sleeps has only
+// already-explored behaviours below it and is cut. Independence is the
+// footprint relation of explore.go — different CPUs (or two drains of
+// distinct coherence chains on one CPU) with disjoint globally-visible
+// access sets. Footprints are recorded when a transition first executes;
+// they are stable enough for the inheritance filter because an
+// independent move cannot redirect another CPU's control flow (loads
+// execute in order and invisible instructions touch no memory).
+//
+// Naive mode runs the identical search with the sleep sets disabled —
+// every interleaving enumerated — so the reduction's state count is
+// directly comparable.
+
+// dnode is one frame of the DFS stack: a state's enabled transitions (in
+// the deterministic enabled() order), its sleep set, and which branch is
+// currently chosen below it.
+type dnode struct {
+	ts     []transition
+	sleep  map[string]footprint
+	chosen int
+	fp     footprint
+	// counted guards the States metric: a transition is counted when
+	// first executed, not on each prefix replay.
+	counted bool
+}
+
+// runDFS explores exhaustively, naive disabling the sleep-set reduction.
+func (e *explorer) runDFS(naive bool) {
+	var stack []*dnode
+	path := func() []Decision {
+		ds := make([]Decision, len(stack))
+		for i, nd := range stack {
+			ds[i] = nd.ts[nd.chosen].d
+		}
+		return ds
+	}
+
+	// backtrack puts the finished branch to sleep and advances the
+	// deepest frame with an unexplored, non-sleeping sibling; false
+	// means the whole tree is done.
+	backtrack := func() bool {
+		for len(stack) > 0 {
+			nd := stack[len(stack)-1]
+			if !naive {
+				nd.sleep[nd.ts[nd.chosen].d.key()] = nd.fp
+			}
+			advanced := false
+			for i := nd.chosen + 1; i < len(nd.ts); i++ {
+				if _, asleep := nd.sleep[nd.ts[i].d.key()]; !asleep {
+					nd.chosen = i
+					nd.counted = false
+					advanced = true
+					break
+				}
+			}
+			if advanced {
+				return true
+			}
+			stack = stack[:len(stack)-1]
+		}
+		return false
+	}
+
+	for {
+		// Re-execute the chosen prefix from the initial state.
+		m, err := e.newMachine()
+		if err != nil {
+			e.trapped(nil, err)
+			return
+		}
+		replayFailed := false
+		for i, nd := range stack {
+			fp, err := e.apply(m, nd.ts[nd.chosen])
+			nd.fp = fp
+			if err != nil {
+				// Only a frontier transition can fail for the first time
+				// (the machine is deterministic given the prefix), so this
+				// is the just-advanced branch: record and back off.
+				e.trapped(path()[:i+1], err)
+				replayFailed = true
+				break
+			}
+			if !nd.counted {
+				e.res.States++
+				nd.counted = true
+			}
+		}
+		if replayFailed {
+			if !backtrack() {
+				return
+			}
+			continue
+		}
+
+		// Extend greedily to a leaf, pushing a frame per new state.
+		for {
+			if e.cut(path()) {
+				return
+			}
+			ts := enabled(m)
+			if len(ts) == 0 {
+				if err := e.leaf(m, path()); err != nil {
+					e.trapped(path(), err)
+				}
+				if !backtrack() {
+					return
+				}
+				break
+			}
+			nd := &dnode{ts: ts, sleep: make(map[string]footprint)}
+			if !naive && len(stack) > 0 {
+				parent := stack[len(stack)-1]
+				for k, ufp := range parent.sleep {
+					if independent(ufp, parent.fp) {
+						nd.sleep[k] = ufp
+					}
+				}
+			}
+			nd.chosen = -1
+			for i := range ts {
+				if _, asleep := nd.sleep[ts[i].d.key()]; !asleep {
+					nd.chosen = i
+					break
+				}
+			}
+			if nd.chosen < 0 {
+				// Every enabled transition sleeps: all behaviours below
+				// were already explored along a commuted order.
+				e.res.Pruned++
+				if !backtrack() {
+					return
+				}
+				break
+			}
+			stack = append(stack, nd)
+			fp, err := e.apply(m, ts[nd.chosen])
+			nd.fp = fp
+			nd.counted = true
+			e.res.States++
+			if err != nil {
+				e.trapped(path(), err)
+				if !backtrack() {
+					return
+				}
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,533 @@
+// Package explore is the operational exploration engine: it drives the
+// simulated machine's weak-memory mode through its nondeterminism —
+// store-buffer drains and scheduling, exposed by internal/machine as
+// first-class transitions — and checks every final state differentially
+// against the machine's exact axiomatic twin (internal/models/opref).
+//
+// The state space is a transition system over compiled litmus programs
+// (internal/opcheck): from any state, each non-halted CPU offers one
+// "execute" transition (run that CPU up to and including its next
+// memory-visible instruction), and each coherence-chain head in each
+// store buffer offers one "drain" transition (retire exactly that
+// buffered store). Three drivers cover it:
+//
+//   - walk: seeded random walks, one outcome sample per seed — the soak
+//     regime, cheap enough to ride along every campaign test;
+//   - dpor: exhaustive depth-first enumeration with sleep-set dynamic
+//     partial-order reduction (commuting transitions — different CPUs or
+//     non-overlapping drains, disjoint global footprints — are explored
+//     in one order only), plus a naive variant with the reduction off
+//     for calibration;
+//   - replay: re-execution of a recorded decision sequence, reproducing
+//     a prior run byte-identically (trace.go).
+//
+// Any operational outcome the axiomatic model forbids is a hard failure
+// carrying its decision trace; budget or deadline exhaustion degrades to
+// a partial-coverage verdict (with the cut-off path as a trace), never a
+// hang. Coverage of the allowed outcome set is the two-sided metric the
+// one-sided opcheck soundness sweep cannot give.
+package explore
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/litmus"
+	"repro/internal/machine"
+	"repro/internal/memmodel"
+	"repro/internal/models"
+	"repro/internal/obs"
+	"repro/internal/opcheck"
+)
+
+// Mode selects the exploration driver.
+type Mode string
+
+// The exploration modes. ModeNaive is ModeDPOR with the sleep-set
+// reduction disabled — same search, no pruning — kept as a first-class
+// mode so the reduction's win is measurable.
+const (
+	ModeWalk  Mode = "walk"
+	ModeDPOR  Mode = "dpor"
+	ModeNaive Mode = "naive"
+)
+
+// Config parameterizes one exploration.
+type Config struct {
+	// Mode selects the driver; empty defaults to ModeWalk.
+	Mode Mode
+	// Seeds is the number of random walks (walk mode); 0 = 16.
+	Seeds int
+	// Seed offsets the walk seed sequence (walk i uses Seed+i).
+	Seed int64
+	// MaxStates bounds the total transitions executed by one exploration
+	// (all modes); exhaustion yields a partial verdict. 0 = 1<<20.
+	MaxStates int
+	// StepBudget bounds a single run's transition count (walk mode: a
+	// livelocked program must not hang the soak). 0 = 4096.
+	StepBudget int
+	// MaxInvisible bounds the instructions one execute-transition may
+	// retire before reaching a memory access or halt (spin watchdog,
+	// the PR-2 budget-trap discipline at transition granularity). 0 = 10000.
+	MaxInvisible int
+	// Deadline is the wall-clock watchdog for the whole exploration;
+	// 0 disables it. Expiry yields a partial verdict.
+	Deadline time.Duration
+	// Model names the axiomatic reference for the differential; empty
+	// defaults to "op-ref", the machine's exact twin (full coverage is
+	// only a meaningful demand against it).
+	Model string
+	// Obs receives counters and the coverage gauge under its "explore"
+	// child scope; nil disables instrumentation.
+	Obs *obs.Scope
+}
+
+func (cfg Config) mode() Mode {
+	if cfg.Mode == "" {
+		return ModeWalk
+	}
+	return cfg.Mode
+}
+
+func (cfg Config) seeds() int {
+	if cfg.Seeds <= 0 {
+		return 16
+	}
+	return cfg.Seeds
+}
+
+func (cfg Config) maxStates() int {
+	if cfg.MaxStates <= 0 {
+		return 1 << 20
+	}
+	return cfg.MaxStates
+}
+
+func (cfg Config) stepBudget() int {
+	if cfg.StepBudget <= 0 {
+		return 4096
+	}
+	return cfg.StepBudget
+}
+
+func (cfg Config) maxInvisible() int {
+	if cfg.MaxInvisible <= 0 {
+		return 10000
+	}
+	return cfg.MaxInvisible
+}
+
+func (cfg Config) modelName() string {
+	if cfg.Model == "" {
+		return "op-ref"
+	}
+	return cfg.Model
+}
+
+func (cfg Config) model() (memmodel.Model, error) {
+	return models.Default().Lookup(cfg.modelName())
+}
+
+// Hash identifies the configuration for soak-file resume validation:
+// every knob that changes what a record means.
+func (cfg Config) Hash() string {
+	return fmt.Sprintf("%s/s%d+%d/ms%d/sb%d/mi%d/%s",
+		cfg.mode(), cfg.seeds(), cfg.Seed, cfg.maxStates(), cfg.stepBudget(), cfg.maxInvisible(), cfg.modelName())
+}
+
+// Decision is one recorded nondeterministic choice — the unit of the
+// replay trace format.
+type Decision struct {
+	// Op is "x" (execute CPU up to its next visible access) or "d"
+	// (drain one buffered store).
+	Op string `json:"op"`
+	// CPU is the acting CPU.
+	CPU int `json:"cpu"`
+	// Seq, for drains, is the global sequence number of the drained
+	// store — stable across buffer index shifts, so a trace replays
+	// against live buffers rather than positions.
+	Seq uint64 `json:"seq,omitempty"`
+}
+
+func (d Decision) key() string {
+	if d.Op == opDrain {
+		return fmt.Sprintf("d%d.%d", d.CPU, d.Seq)
+	}
+	return fmt.Sprintf("x%d", d.CPU)
+}
+
+const (
+	opExec  = "x"
+	opDrain = "d"
+)
+
+// Violation is an operational behaviour the axiomatic reference forbids
+// — or a run that trapped — with the decision sequence reproducing it.
+type Violation struct {
+	// Outcome is the offending final state ("" when the run trapped
+	// before completing).
+	Outcome litmus.Outcome
+	// Trace replays the run (see Replay).
+	Trace []Decision
+	// Reason explains the failure.
+	Reason string
+}
+
+// Result aggregates one exploration of one program.
+type Result struct {
+	// Test and Mode echo the inputs.
+	Test string
+	Mode Mode
+	// Runs counts completed executions (walk runs or enumeration
+	// leaves); States counts transitions executed (each distinct
+	// extension once — DPOR prefix replays are not re-counted); Pruned
+	// counts sleep-set cut branches.
+	Runs, States, Pruned int
+	// Allowed is the axiomatic reference's outcome count; Covered is
+	// how many of them the exploration observed. Observed lists every
+	// operational outcome seen, sorted.
+	Allowed, Covered int
+	Observed         []litmus.Outcome
+	// Violations holds outcomes the reference forbids, with traces.
+	Violations []Violation
+	// Partial reports a budget or deadline cut the exploration short;
+	// PartialTrace is the decision path at the cut (replayable), and
+	// PartialReason says which budget.
+	Partial       bool
+	PartialReason string
+	PartialTrace  []Decision
+	// Elapsed is wall time.
+	Elapsed time.Duration
+}
+
+// Coverage returns Covered/Allowed as a percentage (100 for an empty
+// allowed set — nothing to miss).
+func (r *Result) Coverage() float64 {
+	if r.Allowed == 0 {
+		return 100
+	}
+	return 100 * float64(r.Covered) / float64(r.Allowed)
+}
+
+// Full reports complete coverage with no violations and no cut.
+func (r *Result) Full() bool {
+	return !r.Partial && len(r.Violations) == 0 && r.Covered == r.Allowed
+}
+
+// Run explores p under cfg and checks it differentially against the
+// configured axiomatic reference. Programs outside the compilable subset
+// return opcheck.ErrUnsupported (callers skip, as with opcheck itself).
+func Run(p *litmus.Program, cfg Config) (*Result, error) {
+	c, err := opcheck.Compile(p)
+	if err != nil {
+		return nil, err
+	}
+	m, err := cfg.model()
+	if err != nil {
+		return nil, err
+	}
+	allowed, err := litmus.Enumerate(p, m, litmus.WithWorkers(1), litmus.WithCache(litmus.NewCache()))
+	if err != nil {
+		return nil, fmt.Errorf("explore: enumerating %q under %s: %w", p.Name, m.Name(), err)
+	}
+
+	e := &explorer{
+		cfg:      cfg,
+		compiled: c,
+		allowed:  allowed,
+		observed: make(map[litmus.Outcome]bool),
+		res:      &Result{Test: p.Name, Mode: cfg.mode()},
+		sc:       cfg.Obs.Child("explore"),
+	}
+	start := time.Now()
+	if cfg.Deadline > 0 {
+		e.deadline = start.Add(cfg.Deadline)
+	}
+	switch cfg.mode() {
+	case ModeWalk:
+		e.runWalks()
+	case ModeDPOR, ModeNaive:
+		e.runDFS(cfg.mode() == ModeNaive)
+	default:
+		return nil, fmt.Errorf("explore: unknown mode %q", cfg.Mode)
+	}
+	e.res.Elapsed = time.Since(start)
+	e.finish()
+	return e.res, nil
+}
+
+// explorer is the shared state of one Run.
+type explorer struct {
+	cfg      Config
+	compiled *opcheck.Compiled
+	allowed  litmus.OutcomeSet
+	observed map[litmus.Outcome]bool
+	res      *Result
+	sc       *obs.Scope
+	deadline time.Time
+}
+
+// cut reports whether a global budget has expired, recording the partial
+// verdict (first reason wins) with the current decision path.
+func (e *explorer) cut(path []Decision) bool {
+	var reason string
+	switch {
+	case e.res.States >= e.cfg.maxStates():
+		reason = fmt.Sprintf("state budget %d exhausted", e.cfg.maxStates())
+	case !e.deadline.IsZero() && time.Now().After(e.deadline):
+		reason = fmt.Sprintf("deadline %v exceeded", e.cfg.Deadline)
+	default:
+		return false
+	}
+	if !e.res.Partial {
+		e.res.Partial = true
+		e.res.PartialReason = reason
+		e.res.PartialTrace = append([]Decision(nil), path...)
+	}
+	return true
+}
+
+// leaf records one completed run's outcome, checking it against the
+// allowed set; a forbidden outcome is a violation carrying its trace.
+func (e *explorer) leaf(m *machine.Machine, path []Decision) error {
+	o, err := e.compiled.Outcome(m)
+	if err != nil {
+		return err
+	}
+	e.res.Runs++
+	e.observed[o] = true
+	if !e.allowed[o] {
+		e.res.Violations = append(e.res.Violations, Violation{
+			Outcome: o,
+			Trace:   append([]Decision(nil), path...),
+			Reason:  fmt.Sprintf("outcome %q not allowed by the axiomatic reference", o),
+		})
+	}
+	return nil
+}
+
+// trapped records a run that faulted mid-execution (decode/fetch trap,
+// invisible-instruction budget): always a violation — the reference
+// model has no trapping executions.
+func (e *explorer) trapped(path []Decision, err error) {
+	e.res.Violations = append(e.res.Violations, Violation{
+		Trace:  append([]Decision(nil), path...),
+		Reason: err.Error(),
+	})
+}
+
+func (e *explorer) finish() {
+	r := e.res
+	for o := range e.observed {
+		r.Observed = append(r.Observed, o)
+		if e.allowed[o] {
+			r.Covered++
+		}
+	}
+	sort.Slice(r.Observed, func(i, j int) bool { return r.Observed[i] < r.Observed[j] })
+	r.Allowed = len(e.allowed)
+	e.sc.Counter("runs").Add(uint64(r.Runs))
+	e.sc.Counter("states").Add(uint64(r.States))
+	e.sc.Counter("sleep_pruned").Add(uint64(r.Pruned))
+	e.sc.Counter("violations").Add(uint64(len(r.Violations)))
+	if r.Partial {
+		e.sc.Counter("partial").Inc()
+	}
+	e.sc.Gauge("coverage_pct").Set(int64(r.Coverage()))
+}
+
+// --- Transition engine --------------------------------------------------------
+
+// transition is one enabled move plus, after execution, its footprint.
+type transition struct {
+	d Decision
+}
+
+// footprint is what a transition touched, for the independence relation:
+// the acting CPU, the kind of move, and its globally visible memory
+// accesses (Local accesses — buffered stores, forwarded loads — are
+// invisible to other CPUs and excluded from conflict detection).
+type footprint struct {
+	cpu   int
+	drain bool
+	accs  []machine.MemAccess
+}
+
+// independent reports that two transitions commute. Same-CPU moves are
+// ordered by the program/buffer except two drains of distinct coherence
+// chains; across CPUs, moves commute unless their global footprints
+// conflict (overlapping addresses, at least one write).
+func independent(a, b footprint) bool {
+	if a.cpu == b.cpu && !(a.drain && b.drain) {
+		return false
+	}
+	for _, x := range a.accs {
+		for _, y := range b.accs {
+			if !x.Write && !y.Write {
+				continue
+			}
+			if x.Addr < y.Addr+uint64(y.Size) && y.Addr < x.Addr+uint64(x.Size) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// newMachine builds a fresh weak-mode machine with no chooser: stores
+// buffer and forward but drain only through explicit transitions — the
+// engine owns every choice.
+func (e *explorer) newMachine() (*machine.Machine, error) {
+	m, err := e.compiled.NewMachine(nil)
+	if err != nil {
+		return nil, err
+	}
+	m.RecordAccesses(true)
+	return m, nil
+}
+
+// enabled lists the state's transitions in deterministic order: execute
+// per non-halted CPU (ascending), then drains per CPU per coherence-chain
+// head (buffer order). Empty means every CPU halted (halting flushes, so
+// no drain can outlive its CPU).
+func enabled(m *machine.Machine) []transition {
+	var ts []transition
+	for _, c := range m.CPUs {
+		if !c.Halted {
+			ts = append(ts, transition{d: Decision{Op: opExec, CPU: c.ID}})
+		}
+	}
+	for _, c := range m.CPUs {
+		buf := m.WeakBuffer(c.ID)
+		for _, h := range m.WeakDrainHeads(c.ID) {
+			ts = append(ts, transition{d: Decision{Op: opDrain, CPU: c.ID, Seq: buf[h].Seq}})
+		}
+	}
+	return ts
+}
+
+// apply executes one transition and returns its footprint. An execute
+// transition retires instructions until one performs a memory access or
+// the CPU halts, bounded by MaxInvisible (a pure-register spin must trap,
+// not hang). A drain transition retires the store with the recorded
+// sequence number (resolved against the live buffer, since indices shift).
+func (e *explorer) apply(m *machine.Machine, t transition) (footprint, error) {
+	fp := footprint{cpu: t.d.CPU, drain: t.d.Op == opDrain}
+	if t.d.CPU < 0 || t.d.CPU >= len(m.CPUs) {
+		return fp, fmt.Errorf("explore: decision names CPU %d of %d", t.d.CPU, len(m.CPUs))
+	}
+	c := m.CPUs[t.d.CPU]
+	if fp.drain {
+		idx := -1
+		for i, p := range m.WeakBuffer(c.ID) {
+			if p.Seq == t.d.Seq {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return fp, fmt.Errorf("explore: drain of store seq %d not in CPU %d's buffer", t.d.Seq, c.ID)
+		}
+		if err := m.DrainWeak(c, idx); err != nil {
+			return fp, err
+		}
+		fp.accs = globalOnly(m.TakeAccesses())
+		return fp, nil
+	}
+	if c.Halted {
+		return fp, fmt.Errorf("explore: execute decision for halted CPU %d", c.ID)
+	}
+	for i := 0; i < e.cfg.maxInvisible(); i++ {
+		if err := m.Step(c); err != nil {
+			return fp, err
+		}
+		accs := m.TakeAccesses()
+		if len(accs) > 0 {
+			fp.accs = globalOnly(accs)
+			return fp, nil
+		}
+		if c.Halted {
+			return fp, nil
+		}
+	}
+	return fp, fmt.Errorf("explore: CPU %d ran %d instructions without a memory access or halt", c.ID, e.cfg.maxInvisible())
+}
+
+func globalOnly(accs []machine.MemAccess) []machine.MemAccess {
+	out := accs[:0]
+	for _, a := range accs {
+		if !a.Local {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// --- Random walk --------------------------------------------------------------
+
+// splitmix is the same tiny PRNG the machine's RandomChooser uses: a
+// single-word state, so a walk's position is its seed plus step count.
+type splitmix struct{ state uint64 }
+
+func (s *splitmix) next() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (s *splitmix) intn(n int) int { return int(s.next() % uint64(n)) }
+
+// runWalks samples one outcome per seed: at every state, pick uniformly
+// among the enabled transitions. Each walk is bounded by StepBudget and
+// the global budgets; a cut walk contributes its partial trace and no
+// outcome.
+func (e *explorer) runWalks() {
+	for i := 0; i < e.cfg.seeds(); i++ {
+		rng := splitmix{state: uint64(e.cfg.Seed) + uint64(i)*0x9E3779B97F4A7C15}
+		if !e.walk(&rng) {
+			return
+		}
+	}
+}
+
+// walk runs one seeded walk; false means a global budget expired.
+func (e *explorer) walk(rng *splitmix) bool {
+	m, err := e.newMachine()
+	if err != nil {
+		e.trapped(nil, err)
+		return true
+	}
+	var path []Decision
+	for {
+		if e.cut(path) {
+			return false
+		}
+		ts := enabled(m)
+		if len(ts) == 0 {
+			if err := e.leaf(m, path); err != nil {
+				e.trapped(path, err)
+			}
+			return true
+		}
+		if len(path) >= e.cfg.stepBudget() {
+			// Per-run watchdog: record the cut path once, keep walking
+			// other seeds (the global budgets still bound the soak).
+			if !e.res.Partial {
+				e.res.Partial = true
+				e.res.PartialReason = fmt.Sprintf("walk step budget %d exhausted", e.cfg.stepBudget())
+				e.res.PartialTrace = append([]Decision(nil), path...)
+			}
+			return true
+		}
+		t := ts[rng.intn(len(ts))]
+		path = append(path, t.d)
+		if _, err := e.apply(m, t); err != nil {
+			e.trapped(path, err)
+			return true
+		}
+		e.res.States++
+	}
+}

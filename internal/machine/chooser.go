@@ -1,0 +1,142 @@
+// All nondeterminism in the simulated machine — which CPU runs the next
+// quantum, whether a buffered store drains and which one — flows through a
+// single Chooser, so the same execution engine serves three masters: the
+// seeded random walk that the legacy weak mode always was, the exhaustive
+// DPOR enumerator in internal/explore, and byte-identical trace replay.
+
+package machine
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// PendingStore is one store sitting in a CPU's store buffer, not yet
+// visible to other CPUs. Seq is a machine-global monotonic sequence number
+// assigned at buffering time: it names the store stably across drains, so
+// exploration transitions ("drain the store with Seq s") keep their
+// identity even as buffer indices shift.
+type PendingStore struct {
+	Addr uint64 `json:"addr"`
+	Size uint8  `json:"size"`
+	Val  uint64 `json:"val"`
+	Seq  uint64 `json:"seq"`
+}
+
+// Chooser resolves the machine's nondeterministic choices.
+//
+// NextCPU picks which runnable CPU executes the next scheduler quantum;
+// returning -1 defers to the machine's deterministic round-robin. Drain is
+// consulted after each instruction a CPU executes while its store buffer
+// is non-empty: it returns the index of the buffered store to retire, or
+// -1 to leave the buffer alone. (Coherence may redirect the drain to an
+// older overlapping store; see Machine.DrainWeak.)
+type Chooser interface {
+	NextCPU(runnable []int) int
+	Drain(cpu int, buf []PendingStore) int
+}
+
+// CursorChooser is a Chooser whose decision stream can be captured and
+// restored — the property Snapshot needs to make weak-mode machine state
+// fully serializable. Cursor returns an opaque blob; Seek rewinds the
+// chooser so the decisions after Seek replay exactly the decisions that
+// followed Cursor.
+type CursorChooser interface {
+	Chooser
+	Cursor() ([]byte, error)
+	Seek(cursor []byte) error
+}
+
+// splitmix64 is the PRNG under RandomChooser. Unlike math/rand, its entire
+// state is one word, so a chooser cursor is trivially serializable and a
+// restored cursor replays the identical decision stream regardless of how
+// many variable-width draws preceded it.
+type splitmix struct{ state uint64 }
+
+func (p *splitmix) next() uint64 {
+	p.state += 0x9E3779B97F4A7C15
+	z := p.state
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+func (p *splitmix) intn(n int) int {
+	return int(p.next() % uint64(n))
+}
+
+// RandomChooser is the seeded random-walk chooser: the legacy weak-mode
+// drain schedule (drain one random buffered store with probability
+// drainProb/256 per step, always once the buffer holds 8 stores) plus an
+// optional randomized scheduler. With scheduling off (the default) NextCPU
+// returns -1, preserving the machine's deterministic round-robin exactly.
+type RandomChooser struct {
+	rng       splitmix
+	drainProb int
+	sched     bool
+}
+
+// NewRandomChooser seeds a random-walk chooser. drainProb256 is the
+// per-step drain probability in 1/256ths (≤0 selects the default 64,
+// ≈ drain every 4 steps).
+func NewRandomChooser(seed int64, drainProb256 int) *RandomChooser {
+	if drainProb256 <= 0 {
+		drainProb256 = 64
+	}
+	return &RandomChooser{rng: splitmix{state: uint64(seed)}, drainProb: drainProb256}
+}
+
+// Scheduling toggles randomized CPU selection and returns the chooser.
+func (r *RandomChooser) Scheduling(on bool) *RandomChooser {
+	r.sched = on
+	return r
+}
+
+// NextCPU picks a random runnable CPU when scheduling is enabled, else -1.
+func (r *RandomChooser) NextCPU(runnable []int) int {
+	if !r.sched || len(runnable) == 0 {
+		return -1
+	}
+	return runnable[r.rng.intn(len(runnable))]
+}
+
+// Drain applies the legacy drain gate: buffers under 8 entries drain with
+// probability drainProb/256; full buffers always drain (hardware bounds
+// its buffers too). The drained index is uniform over the buffer.
+func (r *RandomChooser) Drain(cpu int, buf []PendingStore) int {
+	if len(buf) == 0 {
+		return -1
+	}
+	if len(buf) < 8 && r.rng.intn(256) >= r.drainProb {
+		return -1
+	}
+	return r.rng.intn(len(buf))
+}
+
+// randomCursor is the serialized form of a RandomChooser.
+type randomCursor struct {
+	State     uint64 `json:"state"`
+	DrainProb int    `json:"drain_prob"`
+	Sched     bool   `json:"sched"`
+}
+
+// Cursor captures the chooser's full state (the splitmix word plus
+// configuration) as JSON.
+func (r *RandomChooser) Cursor() ([]byte, error) {
+	return json.Marshal(randomCursor{State: r.rng.state, DrainProb: r.drainProb, Sched: r.sched})
+}
+
+// Seek restores a Cursor, after which the decision stream replays exactly.
+func (r *RandomChooser) Seek(cursor []byte) error {
+	var cur randomCursor
+	if err := json.Unmarshal(cursor, &cur); err != nil {
+		return fmt.Errorf("machine: bad RandomChooser cursor: %w", err)
+	}
+	r.rng.state = cur.State
+	r.drainProb = cur.DrainProb
+	r.sched = cur.Sched
+	return nil
+}

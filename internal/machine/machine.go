@@ -78,6 +78,15 @@ type Machine struct {
 	// weak, when non-nil, enables the operational weak-memory mode
 	// (store buffers with out-of-order drain; see weak.go).
 	weak *weakState
+	// chooser resolves the machine's nondeterministic choices (scheduler
+	// pick, store-buffer drains); see chooser.go. Nil falls back to the
+	// deterministic round-robin with no automatic drains.
+	chooser Chooser
+
+	// accLog, when enabled, records every memory access executed — the
+	// footprint DPOR needs to decide which transitions commute.
+	accLog   []MemAccess
+	accLogOn bool
 
 	// sc/quanta are the observability hooks installed by SetObs: quanta
 	// is bumped once per scheduler quantum (one atomic add per `quantum`
@@ -153,6 +162,45 @@ func (m *Machine) AddCPU() *CPU {
 	return c
 }
 
+// SetChooser installs (or, with nil, removes) the machine's chooser
+// without touching weak mode: useful for randomized scheduling over the
+// sequentially consistent interpreter. EnableWeakMemory/EnableWeakMode
+// overwrite it.
+func (m *Machine) SetChooser(ch Chooser) { m.chooser = ch }
+
+// MemAccess is one executed memory access. Local marks accesses satisfied
+// entirely inside a CPU's private store buffer (buffered stores, forwarded
+// loads): they are invisible to other CPUs, so dependence analysis ignores
+// them. Instruction fetches are never recorded.
+type MemAccess struct {
+	Addr  uint64
+	Size  uint8
+	Write bool
+	Local bool
+}
+
+// RecordAccesses toggles the memory-access log. Enabling clears any
+// previous log.
+func (m *Machine) RecordAccesses(on bool) {
+	m.accLogOn = on
+	m.accLog = m.accLog[:0]
+}
+
+// TakeAccesses returns the accesses recorded since the last call (or since
+// RecordAccesses) and resets the log.
+func (m *Machine) TakeAccesses() []MemAccess {
+	out := append([]MemAccess(nil), m.accLog...)
+	m.accLog = m.accLog[:0]
+	return out
+}
+
+// record appends to the access log when enabled; free otherwise.
+func (m *Machine) record(addr uint64, size uint8, write, local bool) {
+	if m.accLogOn {
+		m.accLog = append(m.accLog, MemAccess{Addr: addr, Size: size, Write: write, Local: local})
+	}
+}
+
 // InvalidateDecodeCache drops cached decodes; callers that rewrite already-
 // executed code must invoke it. (The DBT only ever appends fresh code, so
 // translation never needs it; TB chaining patches single instructions and
@@ -217,6 +265,7 @@ func (m *Machine) ReadMem(addr uint64, size uint8) (uint64, error) {
 	for i := uint8(0); i < size; i++ {
 		v |= uint64(m.Mem[addr+uint64(i)]) << (8 * i)
 	}
+	m.record(addr, size, false, false)
 	return v, nil
 }
 
@@ -232,6 +281,7 @@ func (m *Machine) WriteMem(addr uint64, size uint8, v uint64) error {
 		m.Mem[addr+uint64(i)] = byte(v >> (8 * i))
 	}
 	m.clearMonitors(addr, size)
+	m.record(addr, size, true, false)
 	return nil
 }
 
@@ -350,7 +400,8 @@ func (m *Machine) Run(c *CPU, maxSteps uint64) error {
 // per-CPU StepBudget, or the wall-clock Deadline. Budget expiry returns a
 // structured faults.TrapBudget, so a runaway or livelocked guest degrades
 // to a typed, reportable halt instead of an unbounded spin. CPUs added
-// during execution (spawn) join the rotation.
+// during execution (spawn) join the rotation. An installed Chooser may
+// override each quantum's CPU pick (NextCPU -1 keeps the round-robin).
 func (m *Machine) RunAll(quantum int, maxSteps uint64) (err error) {
 	if quantum <= 0 {
 		quantum = 64
@@ -366,39 +417,65 @@ func (m *Machine) RunAll(quantum int, maxSteps uint64) (err error) {
 		start = time.Now()
 	}
 	var total uint64
+	var runnable []int
+	rr := 0 // round-robin cursor: next CPU ID to consider
 	for {
-		alive := false
-		for i := 0; i < len(m.CPUs); i++ {
-			c := m.CPUs[i]
-			if c.Halted {
-				continue
-			}
-			alive = true
-			m.quanta.Inc()
-			if t := m.Inject.Hit(faults.SiteStep); t != nil {
-				t.Steps = c.Insts
-				return t.WithCPU(c.ID).WithHostPC(c.PC)
-			}
-			for q := 0; q < quantum && !c.Halted; q++ {
-				if err := m.Step(c); err != nil {
-					return err
-				}
-				total++
-				if total > maxSteps {
-					return budgetTrap(c, total, "machine step budget %d exhausted", maxSteps)
-				}
-				if m.StepBudget != 0 && c.Insts >= m.StepBudget {
-					return budgetTrap(c, c.Insts, "per-CPU step budget %d exhausted", m.StepBudget)
-				}
-				// The wall-clock watchdog is polled every 1024 steps: cheap
-				// enough for the hot loop, tight enough to bound a hang.
-				if m.Deadline > 0 && total&0x3FF == 0 && time.Since(start) > m.Deadline {
-					return budgetTrap(c, total, "wall-clock deadline %v exceeded", m.Deadline)
-				}
+		runnable = runnable[:0]
+		for _, c := range m.CPUs {
+			if !c.Halted {
+				runnable = append(runnable, c.ID)
 			}
 		}
-		if !alive {
+		if len(runnable) == 0 {
 			return nil
+		}
+		// The chooser may pick any runnable CPU; -1 (or no chooser) falls
+		// back to the deterministic round-robin the machine always had.
+		var c *CPU
+		if m.chooser != nil {
+			if id := m.chooser.NextCPU(runnable); id >= 0 {
+				if id >= len(m.CPUs) || m.CPUs[id].Halted {
+					return fmt.Errorf("machine: chooser picked unrunnable CPU %d", id)
+				}
+				c = m.CPUs[id]
+			}
+		}
+		if c == nil {
+			// First runnable CPU with ID >= rr, wrapping: identical order
+			// to the historical pass over m.CPUs, and CPUs spawned
+			// mid-run join as the cursor reaches them.
+			for _, id := range runnable {
+				if id >= rr {
+					c = m.CPUs[id]
+					break
+				}
+			}
+			if c == nil {
+				c = m.CPUs[runnable[0]]
+			}
+			rr = c.ID + 1
+		}
+		m.quanta.Inc()
+		if t := m.Inject.Hit(faults.SiteStep); t != nil {
+			t.Steps = c.Insts
+			return t.WithCPU(c.ID).WithHostPC(c.PC)
+		}
+		for q := 0; q < quantum && !c.Halted; q++ {
+			if err := m.Step(c); err != nil {
+				return err
+			}
+			total++
+			if total > maxSteps {
+				return budgetTrap(c, total, "machine step budget %d exhausted", maxSteps)
+			}
+			if m.StepBudget != 0 && c.Insts >= m.StepBudget {
+				return budgetTrap(c, c.Insts, "per-CPU step budget %d exhausted", m.StepBudget)
+			}
+			// The wall-clock watchdog is polled every 1024 steps: cheap
+			// enough for the hot loop, tight enough to bound a hang.
+			if m.Deadline > 0 && total&0x3FF == 0 && time.Since(start) > m.Deadline {
+				return budgetTrap(c, total, "wall-clock deadline %v exceeded", m.Deadline)
+			}
 		}
 	}
 }

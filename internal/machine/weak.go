@@ -1,7 +1,7 @@
 package machine
 
 import (
-	"math/rand"
+	"fmt"
 
 	"repro/internal/isa/arm"
 )
@@ -26,38 +26,62 @@ import (
 // outcomes predicted by the models actually manifest in execution and
 // that the verified mappings' fences suppress them.
 //
-// The drain schedule is driven by a seeded RNG, so runs are reproducible;
-// exploring seeds explores interleavings.
+// Which store drains when is decided by the machine's Chooser (see
+// chooser.go): a seeded RandomChooser reproduces the legacy randomized
+// schedule, while internal/explore installs enumerating and replaying
+// choosers over the same engine. The exact-as-implemented axiomatic
+// counterpart of this machine is internal/models/opref.
 type weakState struct {
-	rng *rand.Rand
-	// drainProb is the per-step probability (in 1/256ths) that one
-	// buffered store drains.
-	drainProb int
-	buffers   map[int][]pendingStore
+	buffers map[int][]PendingStore
+	// nextSeq numbers buffered stores machine-globally (see PendingStore.Seq).
+	nextSeq uint64
 }
 
-type pendingStore struct {
-	addr uint64
-	size uint8
-	val  uint64
-}
-
-// EnableWeakMemory switches the machine into weak mode with the given
-// seed. drainProb256 is the per-step drain probability in 1/256ths
-// (64 ≈ drain every 4 steps).
+// EnableWeakMemory switches the machine into weak mode driven by a seeded
+// RandomChooser — the legacy entry point. drainProb256 is the per-step
+// drain probability in 1/256ths (64 ≈ drain every 4 steps).
 func (m *Machine) EnableWeakMemory(seed int64, drainProb256 int) {
-	if drainProb256 <= 0 {
-		drainProb256 = 64
-	}
-	m.weak = &weakState{
-		rng:       rand.New(rand.NewSource(seed)),
-		drainProb: drainProb256,
-		buffers:   make(map[int][]pendingStore),
-	}
+	m.EnableWeakMode(NewRandomChooser(seed, drainProb256))
+}
+
+// EnableWeakMode switches the machine into weak mode with an explicit
+// chooser. A nil chooser disables automatic drains entirely: stores buffer
+// and forward, but retire only through explicit DrainWeak/FlushWeak calls
+// — the regime exploration drivers use to own every drain as a first-class
+// transition.
+func (m *Machine) EnableWeakMode(ch Chooser) {
+	m.weak = &weakState{buffers: make(map[int][]PendingStore)}
+	m.chooser = ch
 }
 
 // WeakEnabled reports whether weak mode is on.
 func (m *Machine) WeakEnabled() bool { return m.weak != nil }
+
+// WeakBuffer returns a copy of cpu's pending-store buffer, oldest first.
+func (m *Machine) WeakBuffer(cpuID int) []PendingStore {
+	if m.weak == nil {
+		return nil
+	}
+	return append([]PendingStore(nil), m.weak.buffers[cpuID]...)
+}
+
+// WeakDrainHeads returns the drainable indices of cpu's buffer that are
+// heads of their coherence chain (no older overlapping store). Draining
+// any other index is redirected to its chain head, so these are exactly
+// the distinct drain transitions an enumerator needs to consider.
+func (m *Machine) WeakDrainHeads(cpuID int) []int {
+	if m.weak == nil {
+		return nil
+	}
+	buf := m.weak.buffers[cpuID]
+	var heads []int
+	for i := range buf {
+		if oldestOverlap(buf, i) == i {
+			heads = append(heads, i)
+		}
+	}
+	return heads
+}
 
 // weakStore buffers a plain store.
 func (m *Machine) weakStore(c *CPU, addr uint64, size uint8, v uint64) error {
@@ -65,7 +89,9 @@ func (m *Machine) weakStore(c *CPU, addr uint64, size uint8, v uint64) error {
 		return err
 	}
 	w := m.weak
-	w.buffers[c.ID] = append(w.buffers[c.ID], pendingStore{addr, size, v})
+	w.nextSeq++
+	w.buffers[c.ID] = append(w.buffers[c.ID], PendingStore{Addr: addr, Size: size, Val: v, Seq: w.nextSeq})
+	m.record(addr, size, true, true)
 	return nil
 }
 
@@ -76,10 +102,11 @@ func (m *Machine) weakLoad(c *CPU, addr uint64, size uint8) (uint64, error) {
 	buf := m.weak.buffers[c.ID]
 	for i := len(buf) - 1; i >= 0; i-- {
 		p := buf[i]
-		if p.addr == addr && p.size == size {
-			return p.val, nil
+		if p.Addr == addr && p.Size == size {
+			m.record(addr, size, false, true)
+			return p.Val, nil
 		}
-		if overlap(addr, uint64(size), p.addr, uint64(p.size)) {
+		if overlap(addr, uint64(size), p.Addr, uint64(p.Size)) {
 			if err := m.weakFlush(c); err != nil {
 				return 0, err
 			}
@@ -94,37 +121,65 @@ func (m *Machine) weakFlush(c *CPU) error {
 	buf := m.weak.buffers[c.ID]
 	m.weak.buffers[c.ID] = nil
 	for _, p := range buf {
-		if err := m.WriteMem(p.addr, p.size, p.val); err != nil {
+		if err := m.WriteMem(p.Addr, p.Size, p.Val); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// weakMaybeDrain possibly retires one buffered store — picked at random,
-// giving store-store reordering — after an executed instruction.
+// weakMaybeDrain consults the chooser after an executed instruction and
+// retires at most one buffered store.
 func (m *Machine) weakMaybeDrain(c *CPU) error {
-	w := m.weak
-	buf := w.buffers[c.ID]
-	if len(buf) == 0 {
+	buf := m.weak.buffers[c.ID]
+	if len(buf) == 0 || m.chooser == nil {
 		return nil
 	}
-	// Bound buffers like hardware does.
-	if len(buf) < 8 && w.rng.Intn(256) >= w.drainProb {
+	i := m.chooser.Drain(c.ID, buf)
+	if i < 0 {
 		return nil
 	}
-	i := w.rng.Intn(len(buf))
-	// Coherence: a store may not drain before an older buffered store to
-	// an overlapping address.
-	for j := 0; j < i; j++ {
-		if overlap(buf[j].addr, uint64(buf[j].size), buf[i].addr, uint64(buf[i].size)) {
-			i = j
-			break
-		}
+	return m.DrainWeak(c, i)
+}
+
+// DrainWeak retires c's i-th buffered store. Coherence: a store may not
+// drain before an older buffered store to an overlapping address, so the
+// drain is redirected to the head of i's overlap chain — transitively: the
+// first older overlap may itself have an older overlap (the historical bug
+// here stopped after one hop and could write a middle-of-chain store
+// first).
+func (m *Machine) DrainWeak(c *CPU, i int) error {
+	if m.weak == nil {
+		return fmt.Errorf("machine: DrainWeak without weak mode")
 	}
+	buf := m.weak.buffers[c.ID]
+	if i < 0 || i >= len(buf) {
+		return fmt.Errorf("machine: drain index %d out of range (cpu %d buffers %d)", i, c.ID, len(buf))
+	}
+	i = oldestOverlap(buf, i)
 	p := buf[i]
-	w.buffers[c.ID] = append(append([]pendingStore(nil), buf[:i]...), buf[i+1:]...)
-	return m.WriteMem(p.addr, p.size, p.val)
+	m.weak.buffers[c.ID] = append(append([]PendingStore(nil), buf[:i]...), buf[i+1:]...)
+	return m.WriteMem(p.Addr, p.Size, p.Val)
+}
+
+// oldestOverlap follows i's coherence chain to its oldest member: while
+// some older buffered store overlaps buf[i], move to the first such store
+// and repeat. The fixpoint — not a single hop — is what guarantees no
+// store drains past an older same-location store anywhere in the chain.
+func oldestOverlap(buf []PendingStore, i int) int {
+	for {
+		j := i
+		for k := 0; k < i; k++ {
+			if overlap(buf[k].Addr, uint64(buf[k].Size), buf[i].Addr, uint64(buf[i].Size)) {
+				j = k
+				break
+			}
+		}
+		if j == i {
+			return i
+		}
+		i = j
+	}
 }
 
 // weakBarrier implements DMB in weak mode. DMB ISH and DMB ISHST order

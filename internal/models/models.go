@@ -12,6 +12,7 @@ import (
 	"repro/internal/memmodel"
 	"repro/internal/models/armcats"
 	"repro/internal/models/imm"
+	"repro/internal/models/opref"
 	"repro/internal/models/sparctso"
 	"repro/internal/models/tcgmm"
 	"repro/internal/models/x86tso"
@@ -35,6 +36,11 @@ func Default() *memmodel.Registry {
 		r.MustRegister(tcgmm.New(), memmodel.LevelTCG, "tcg", "tcgmm")
 		r.MustRegister(armcats.New(), memmodel.LevelArm, "arm")
 		r.MustRegisterVariant(armcats.NewVariant(armcats.Original), memmodel.LevelArm)
+		// The operational-reference model mirrors the simulated machine's
+		// store-buffer mode exactly (internal/explore measures coverage
+		// against it); a variant because it describes the machine, not an
+		// architecture.
+		r.MustRegisterVariant(opref.New(), memmodel.LevelArm, "machine-ref")
 		defaultReg = r
 	})
 	return defaultReg

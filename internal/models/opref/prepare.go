@@ -1,0 +1,42 @@
+package opref
+
+import (
+	"repro/internal/memmodel"
+	"repro/internal/rel"
+)
+
+// checker is the per-skeleton op-ref consistency predicate. The strong set
+// S, implied and ppo depend only on po and per-event attributes — all fixed
+// per skeleton — so base = implied ∪ ppo is computed once; each candidate
+// only unions in rfe, fr and co and runs the acyclicity DFS.
+type checker struct {
+	p *memmodel.Prep
+	// base = implied ∪ ppo, the candidate-invariant part of GHB.
+	base *rel.Relation
+}
+
+// Prepare implements memmodel.PreparedModel.
+func (Model) Prepare(sk *memmodel.Skeleton) memmodel.Checker {
+	x0 := sk.Exec0()
+	return &checker{
+		p:    memmodel.NewPrep(sk),
+		base: Implied(x0).Union(Ppo(x0)),
+	}
+}
+
+// Consistent implements memmodel.Checker.
+func (c *checker) Consistent(x *memmodel.Execution) bool {
+	d := c.p.Derive(x)
+	if !c.p.SCPerLoc(x, d) || !c.p.Atomicity(d) {
+		return false
+	}
+	s := c.p.Scratch()
+	s.CopyFrom(c.base)
+	s.UnionWith(d.Rfe)
+	s.UnionWith(d.Fr)
+	s.UnionWith(x.Co)
+	return c.p.Arena.Acyclic(s)
+}
+
+// Release implements memmodel.ReleasableChecker.
+func (c *checker) Release() { c.p.Release() }

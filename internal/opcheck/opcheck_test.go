@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/litmus"
 	"repro/internal/memmodel"
+	"repro/internal/models"
 )
 
 func TestSoundnessOnClassicCorpus(t *testing.T) {
@@ -141,27 +142,111 @@ func TestSoundnessOnRandomPrograms(t *testing.T) {
 }
 
 func TestCompileRejectsUnsupported(t *testing.T) {
-	withCAS := &litmus.Program{
-		Name: "cas",
-		Threads: [][]litmus.Op{
-			{litmus.CAS{Loc: "X", Expect: 0, New: 1, Attr: litmus.Attr{Class: memmodel.RMWAmo}}},
-		},
-	}
-	if _, err := Compile(withCAS); err == nil {
-		t.Fatal("CAS programs are unsupported and must be rejected")
-	}
-	withIRFence := &litmus.Program{
-		Name:    "irfence",
-		Threads: [][]litmus.Op{{litmus.Fence{K: memmodel.FenceFrm}}},
-	}
-	if _, err := Compile(withIRFence); err == nil {
-		t.Fatal("IR fences have no Arm lowering here and must be rejected")
-	}
 	undefReg := &litmus.Program{
 		Name:    "undef",
 		Threads: [][]litmus.Op{{litmus.StoreReg{Loc: "X", Src: "ghost"}}},
 	}
 	if _, err := Compile(undefReg); err == nil {
 		t.Fatal("storereg of an undefined register must be rejected")
+	}
+	undefBranch := &litmus.Program{
+		Name:    "undefbranch",
+		Threads: [][]litmus.Op{{litmus.If{Reg: "ghost", Eq: true, Val: 1}}},
+	}
+	if _, err := Compile(undefBranch); err == nil {
+		t.Fatal("branch on an undefined register must be rejected")
+	}
+	bigImm := &litmus.Program{
+		Name: "bigimm",
+		Threads: [][]litmus.Op{{
+			litmus.MovImm{Dst: "a", Val: 1},
+			litmus.If{Reg: "a", Eq: true, Val: 1 << 20},
+		}},
+	}
+	if _, err := Compile(bigImm); err == nil {
+		t.Fatal("If immediate beyond imm12 must be rejected")
+	}
+	relLoad := &litmus.Program{
+		Name:    "relload",
+		Threads: [][]litmus.Op{{litmus.Load{Dst: "a", Loc: "X", Attr: litmus.Attr{Rel: true}}}},
+	}
+	if _, err := Compile(relLoad); err == nil {
+		t.Fatal("release-attributed load must be rejected")
+	}
+}
+
+func TestCASProgramsCompileAndCheckSound(t *testing.T) {
+	// The RMW corpus entries (single-instruction amo and lx/sx retry
+	// loops, with and without a failure-observing Dst and If body) must
+	// now compile and stay sound against the Arm model.
+	for _, p := range []*litmus.Program{litmus.MPQ(), litmus.SBQ(), litmus.SBAL()} {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			bad, err := CheckSoundNamed(p, "arm", 30)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(bad) > 0 {
+				t.Fatalf("unsound operational outcomes: %v", bad)
+			}
+		})
+	}
+}
+
+func TestIRFencesLowerConservatively(t *testing.T) {
+	// IR-level fences now lower via the StoreFlush classification: a
+	// store-flushing Fwr restores SC on SB, a load-side Frm does not
+	// (it lowers to a load barrier, an operational no-op).
+	sbWith := func(k memmodel.Fence) *litmus.Program {
+		return &litmus.Program{
+			Name: "sb+" + k.String(),
+			Threads: [][]litmus.Op{
+				{litmus.Store{Loc: "X", Val: 1}, litmus.Fence{K: k}, litmus.Load{Dst: "a", Loc: "Y"}},
+				{litmus.Store{Loc: "Y", Val: 1}, litmus.Fence{K: k}, litmus.Load{Dst: "b", Loc: "X"}},
+			},
+		}
+	}
+	c, err := Compile(sbWith(memmodel.FenceFwr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed, err := c.Observe(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if observed.Contains("0:a=0", "1:b=0") {
+		t.Fatalf("Fwr-fenced SB exhibited the weak outcome: %v", observed.Sorted())
+	}
+	if c, err = Compile(sbWith(memmodel.FenceFrm)); err != nil {
+		t.Fatal(err)
+	}
+	if observed, err = c.Observe(60); err != nil {
+		t.Fatal(err)
+	}
+	if !observed.Contains("0:a=0", "1:b=0") {
+		t.Fatalf("Frm-fenced SB never weak — load-side fences must not drain stores: %v", observed.Sorted())
+	}
+}
+
+func TestExecutedMaskHidesUntakenRegisters(t *testing.T) {
+	// MPQ's If body runs only when the CAS saw X=1; the outcome keys must
+	// include the body's registers exactly when it executed — matching
+	// litmus.OutcomeOf — so every operational outcome is enumerable.
+	c, err := Compile(litmus.MPQ())
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed, err := c.Observe(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	admitted, err := litmus.Enumerate(litmus.MPQ(), models.MustLookup("arm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for o := range observed {
+		if !admitted[o] {
+			t.Fatalf("outcome %q not in the enumerable set %v — register-mask rendering diverges from OutcomeOf", o, admitted.Sorted())
+		}
 	}
 }

@@ -9,9 +9,11 @@
 # Captured: the rel word-wise kernels (BenchmarkRelOps), the end-to-end
 # candidate enumeration (BenchmarkOutcomesParallel, BenchmarkTheorem1),
 # the campaign per-test verdict pipeline (BenchmarkCampaignTest, whose
-# tests/s metric is the serial campaign throughput), and the tier-up JIT
+# tests/s metric is the serial campaign throughput), the tier-up JIT
 # on/off pairs (BenchmarkTierUp, whose sim_cycles_per_op ratio is the
-# hot-block promotion speedup).
+# hot-block promotion speedup), and the operational exploration engine
+# (BenchmarkExplore: states_per_sec transition throughput and the
+# coverage_pct of allowed outcomes a full DPOR enumeration reaches).
 # check.sh runs this with a short -benchtime as a smoke stage; for numbers
 # worth comparing across machines use BENCHTIME=2s or more.
 set -euo pipefail
@@ -22,7 +24,7 @@ OUT="${1:-BENCH_litmus.json}"
 
 raw="$(
   go test -run '^$' -bench 'BenchmarkRelOps' -benchtime "$BENCHTIME" ./internal/rel/
-  go test -run '^$' -bench 'BenchmarkOutcomesParallel|BenchmarkTheorem1|BenchmarkCampaignTest|BenchmarkTierUp' -benchtime "$BENCHTIME" .
+  go test -run '^$' -bench 'BenchmarkOutcomesParallel|BenchmarkTheorem1|BenchmarkCampaignTest|BenchmarkTierUp|BenchmarkExplore' -benchtime "$BENCHTIME" .
 )"
 
 # Benchmark result lines look like:
@@ -43,6 +45,8 @@ $1 ~ /^Benchmark/ && $4 == "ns/op" {
     if ($(i+1) == "tests/s")   printf ", \"tests_per_sec\": %s", $i
     if ($(i+1) == "simcycles/op") printf ", \"sim_cycles_per_op\": %s", $i
     if ($(i+1) == "xmerges/op")   printf ", \"cross_block_fence_merges\": %s", $i
+    if ($(i+1) == "states/s")     printf ", \"states_per_sec\": %s", $i
+    if ($(i+1) == "coverage%")    printf ", \"coverage_pct\": %s", $i
   }
   printf "}"
 }

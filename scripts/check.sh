@@ -9,7 +9,11 @@
 # along: the -tags relmap differential run proves the reference map engine
 # still satisfies the whole memmodel/models/litmus stack (so the default
 # bitset engine is pinned against it), and a one-iteration bench smoke keeps
-# scripts/bench_snapshot.sh and the benchmarks it snapshots compiling.
+# scripts/bench_snapshot.sh and the benchmarks it snapshots compiling. The
+# explore stages pin the operational exploration engine: DPOR must reach
+# every allowed SB outcome, budget-exhausted traces must replay
+# byte-identically, and a corpus walk plus a ≥500-test generated campaign
+# must find zero axiomatic-disallowed outcomes.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -96,6 +100,24 @@ go run ./cmd/litmusctl -workers 4 -metrics json campaign \
 	| go run ./cmd/obsvalidate >/dev/null
 grep -q '"format":"risotto-campaign/v1"' "$SH_TMP/campaign.jsonl" \
 	|| { echo "campaign results file lacks the v1 header" >&2; exit 1; }
+
+echo "==> explore smoke: DPOR reaches full SB coverage and traces replay byte-identically"
+go run ./cmd/litmusctl explore -mode dpor SB >"$SH_TMP/explore-sb.txt"
+grep -q "4/4 (100%)" "$SH_TMP/explore-sb.txt" \
+	|| { echo "DPOR on SB missed allowed outcomes" >&2; cat "$SH_TMP/explore-sb.txt" >&2; exit 1; }
+go run ./cmd/litmusctl explore -mode dpor -max-states 64 -trace-out "$SH_TMP/sb.trace" SB >/dev/null
+go run ./cmd/litmusctl explore -mode replay -trace "$SH_TMP/sb.trace" | grep -q "byte-identical" \
+	|| { echo "budget-exhausted trace did not replay byte-identically" >&2; exit 1; }
+
+echo "==> explore soak: corpus walk + ≥500-test generated campaign, zero violations"
+go run ./cmd/litmusctl explore -out "$SH_TMP/soak.jsonl" 2>/dev/null
+grep -q '"format":"risotto-explore/v1"' "$SH_TMP/soak.jsonl" \
+	|| { echo "soak results file lacks the v1 header" >&2; exit 1; }
+go run ./cmd/litmusctl -workers 4 campaign -out "$SH_TMP/explore-campaign.jsonl" \
+	-max-per-shape 32 -opcheck-seeds 1 -explore-seeds 4 2>"$SH_TMP/explore-campaign.log" \
+	|| { echo "explore campaign failed" >&2; cat "$SH_TMP/explore-campaign.log" >&2; exit 1; }
+tests=$(grep -c '"explore":"pass"' "$SH_TMP/explore-campaign.jsonl" || true)
+[ "${tests:-0}" -ge 500 ] || { echo "explore campaign passed the explore check on only ${tests:-0} tests, want ≥500" >&2; exit 1; }
 
 echo "==> daemon smoke: risottod serve/submit/snapshot/drain cycle"
 go build -o "$SH_TMP/risottod" ./cmd/risottod
